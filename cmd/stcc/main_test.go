@@ -1,0 +1,109 @@
+package main
+
+import (
+	"flag"
+	"testing"
+)
+
+// small returns flags for a tiny, fast run.
+func small(extra ...string) []string {
+	base := []string{"-k", "4", "-warmup", "200", "-measure", "1500", "-rate", "0.005"}
+	return append(base, extra...)
+}
+
+func TestCmdRunSchemes(t *testing.T) {
+	for _, scheme := range []string{"base", "alo", "tune", "tune-hillclimb"} {
+		if err := cmdRun(small("-scheme", scheme)); err != nil {
+			t.Errorf("run -scheme %s: %v", scheme, err)
+		}
+	}
+	if err := cmdRun(small("-scheme", "static", "-threshold", "50")); err != nil {
+		t.Errorf("run -scheme static: %v", err)
+	}
+}
+
+func TestCmdRunJSON(t *testing.T) {
+	if err := cmdRun(small("-json")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdRunAvoidance(t *testing.T) {
+	if err := cmdRun(small("-mode", "avoidance")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdRunRejectsBadMode(t *testing.T) {
+	if err := cmdRun(small("-mode", "nope")); err == nil {
+		t.Fatal("bad mode accepted")
+	}
+}
+
+func TestCmdRunRejectsBadScheme(t *testing.T) {
+	if err := cmdRun(small("-scheme", "nope")); err == nil {
+		t.Fatal("bad scheme accepted")
+	}
+}
+
+func TestCmdSweep(t *testing.T) {
+	if err := cmdSweep(small("-rates", "0.002,0.005")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdSweepRejectsBadRates(t *testing.T) {
+	if err := cmdSweep(small("-rates", "a,b")); err == nil {
+		t.Fatal("bad rates accepted")
+	}
+}
+
+func TestCmdBursty(t *testing.T) {
+	err := cmdBursty(small("-lowdur", "300", "-highdur", "400",
+		"-lowint", "200", "-highint", "40", "-sample", "256"))
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdTrace(t *testing.T) {
+	if err := cmdTrace(small("-regen", "120")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdTable(t *testing.T) {
+	if err := cmdTable(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNetFlagsDefaults(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	build := netFlags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.K != 16 || cfg.VCs != 3 || cfg.DeadlockTimeout != 160 {
+		t.Errorf("defaults: %+v", cfg)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("default flags invalid: %v", err)
+	}
+}
+
+func TestCmdCompare(t *testing.T) {
+	if err := cmdCompare(small("-seeds", "1,2")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdCompareRejectsBadSeeds(t *testing.T) {
+	if err := cmdCompare(small("-seeds", "x")); err == nil {
+		t.Fatal("bad seeds accepted")
+	}
+}

@@ -1,0 +1,50 @@
+package stcc_test
+
+import (
+	"fmt"
+
+	stcc "repro"
+)
+
+// Example runs a small network at light load with the self-tuned
+// controller and reports that everything offered was delivered.
+func Example() {
+	cfg := stcc.NewConfig()
+	cfg.K = 4 // 16 nodes: tiny and fast
+	cfg.Rate = 0.002
+	cfg.WarmupCycles = 500
+	cfg.MeasureCycles = 4_000
+	cfg.Scheme = stcc.Scheme{Kind: stcc.SelfTuned}
+	res, err := stcc.Run(cfg)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(res.PacketsDelivered == res.PacketsCreated)
+	// Output: true
+}
+
+// ExampleNewPattern shows the paper's butterfly permutation: the most and
+// least significant address bits swap.
+func ExampleNewPattern() {
+	p, _ := stcc.NewPattern(stcc.Butterfly, 256)
+	fmt.Printf("%08b\n", p.Dest(0b10110010, nil))
+	// Output: 00110011
+}
+
+// ExampleNewTorus shows the paper's network dimensions.
+func ExampleNewTorus() {
+	topo, _ := stcc.NewTorus(16, 2)
+	fmt.Println(topo.Nodes(), topo.TotalVCBuffers(3))
+	// Output: 256 3072
+}
+
+// ExampleDefaultTunerConfig prints the paper's tuning steps for the
+// 16-ary 2-cube: increment 1% and decrement 4% of all 3072 buffers.
+func ExampleDefaultTunerConfig() {
+	tc := stcc.DefaultTunerConfig(3072)
+	fmt.Printf("%.2f %.2f\n",
+		tc.IncrementFraction*float64(tc.TotalBuffers),
+		tc.DecrementFraction*float64(tc.TotalBuffers))
+	// Output: 30.72 122.88
+}

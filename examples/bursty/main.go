@@ -1,0 +1,67 @@
+// Bursty: the paper's Figure 6/7 experiment. The workload alternates
+// low-load phases with heavy bursts whose communication pattern changes
+// each time (random, bit-reversal, perfect-shuffle, butterfly). The
+// self-tuned controller re-tunes its threshold for every burst; the
+// uncontrolled network saturates and collapses.
+//
+//	go run ./examples/bursty
+package main
+
+import (
+	"fmt"
+	"log"
+
+	stcc "repro"
+)
+
+func main() {
+	const nodes = 256
+	sched, err := stcc.PaperBurstySchedule(nodes, stcc.BurstyOptions{
+		// Scaled-down phase lengths keep the example fast; the shapes
+		// match the paper's 50k/75k-cycle phases.
+		LowDuration:  8_000,
+		HighDuration: 12_000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Offered load:")
+	var at int64
+	for _, ph := range sched.Phases {
+		fmt.Printf("  cycles %6d-%6d  %-12s %.5f packets/node/cycle\n",
+			at, at+ph.Duration, ph.Pattern.Name(), ph.Process.Rate())
+		at += ph.Duration
+	}
+
+	for _, scheme := range []stcc.Scheme{{Kind: stcc.Base}, {Kind: stcc.SelfTuned}} {
+		cfg := stcc.NewConfig()
+		cfg.Schedule = sched
+		cfg.WarmupCycles = 0
+		cfg.MeasureCycles = sched.TotalDuration()
+		cfg.SampleInterval = 2_048
+		cfg.Scheme = scheme
+		res, err := stcc.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n%s: avg latency %.0f cycles, %d recoveries; throughput over time:\n",
+			scheme.Kind, res.AvgNetworkLatency, res.Recoveries)
+		for i, v := range res.Throughput.Values {
+			fmt.Printf("  %6d %s %.3f\n", res.Throughput.CycleAt(i), bar(v), v)
+		}
+	}
+}
+
+// bar renders a simple ASCII intensity bar for a flits/node/cycle value.
+func bar(v float64) string {
+	n := int(v * 100)
+	if n > 40 {
+		n = 40
+	}
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = '#'
+	}
+	return fmt.Sprintf("%-40s", b)
+}

@@ -1,0 +1,45 @@
+// Quickstart: run the paper's 16-ary 2-cube network past its saturation
+// point, once without congestion control and once with the self-tuned
+// controller, and compare delivered bandwidth and latency.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	stcc "repro"
+)
+
+func main() {
+	// The paper's network: 256 nodes, 3 VCs of depth 8, 16-flit
+	// packets, wormhole switching with Disha deadlock recovery.
+	// Short runs keep the example snappy; shapes match the full runs.
+	base := stcc.NewConfig()
+	base.Rate = 0.04 // packets/node/cycle — well beyond saturation
+	base.WarmupCycles = 8_000
+	base.MeasureCycles = 32_000
+
+	for _, scheme := range []stcc.Scheme{
+		{Kind: stcc.Base},
+		{Kind: stcc.SelfTuned},
+	} {
+		cfg := base
+		cfg.Scheme = scheme
+		res, err := stcc.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-5s accepted %.4f flits/node/cycle, latency %5.0f cycles, %4d deadlock recoveries\n",
+			scheme.Kind, res.AcceptedFlits, res.AvgNetworkLatency, res.Recoveries)
+		if scheme.Kind == stcc.SelfTuned {
+			fmt.Printf("      threshold self-tuned to %.0f of %d full buffers\n",
+				res.FinalThreshold, cfg.TotalBuffers())
+		}
+	}
+	fmt.Println("\nWithout throttling the network saturates: deadlocked worms")
+	fmt.Println("drain through the serialized recovery path and throughput")
+	fmt.Println("collapses. The self-tuned controller finds a full-buffer")
+	fmt.Println("threshold that keeps the network just below saturation.")
+}

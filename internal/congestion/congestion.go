@@ -1,0 +1,127 @@
+// Package congestion defines the source-throttling interface the
+// simulator consults before letting a node inject a new packet, plus the
+// baseline controllers the paper compares against: no control (Base) and
+// the At-Least-One local-estimation scheme (ALO, Baydal, López & Duato).
+// The paper's global self-tuned controller lives in package core.
+package congestion
+
+import (
+	"repro/internal/topology"
+)
+
+// Throttler decides whether a node may begin injecting a new packet.
+// Throttling applies only to packet starts: once a packet's head flit has
+// entered the injection channel, the rest of the worm always follows.
+type Throttler interface {
+	// AllowInjection reports whether node may start injecting a packet
+	// destined for dst at cycle now.
+	AllowInjection(now int64, node, dst topology.NodeID) bool
+	// Tick is called once per cycle, after network state has been
+	// updated and side-band snapshots delivered, before injection.
+	Tick(now int64)
+	Name() string
+}
+
+// LocalView exposes the router-local channel state that locally-estimating
+// throttlers (such as ALO) inspect. The simulation engine implements it.
+type LocalView interface {
+	// FreeVCs returns how many output virtual channels on the given
+	// physical port of node are free (not currently owned by a packet).
+	FreeVCs(node topology.NodeID, port int) int
+	// VCsPerPort returns the number of virtual channels per physical
+	// channel.
+	VCsPerPort() int
+}
+
+// None is the Base configuration: never throttle.
+type None struct{}
+
+// AllowInjection implements Throttler.
+func (None) AllowInjection(int64, topology.NodeID, topology.NodeID) bool { return true }
+
+// Tick implements Throttler.
+func (None) Tick(int64) {}
+
+// Name implements Throttler.
+func (None) Name() string { return "base" }
+
+// ALO is the At-Least-One congestion control scheme: a node may inject
+// when, considering the physical channels useful to the new packet (those
+// on some minimal path to its destination), either
+//
+//   - at least one virtual channel is free on every useful channel, or
+//   - at least one useful channel has all its virtual channels free.
+//
+// Otherwise the node throttles. ALO estimates global congestion purely
+// from local back-pressure symptoms, which is exactly the limitation the
+// paper's global scheme addresses.
+type ALO struct {
+	topo *topology.Torus
+	view LocalView
+	buf  []int
+}
+
+// NewALO returns an ALO throttler over the given topology and local view.
+func NewALO(topo *topology.Torus, view LocalView) *ALO {
+	return &ALO{topo: topo, view: view}
+}
+
+// AllowInjection implements Throttler.
+func (a *ALO) AllowInjection(_ int64, node, dst topology.NodeID) bool {
+	a.buf = a.topo.MinimalPorts(node, dst, a.buf[:0])
+	if len(a.buf) == 0 {
+		return true // destination is local; no network resources needed
+	}
+	vcs := a.view.VCsPerPort()
+	everyHasOne := true
+	someAllFree := false
+	for _, p := range a.buf {
+		free := a.view.FreeVCs(node, p)
+		if free == 0 {
+			everyHasOne = false
+		}
+		if free == vcs {
+			someAllFree = true
+		}
+	}
+	return everyHasOne || someAllFree
+}
+
+// Tick implements Throttler.
+func (a *ALO) Tick(int64) {}
+
+// Name implements Throttler.
+func (a *ALO) Name() string { return "alo" }
+
+// BusyVC is the López et al. local throttling heuristic the paper cites:
+// a node estimates congestion from the number of busy output virtual
+// channels on its own router and throttles injection when the busy count
+// exceeds a fixed limit. Unlike ALO it ignores which channels are useful
+// to the new packet; unlike the paper's scheme it sees no global state.
+type BusyVC struct {
+	topo  *topology.Torus
+	view  LocalView
+	limit int
+}
+
+// NewBusyVC returns a BusyVC throttler that allows injection while fewer
+// than limit output VCs (over all physical ports) are busy.
+func NewBusyVC(topo *topology.Torus, view LocalView, limit int) *BusyVC {
+	return &BusyVC{topo: topo, view: view, limit: limit}
+}
+
+// AllowInjection implements Throttler.
+func (l *BusyVC) AllowInjection(_ int64, node, _ topology.NodeID) bool {
+	busy := 0
+	vcs := l.view.VCsPerPort()
+	for p := 0; p < l.topo.PhysPorts(); p++ {
+		busy += vcs - l.view.FreeVCs(node, p)
+	}
+	return busy < l.limit
+}
+
+// Tick implements Throttler.
+func (l *BusyVC) Tick(int64) {}
+
+// Name implements Throttler.
+func (l *BusyVC) Name() string { return "busyvc" }

@@ -1,0 +1,320 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation (Section 5), each returning typed rows that the
+// benchmark harness and the stcc-paper command print or write as CSV.
+// Drivers are deterministic for a given Scale and seed.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/router"
+	"repro/internal/sim"
+	"repro/internal/traffic"
+)
+
+// Scale controls how long each simulation runs. Figure shapes are stable
+// at Quick scale; Paper scale matches the published 600k-cycle runs.
+type Scale struct {
+	Warmup  int64
+	Measure int64
+	// BurstLow/BurstHigh are the bursty-phase durations for Figure 6/7.
+	BurstLow  int64
+	BurstHigh int64
+}
+
+// Predefined scales.
+var (
+	// Quick keeps a full figure regeneration within minutes; shapes
+	// (who wins, where the knees fall) match Paper scale.
+	Quick = Scale{Warmup: 8_000, Measure: 24_000, BurstLow: 8_000, BurstHigh: 12_000}
+	// Paper is the published methodology: 600k cycles, 100k warm-up,
+	// 50k/75k bursty phases.
+	Paper = Scale{Warmup: 100_000, Measure: 500_000, BurstLow: 50_000, BurstHigh: 75_000}
+)
+
+// DefaultRates is the packet-injection-rate sweep used by the rate-axis
+// figures (packets/node/cycle). The knee of the paper's 16-ary 2-cube
+// sits near 0.02-0.025.
+var DefaultRates = []float64{0.005, 0.01, 0.015, 0.02, 0.025, 0.03, 0.04, 0.06}
+
+// baseConfig returns the paper's network with the given scale applied.
+func baseConfig(s Scale) sim.Config {
+	cfg := sim.NewConfig()
+	cfg.WarmupCycles = s.Warmup
+	cfg.MeasureCycles = s.Measure
+	return cfg
+}
+
+// RatePoint is one point of a rate-sweep curve.
+type RatePoint struct {
+	Rate     float64 // offered packets/node/cycle
+	Accepted float64 // delivered flits/node/cycle
+	Latency  float64 // mean network latency, cycles
+	Recov    int64   // deadlock recoveries
+	Full     float64 // mean full buffers
+}
+
+func point(r sim.Result, rate float64) RatePoint {
+	return RatePoint{Rate: rate, Accepted: r.AcceptedFlits, Latency: r.AvgNetworkLatency,
+		Recov: r.Recoveries, Full: r.AvgFullBuffers}
+}
+
+// Curve is a named rate sweep.
+type Curve struct {
+	Name   string
+	Points []RatePoint
+}
+
+// Fig1 reproduces Figure 1: performance breakdown at network saturation.
+// Base configuration (no congestion control), deadlock recovery, 16-ary
+// 2-cube, for uniform random and butterfly patterns: delivered bandwidth
+// collapses past the (pattern-dependent) saturation point.
+func Fig1(s Scale, rates []float64) ([]Curve, error) {
+	if rates == nil {
+		rates = DefaultRates
+	}
+	var curves []Curve
+	for _, pat := range []traffic.PatternKind{traffic.UniformRandom, traffic.Butterfly} {
+		c := Curve{Name: string(pat)}
+		for _, rate := range rates {
+			cfg := baseConfig(s)
+			cfg.Pattern = pat
+			cfg.Rate = rate
+			r, err := sim.Run(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("fig1 %s rate %g: %w", pat, rate, err)
+			}
+			c.Points = append(c.Points, point(r, rate))
+		}
+		curves = append(curves, c)
+	}
+	return curves, nil
+}
+
+// Fig2Point is one (full buffers, throughput) sample of the Figure 2
+// hill: throughput rises with buffer occupancy, peaks, then falls as the
+// network saturates.
+type Fig2Point struct {
+	Rate        float64
+	FullBuffers float64 // mean full VC buffers (of 3072)
+	Throughput  float64 // flits/node/cycle
+}
+
+// Fig2 reproduces the throughput-vs-full-buffers relationship that
+// motivates using the full-buffer count as the tuning knob (the paper's
+// conceptual Figure 2), by sweeping offered load on the base
+// configuration and recording where each run settles.
+func Fig2(s Scale, rates []float64) ([]Fig2Point, error) {
+	if rates == nil {
+		rates = DefaultRates
+	}
+	var pts []Fig2Point
+	for _, rate := range rates {
+		cfg := baseConfig(s)
+		cfg.Rate = rate
+		r, err := sim.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("fig2 rate %g: %w", rate, err)
+		}
+		pts = append(pts, Fig2Point{Rate: rate, FullBuffers: r.AvgFullBuffers, Throughput: r.AcceptedFlits})
+	}
+	return pts, nil
+}
+
+// Fig3Curves reproduces Figure 3: throughput and latency vs offered load
+// for Base, ALO and Tune, under the given deadlock mode. The returned
+// curves carry both throughput and latency per point ((a)+(b) for
+// recovery, (c)+(d) for avoidance).
+func Fig3Curves(s Scale, mode router.DeadlockMode, rates []float64) ([]Curve, error) {
+	if rates == nil {
+		rates = DefaultRates
+	}
+	schemes := []sim.Scheme{{Kind: sim.Base}, {Kind: sim.ALO}, {Kind: sim.SelfTuned}}
+	var curves []Curve
+	for _, sch := range schemes {
+		c := Curve{Name: string(sch.Kind)}
+		for _, rate := range rates {
+			cfg := baseConfig(s)
+			cfg.Mode = mode
+			cfg.Rate = rate
+			cfg.Scheme = sch
+			r, err := sim.Run(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("fig3 %s/%v rate %g: %w", sch.Kind, mode, rate, err)
+			}
+			c.Points = append(c.Points, point(r, rate))
+		}
+		curves = append(curves, c)
+	}
+	return curves, nil
+}
+
+// Fig4Trace is one self-tuning run's threshold/throughput trajectory.
+type Fig4Trace struct {
+	Name string
+	// Cycle[i], Threshold[i], Throughput[i] sampled per tuning period;
+	// throughput is normalized to flits/node/cycle over the period.
+	Cycle      []int64
+	Threshold  []float64
+	Throughput []float64
+}
+
+// Fig4 reproduces Figure 4: threshold and throughput vs time for hill
+// climbing only versus hill climbing plus local-maximum avoidance, on the
+// deadlock-avoidance configuration with a fixed packet regeneration
+// interval. The paper uses 100 cycles, which saturates flexsim's network;
+// this simulator saturates at roughly twice that load, so the default
+// here is 50 cycles (0.02 packets/node/cycle) to reproduce the same
+// operating point.
+func Fig4(s Scale, regenInterval int64) ([]Fig4Trace, error) {
+	if regenInterval <= 0 {
+		regenInterval = 50
+	}
+	var traces []Fig4Trace
+	for _, kind := range []sim.SchemeKind{sim.HillClimbOnly, sim.SelfTuned} {
+		cfg := baseConfig(s)
+		cfg.Mode = router.Avoidance
+		topo, err := cfg.Topology()
+		if err != nil {
+			return nil, err
+		}
+		pat, err := traffic.NewPattern(traffic.UniformRandom, topo.Nodes())
+		if err != nil {
+			return nil, err
+		}
+		cfg.Schedule = traffic.Steady(pat, traffic.Periodic{Interval: regenInterval})
+		cfg.Scheme = sim.Scheme{Kind: kind, KeepTrace: true}
+		r, err := sim.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("fig4 %s: %w", kind, err)
+		}
+		tr := Fig4Trace{Name: string(kind)}
+		nodes := float64(topo.Nodes())
+		period := float64(cfg.Scheme.TuningPeriod)
+		if period == 0 {
+			period = float64(3 * cfg.GatherDuration())
+		}
+		for _, tp := range r.ThresholdTrace {
+			tr.Cycle = append(tr.Cycle, tp.Cycle)
+			tr.Threshold = append(tr.Threshold, tp.Threshold)
+			tr.Throughput = append(tr.Throughput, tp.Throughput/nodes/period)
+		}
+		traces = append(traces, tr)
+	}
+	return traces, nil
+}
+
+// Fig5 reproduces Figure 5: static thresholds versus self-tuning, on the
+// deadlock-recovery configuration, for uniform random and butterfly.
+// A threshold that suits one pattern fails the other; Tune adapts.
+//
+// The paper contrasts thresholds 250 (8% occupancy) and 50 (1.6%). This
+// simulator's saturation occupancies sit higher than flexsim's, so the
+// equivalent demonstration pair here is 500 (16%) — near-optimal for
+// uniform random, degraded for butterfly — and 50, which over-throttles
+// random but suits butterfly. Both pairs are exercised so the paper's
+// original numbers remain visible.
+func Fig5(s Scale, rates []float64) ([]Curve, error) {
+	if rates == nil {
+		rates = DefaultRates
+	}
+	schemes := []struct {
+		name string
+		sch  sim.Scheme
+	}{
+		{"static500", sim.Scheme{Kind: sim.StaticGlobal, StaticThreshold: 500}},
+		{"static250", sim.Scheme{Kind: sim.StaticGlobal, StaticThreshold: 250}},
+		{"static50", sim.Scheme{Kind: sim.StaticGlobal, StaticThreshold: 50}},
+		{"tune", sim.Scheme{Kind: sim.SelfTuned}},
+	}
+	var curves []Curve
+	for _, pat := range []traffic.PatternKind{traffic.UniformRandom, traffic.Butterfly} {
+		for _, sc := range schemes {
+			c := Curve{Name: string(pat) + "/" + sc.name}
+			for _, rate := range rates {
+				cfg := baseConfig(s)
+				cfg.Pattern = pat
+				cfg.Rate = rate
+				cfg.Scheme = sc.sch
+				r, err := sim.Run(cfg)
+				if err != nil {
+					return nil, fmt.Errorf("fig5 %s: %w", c.Name, err)
+				}
+				c.Points = append(c.Points, point(r, rate))
+			}
+			curves = append(curves, c)
+		}
+	}
+	return curves, nil
+}
+
+// Fig6Row describes one phase of the bursty workload of Figure 6.
+type Fig6Row struct {
+	StartCycle int64
+	EndCycle   int64
+	Pattern    string
+	Rate       float64 // packets/node/cycle
+}
+
+// Fig6 returns the offered bursty load schedule: alternating low-load
+// uniform-random phases and high-load bursts whose pattern changes each
+// burst (random, bit reversal, perfect shuffle, butterfly).
+func Fig6(s Scale) ([]Fig6Row, *traffic.Schedule, error) {
+	sched, err := traffic.PaperBurstySchedule(256, traffic.PaperBurstyOptions{
+		LowDuration: s.BurstLow, HighDuration: s.BurstHigh,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	var rows []Fig6Row
+	var at int64
+	for _, ph := range sched.Phases {
+		rows = append(rows, Fig6Row{
+			StartCycle: at, EndCycle: at + ph.Duration,
+			Pattern: ph.Pattern.Name(), Rate: ph.Process.Rate(),
+		})
+		at += ph.Duration
+	}
+	return rows, sched, nil
+}
+
+// Fig7Series is delivered throughput over time for one scheme under the
+// bursty load, with the run's average packet latency (the numbers the
+// paper quotes alongside Figure 7).
+type Fig7Series struct {
+	Scheme     string
+	Cycle      []int64
+	Throughput []float64 // flits/node/cycle per sample interval
+	AvgLatency float64   // cycles, network latency
+	AvgTotal   float64   // cycles, including source queueing
+}
+
+// Fig7 reproduces Figure 7: delivered throughput under the bursty load
+// for Base, ALO and Tune in the given deadlock mode.
+func Fig7(s Scale, mode router.DeadlockMode) ([]Fig7Series, error) {
+	_, sched, err := Fig6(s)
+	if err != nil {
+		return nil, err
+	}
+	var out []Fig7Series
+	for _, sch := range []sim.Scheme{{Kind: sim.Base}, {Kind: sim.ALO}, {Kind: sim.SelfTuned}} {
+		cfg := baseConfig(s)
+		cfg.Mode = mode
+		cfg.Schedule = sched
+		cfg.WarmupCycles = 0
+		cfg.MeasureCycles = sched.TotalDuration()
+		cfg.SampleInterval = 1024
+		cfg.Scheme = sch
+		r, err := sim.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("fig7 %s/%v: %w", sch.Kind, mode, err)
+		}
+		fs := Fig7Series{Scheme: string(sch.Kind), AvgLatency: r.AvgNetworkLatency, AvgTotal: r.AvgTotalLatency}
+		for i, v := range r.Throughput.Values {
+			fs.Cycle = append(fs.Cycle, r.Throughput.CycleAt(i))
+			fs.Throughput = append(fs.Throughput, v)
+		}
+		out = append(out, fs)
+	}
+	return out, nil
+}

@@ -1,0 +1,286 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/router"
+)
+
+// tiny is the smallest scale that still exercises every driver end to
+// end (the 256-node network needs a few thousand cycles of signal).
+var tiny = Scale{Warmup: 500, Measure: 2_500, BurstLow: 600, BurstHigh: 900}
+
+var tinyRates = []float64{0.005, 0.02}
+
+func TestTable1MatchesPaper(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	want := map[[2]bool]core.Decision{
+		{true, true}:   core.Decrement,
+		{true, false}:  core.Decrement,
+		{false, true}:  core.Increment,
+		{false, false}: core.NoChange,
+	}
+	for _, r := range rows {
+		if got := want[[2]bool{r.Drop, r.Throttling}]; r.Decision != got {
+			t.Errorf("drop=%v throttling=%v: decision %v, want %v", r.Drop, r.Throttling, r.Decision, got)
+		}
+	}
+}
+
+func TestFig1Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	curves, err := Fig1(tiny, tinyRates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curves) != 2 {
+		t.Fatalf("curves = %d", len(curves))
+	}
+	for _, c := range curves {
+		if len(c.Points) != len(tinyRates) {
+			t.Fatalf("%s: %d points", c.Name, len(c.Points))
+		}
+		for _, p := range c.Points {
+			if p.Accepted <= 0 {
+				t.Errorf("%s rate %v: zero throughput", c.Name, p.Rate)
+			}
+		}
+	}
+	// Butterfly saturates earlier than random: at the overload rate it
+	// accepts less.
+	random, butterfly := curves[0], curves[1]
+	if butterfly.Points[1].Accepted >= random.Points[1].Accepted {
+		t.Errorf("butterfly (%v) should saturate below random (%v)",
+			butterfly.Points[1].Accepted, random.Points[1].Accepted)
+	}
+}
+
+func TestFig2Monotone(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	pts, err := Fig2(tiny, tinyRates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(tinyRates) {
+		t.Fatal("wrong point count")
+	}
+	if pts[1].FullBuffers <= pts[0].FullBuffers {
+		t.Errorf("full buffers should rise with load: %v then %v", pts[0].FullBuffers, pts[1].FullBuffers)
+	}
+}
+
+func TestFig3CurveNames(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	curves, err := Fig3Curves(tiny, router.Recovery, []float64{0.005})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"base", "alo", "tune"}
+	for i, c := range curves {
+		if c.Name != names[i] {
+			t.Errorf("curve %d = %s, want %s", i, c.Name, names[i])
+		}
+	}
+}
+
+func TestFig4TracesDiffer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	traces, err := Fig4(Scale{Warmup: 0, Measure: 6_000}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 2 {
+		t.Fatalf("traces = %d", len(traces))
+	}
+	for _, tr := range traces {
+		if len(tr.Cycle) == 0 || len(tr.Cycle) != len(tr.Threshold) || len(tr.Cycle) != len(tr.Throughput) {
+			t.Fatalf("%s: malformed trace", tr.Name)
+		}
+	}
+	if traces[0].Name != "tune-hillclimb" || traces[1].Name != "tune" {
+		t.Errorf("trace names: %s, %s", traces[0].Name, traces[1].Name)
+	}
+}
+
+func TestFig5CurveCount(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	curves, err := Fig5(tiny, []float64{0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curves) != 8 { // 2 patterns x 4 schemes
+		t.Fatalf("curves = %d", len(curves))
+	}
+}
+
+func TestFig6Schedule(t *testing.T) {
+	rows, sched, err := Fig6(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 9 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Pattern != "random" || rows[7].Pattern != "butterfly" {
+		t.Errorf("burst order wrong: %+v", rows)
+	}
+	if rows[1].Rate <= rows[0].Rate {
+		t.Error("bursts should be higher load")
+	}
+	var want int64
+	for _, r := range rows {
+		want += r.EndCycle - r.StartCycle
+	}
+	if sched.TotalDuration() != want {
+		t.Error("schedule duration mismatch")
+	}
+}
+
+func TestFig7SeriesShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	series, err := Fig7(tiny, router.Recovery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 3 {
+		t.Fatalf("series = %d", len(series))
+	}
+	for _, s := range series {
+		if len(s.Cycle) == 0 || len(s.Cycle) != len(s.Throughput) {
+			t.Fatalf("%s: malformed series", s.Scheme)
+		}
+	}
+}
+
+func TestExtDrivers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	if pts, err := Ext1Estimator(tiny, 0.02); err != nil || len(pts) != 2 {
+		t.Errorf("ext1: %v %d", err, len(pts))
+	}
+	if pts, err := Ext4NarrowSideband(tiny, 0.02); err != nil || len(pts) != 2 {
+		t.Errorf("ext4: %v %d", err, len(pts))
+	}
+}
+
+func TestPrintAndCSVFormats(t *testing.T) {
+	curves := []Curve{{Name: "x", Points: []RatePoint{{Rate: 0.01, Accepted: 0.2, Latency: 55, Recov: 3, Full: 12}}}}
+	var buf bytes.Buffer
+	PrintCurves(&buf, "title", curves)
+	if !strings.Contains(buf.String(), "title") || !strings.Contains(buf.String(), "0.0100") {
+		t.Errorf("print output: %q", buf.String())
+	}
+	buf.Reset()
+	if err := WriteCurvesCSV(&buf, curves); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Split(strings.TrimSpace(buf.String()), "\n"); len(lines) != 2 {
+		t.Errorf("csv lines: %v", lines)
+	}
+	buf.Reset()
+	PrintTable1(&buf, Table1())
+	if !strings.Contains(buf.String(), "decrement") {
+		t.Error("table1 output missing decisions")
+	}
+	buf.Reset()
+	if err := WriteFig2CSV(&buf, []Fig2Point{{Rate: 1, FullBuffers: 2, Throughput: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	tr := []Fig4Trace{{Name: "t", Cycle: []int64{96}, Threshold: []float64{300}, Throughput: []float64{0.1}}}
+	if err := WriteFig4CSV(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "t,96,300,0.1") {
+		t.Errorf("fig4 csv: %q", buf.String())
+	}
+	buf.Reset()
+	fs := []Fig7Series{{Scheme: "base", Cycle: []int64{0}, Throughput: []float64{0.5}}}
+	if err := WriteFig7CSV(&buf, fs); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	PrintFig2(&buf, []Fig2Point{{Rate: 1, FullBuffers: 2, Throughput: 3}})
+	PrintFig6(&buf, []Fig6Row{{StartCycle: 0, EndCycle: 5, Pattern: "p", Rate: 0.1}})
+	PrintFig7(&buf, fs)
+	PrintFig4(&buf, tr)
+	PrintAblation(&buf, "a", []AblationPoint{{Name: "n", Accepted: 1, Latency: 2}})
+	if buf.Len() == 0 {
+		t.Error("printers produced nothing")
+	}
+}
+
+func TestExtensionDrivers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	if pts, err := Ext5HopDelay(tiny, 0.02); err != nil || len(pts) != 4 {
+		t.Errorf("ext5: %v %d", err, len(pts))
+	}
+	if pts, err := Ext6ConsumptionChannels(tiny, 0.02); err != nil || len(pts) != 3 {
+		t.Errorf("ext6: %v %d", err, len(pts))
+	}
+	if pts, err := Ext7Selection(tiny, 0.02); err != nil || len(pts) != 3 {
+		t.Errorf("ext7: %v %d", err, len(pts))
+	}
+	if pts, err := Ext8GatherMechanism(tiny, 0.02); err != nil || len(pts) != 3 {
+		t.Errorf("ext8: %v %d", err, len(pts))
+	}
+	if curves, err := Ext9AllPatterns(tiny, []float64{0.02}); err != nil || len(curves) != 8 {
+		t.Errorf("ext9: %v %d", err, len(curves))
+	}
+}
+
+func TestExtensionDriversDefaultRates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	// Exercise the rate-defaulting paths of the Section 4.1 ablations.
+	if pts, err := Ext2TuningPeriod(Scale{Warmup: 200, Measure: 1_000}, 0.01); err != nil || len(pts) != 5 {
+		t.Errorf("ext2: %v %d", err, len(pts))
+	}
+	if pts, err := Ext3Steps(Scale{Warmup: 200, Measure: 1_000}, 0.01); err != nil || len(pts) != 5 {
+		t.Errorf("ext3: %v %d", err, len(pts))
+	}
+}
+
+func TestExt10Driver(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	pts, err := Ext10CutThrough(tiny, 0.02)
+	if err != nil || len(pts) != 4 {
+		t.Fatalf("ext10: %v %d", err, len(pts))
+	}
+}
+
+func TestExt11And12Drivers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	if pts, err := Ext11LocalBaselines(tiny, 0.02); err != nil || len(pts) != 4 {
+		t.Errorf("ext11: %v %d", err, len(pts))
+	}
+	if pts, err := Ext12ThreeCube(Scale{Warmup: 200, Measure: 1_000}, 0.02); err != nil || len(pts) != 2 {
+		t.Errorf("ext12: %v %d", err, len(pts))
+	}
+}

@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Table1Row is one cell of the paper's tuning decision table, exercised
+// against the real tuner.
+type Table1Row struct {
+	Drop       bool // bandwidth dropped > 25% vs previous period
+	Throttling bool
+	Decision   core.Decision
+}
+
+// Table1 exercises the tuner's decision logic on all four table cells
+// and returns what it did, reproducing Table 1.
+func Table1() []Table1Row {
+	var rows []Table1Row
+	for _, drop := range []bool{true, false} {
+		for _, throttling := range []bool{true, false} {
+			cfg := core.DefaultTunerConfig(3072)
+			cfg.AvoidLocalMaxima = false // Table 1 is the pure hill climb
+			tu := core.MustNewTuner(cfg)
+			// Establish a previous-period baseline of 1000.
+			tu.OnPeriod(1000, 100, false)
+			tput := 1000.0
+			if drop {
+				tput = 600 // < 75% of the previous period
+			}
+			tu.OnPeriod(tput, 100, throttling)
+			rows = append(rows, Table1Row{Drop: drop, Throttling: throttling, Decision: tu.LastDecision()})
+		}
+	}
+	return rows
+}
+
+// AblationPoint is one configuration of an ablation sweep.
+type AblationPoint struct {
+	Name     string
+	Accepted float64
+	Latency  float64
+}
+
+// Ext1Estimator compares linear extrapolation against last-value
+// estimation near saturation (the paper reports 3-5% throughput from
+// extrapolation).
+func Ext1Estimator(s Scale, rate float64) ([]AblationPoint, error) {
+	if rate == 0 {
+		rate = 0.03
+	}
+	var out []AblationPoint
+	for _, est := range []sim.EstimatorKind{sim.LinearEstimator, sim.LastValueEstimator} {
+		cfg := baseConfig(s)
+		cfg.Rate = rate
+		cfg.Scheme = sim.Scheme{Kind: sim.SelfTuned, Estimator: est}
+		r, err := sim.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("ext1 %s: %w", est, err)
+		}
+		out = append(out, AblationPoint{Name: string(est), Accepted: r.AcceptedFlits, Latency: r.AvgNetworkLatency})
+	}
+	return out, nil
+}
+
+// Ext2TuningPeriod sweeps the tuning period (the paper found 32-192
+// cycles performs within a few percent; it uses 96).
+func Ext2TuningPeriod(s Scale, rate float64) ([]AblationPoint, error) {
+	if rate == 0 {
+		rate = 0.03
+	}
+	var out []AblationPoint
+	for _, period := range []int64{32, 64, 96, 160, 192} {
+		cfg := baseConfig(s)
+		cfg.Rate = rate
+		cfg.Scheme = sim.Scheme{Kind: sim.SelfTuned, TuningPeriod: period}
+		r, err := sim.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("ext2 period %d: %w", period, err)
+		}
+		out = append(out, AblationPoint{Name: fmt.Sprintf("period=%d", period),
+			Accepted: r.AcceptedFlits, Latency: r.AvgNetworkLatency})
+	}
+	return out, nil
+}
+
+// Ext3Steps sweeps the tuner's increment/decrement step sizes (the paper
+// found 1-4% of all buffers performs within ~4%, slightly better with
+// decrement > increment).
+func Ext3Steps(s Scale, rate float64) ([]AblationPoint, error) {
+	if rate == 0 {
+		rate = 0.03
+	}
+	steps := []struct{ inc, dec float64 }{
+		{0.01, 0.01}, {0.01, 0.04}, {0.04, 0.01}, {0.04, 0.04}, {0.02, 0.02},
+	}
+	var out []AblationPoint
+	for _, st := range steps {
+		cfg := baseConfig(s)
+		cfg.Rate = rate
+		tc := core.DefaultTunerConfig(cfg.TotalBuffers())
+		tc.IncrementFraction = st.inc
+		tc.DecrementFraction = st.dec
+		cfg.Scheme = sim.Scheme{Kind: sim.SelfTuned, Tuner: &tc}
+		r, err := sim.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("ext3 %+v: %w", st, err)
+		}
+		out = append(out, AblationPoint{Name: fmt.Sprintf("inc=%g%%,dec=%g%%", st.inc*100, st.dec*100),
+			Accepted: r.AcceptedFlits, Latency: r.AvgNetworkLatency})
+	}
+	return out, nil
+}
+
+// Ext4NarrowSideband compares the full-precision side-band against the
+// technical report's narrow (9-bit) side-band, which quantizes the
+// transported counts.
+func Ext4NarrowSideband(s Scale, rate float64) ([]AblationPoint, error) {
+	if rate == 0 {
+		rate = 0.03
+	}
+	var out []AblationPoint
+	for _, bits := range []int{0, 9} {
+		cfg := baseConfig(s)
+		cfg.Rate = rate
+		cfg.SidebandBits = bits
+		cfg.Scheme = sim.Scheme{Kind: sim.SelfTuned}
+		r, err := sim.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("ext4 bits=%d: %w", bits, err)
+		}
+		name := "full-precision"
+		if bits > 0 {
+			name = fmt.Sprintf("%d-bit", bits)
+		}
+		out = append(out, AblationPoint{Name: name, Accepted: r.AcceptedFlits, Latency: r.AvgNetworkLatency})
+	}
+	return out, nil
+}

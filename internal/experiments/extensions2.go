@@ -1,0 +1,232 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/router"
+	"repro/internal/sideband"
+	"repro/internal/sim"
+	"repro/internal/traffic"
+)
+
+// Ext5HopDelay sweeps the side-band's per-hop delay h. Larger h means a
+// longer gather duration g = (k/2)*h*n, staler global information, and a
+// slower control loop (the technical report quantifies this effect; the
+// paper assumes h = 2 throughout).
+func Ext5HopDelay(s Scale, rate float64) ([]AblationPoint, error) {
+	if rate == 0 {
+		rate = 0.03
+	}
+	var out []AblationPoint
+	for _, h := range []int{1, 2, 4, 8} {
+		cfg := baseConfig(s)
+		cfg.Rate = rate
+		cfg.SidebandHopDelay = h
+		cfg.Scheme = sim.Scheme{Kind: sim.SelfTuned}
+		r, err := sim.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("ext5 h=%d: %w", h, err)
+		}
+		out = append(out, AblationPoint{
+			Name:     fmt.Sprintf("h=%d (g=%d)", h, cfg.GatherDuration()),
+			Accepted: r.AcceptedFlits, Latency: r.AvgNetworkLatency,
+		})
+	}
+	return out, nil
+}
+
+// Ext6ConsumptionChannels sweeps the number of delivery (consumption)
+// channels per node on the uncontrolled network, reproducing Basak &
+// Panda's observation that consumption bandwidth bounds saturation
+// throughput.
+func Ext6ConsumptionChannels(s Scale, rate float64) ([]AblationPoint, error) {
+	if rate == 0 {
+		rate = 0.03
+	}
+	var out []AblationPoint
+	for _, c := range []int{1, 2, 4} {
+		cfg := baseConfig(s)
+		cfg.Rate = rate
+		cfg.DeliveryChannels = c
+		r, err := sim.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("ext6 c=%d: %w", c, err)
+		}
+		out = append(out, AblationPoint{
+			Name:     fmt.Sprintf("consumption=%d", c),
+			Accepted: r.AcceptedFlits, Latency: r.AvgNetworkLatency,
+		})
+	}
+	return out, nil
+}
+
+// Ext7Selection compares adaptive-routing port selection policies on the
+// uncontrolled network near saturation.
+func Ext7Selection(s Scale, rate float64) ([]AblationPoint, error) {
+	if rate == 0 {
+		rate = 0.02
+	}
+	policies := []router.SelectionPolicy{router.RotatePorts, router.FirstPort, router.MostFreeVCs}
+	var out []AblationPoint
+	for _, pol := range policies {
+		cfg := baseConfig(s)
+		cfg.Rate = rate
+		cfg.Selection = pol
+		r, err := sim.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("ext7 %v: %w", pol, err)
+		}
+		out = append(out, AblationPoint{
+			Name:     "selection=" + pol.String(),
+			Accepted: r.AcceptedFlits, Latency: r.AvgNetworkLatency,
+		})
+	}
+	return out, nil
+}
+
+// Ext8GatherMechanism compares the three information distribution
+// alternatives of Section 3.1 — dedicated side-band, meta-packets, and
+// piggybacking — as substrates for the self-tuned controller at
+// saturation.
+func Ext8GatherMechanism(s Scale, rate float64) ([]AblationPoint, error) {
+	if rate == 0 {
+		rate = 0.03
+	}
+	var out []AblationPoint
+	for _, m := range []sideband.Mechanism{sideband.Dedicated, sideband.MetaPacket, sideband.Piggyback} {
+		cfg := baseConfig(s)
+		cfg.Rate = rate
+		cfg.SidebandMechanism = m
+		cfg.Scheme = sim.Scheme{Kind: sim.SelfTuned}
+		r, err := sim.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("ext8 %v: %w", m, err)
+		}
+		out = append(out, AblationPoint{
+			Name:     "gather=" + m.String(),
+			Accepted: r.AcceptedFlits, Latency: r.AvgNetworkLatency,
+		})
+	}
+	return out, nil
+}
+
+// Ext9AllPatterns produces base-vs-tune rate curves for all four of the
+// paper's communication patterns (the technical report's steady-load
+// study: the HPCA paper prints only uniform random in full).
+func Ext9AllPatterns(s Scale, rates []float64) ([]Curve, error) {
+	if rates == nil {
+		rates = DefaultRates
+	}
+	patterns := []traffic.PatternKind{
+		traffic.UniformRandom, traffic.BitReversal, traffic.PerfectShuffle, traffic.Butterfly,
+	}
+	var curves []Curve
+	for _, pat := range patterns {
+		for _, sch := range []sim.Scheme{{Kind: sim.Base}, {Kind: sim.SelfTuned}} {
+			c := Curve{Name: string(pat) + "/" + string(sch.Kind)}
+			for _, rate := range rates {
+				cfg := baseConfig(s)
+				cfg.Pattern = pat
+				cfg.Rate = rate
+				cfg.Scheme = sch
+				r, err := sim.Run(cfg)
+				if err != nil {
+					return nil, fmt.Errorf("ext9 %s: %w", c.Name, err)
+				}
+				c.Points = append(c.Points, point(r, rate))
+			}
+			curves = append(curves, c)
+		}
+	}
+	return curves, nil
+}
+
+// Ext10CutThrough compares wormhole against virtual cut-through
+// switching (buffers sized to hold whole packets) on the base and
+// self-tuned configurations at overload. The paper argues its controller
+// applies to cut-through networks as well; cut-through contains blocked
+// packets inside single routers, so tree saturation is milder but still
+// present once router buffers fill.
+func Ext10CutThrough(s Scale, rate float64) ([]AblationPoint, error) {
+	if rate == 0 {
+		rate = 0.04
+	}
+	type cfgCase struct {
+		name      string
+		switching router.Switching
+		scheme    sim.Scheme
+	}
+	cases := []cfgCase{
+		{"wormhole/base", router.Wormhole, sim.Scheme{Kind: sim.Base}},
+		{"wormhole/tune", router.Wormhole, sim.Scheme{Kind: sim.SelfTuned}},
+		{"cutthrough/base", router.CutThrough, sim.Scheme{Kind: sim.Base}},
+		{"cutthrough/tune", router.CutThrough, sim.Scheme{Kind: sim.SelfTuned}},
+	}
+	var out []AblationPoint
+	for _, c := range cases {
+		cfg := baseConfig(s)
+		cfg.Rate = rate
+		cfg.Switching = c.switching
+		cfg.Scheme = c.scheme
+		if c.switching == router.CutThrough {
+			cfg.BufDepth = cfg.PacketLength // whole-packet buffers
+		}
+		r, err := sim.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("ext10 %s: %w", c.name, err)
+		}
+		out = append(out, AblationPoint{Name: c.name, Accepted: r.AcceptedFlits, Latency: r.AvgNetworkLatency})
+	}
+	return out, nil
+}
+
+// Ext11LocalBaselines compares the paper's scheme against both local
+// baselines it cites — ALO (Baydal et al.) and busy-VC counting (Lopez
+// et al.) — at overload.
+func Ext11LocalBaselines(s Scale, rate float64) ([]AblationPoint, error) {
+	if rate == 0 {
+		rate = 0.04
+	}
+	schemes := []sim.Scheme{
+		{Kind: sim.Base},
+		{Kind: sim.BusyVC},
+		{Kind: sim.ALO},
+		{Kind: sim.SelfTuned},
+	}
+	var out []AblationPoint
+	for _, sch := range schemes {
+		cfg := baseConfig(s)
+		cfg.Rate = rate
+		cfg.Scheme = sch
+		r, err := sim.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("ext11 %s: %w", sch.Kind, err)
+		}
+		out = append(out, AblationPoint{Name: string(sch.Kind), Accepted: r.AcceptedFlits, Latency: r.AvgNetworkLatency})
+	}
+	return out, nil
+}
+
+// Ext12ThreeCube runs base vs tune on an 8-ary 3-cube (512 nodes),
+// checking the controller generalizes across network dimensionality as
+// the paper's k-ary n-cube framing implies. The tuning period is three
+// gather durations of the 3-cube's side-band (g = 4*2*3 = 24 cycles).
+func Ext12ThreeCube(s Scale, rate float64) ([]AblationPoint, error) {
+	if rate == 0 {
+		rate = 0.05
+	}
+	var out []AblationPoint
+	for _, sch := range []sim.Scheme{{Kind: sim.Base}, {Kind: sim.SelfTuned}} {
+		cfg := baseConfig(s)
+		cfg.K, cfg.N = 8, 3
+		cfg.Rate = rate
+		cfg.Scheme = sch
+		r, err := sim.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("ext12 %s: %w", sch.Kind, err)
+		}
+		out = append(out, AblationPoint{Name: "8-ary 3-cube/" + string(sch.Kind),
+			Accepted: r.AcceptedFlits, Latency: r.AvgNetworkLatency})
+	}
+	return out, nil
+}

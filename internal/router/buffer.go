@@ -1,0 +1,219 @@
+// Package router implements the wormhole-switched router fabric the paper
+// evaluates on: per-physical-channel virtual channels with fixed-depth
+// edge buffers, a central demand-slotted round-robin arbiter with a
+// one-cycle routing delay, a crossbar that moves one flit per output port
+// per cycle, one-cycle links, one injection and one delivery channel per
+// node, Duato-style deadlock avoidance via an escape virtual channel, and
+// Disha-style progressive deadlock recovery via a token-serialized
+// deadlock-buffer lane.
+package router
+
+import (
+	"fmt"
+
+	"repro/internal/packet"
+	"repro/internal/topology"
+)
+
+// flit is one flow-control unit: the idx-th flit of pkt. arrived is the
+// cycle the flit entered its current buffer; the routing arbiter uses it
+// to give headers the paper's one-cycle routing delay.
+type flit struct {
+	pkt     *packet.Packet
+	idx     int
+	arrived int64
+}
+
+func (f flit) valid() bool  { return f.pkt != nil }
+func (f flit) isHead() bool { return f.idx == 0 }
+func (f flit) isTail() bool { return f.idx == f.pkt.Length-1 }
+
+// vcBuffer is one virtual channel's edge buffer: a fixed-capacity FIFO of
+// flits, plus the wormhole binding state (which output VC the packet at
+// its front has been allocated).
+type vcBuffer struct {
+	fab  *Fabric
+	node topology.NodeID
+	port int // input port (physical, or the injection port)
+	vc   int
+
+	buf  []flit // ring buffer, capacity fixed at construction
+	head int
+	n    int
+
+	// countable buffers contribute to the global full-buffer metric
+	// (physical-channel VCs only, matching the paper's 3072 count).
+	countable bool
+
+	// Wormhole binding: set when the front packet's header is routed,
+	// cleared when its tail flit leaves the buffer.
+	bound    bool
+	boundPkt *packet.Packet
+	outPort  int
+	outVC    int
+}
+
+func newVCBuffer(fab *Fabric, node topology.NodeID, port, vc, depth int, countable bool) *vcBuffer {
+	return &vcBuffer{
+		fab: fab, node: node, port: port, vc: vc,
+		buf: make([]flit, depth), countable: countable,
+	}
+}
+
+func (b *vcBuffer) len() int   { return b.n }
+func (b *vcBuffer) cap() int   { return len(b.buf) }
+func (b *vcBuffer) full() bool { return b.n == len(b.buf) }
+
+func (b *vcBuffer) front() flit {
+	if b.n == 0 {
+		return flit{}
+	}
+	return b.buf[b.head]
+}
+
+func (b *vcBuffer) push(f flit) {
+	if b.full() {
+		panic(fmt.Sprintf("router: overflow of %v", b))
+	}
+	b.buf[(b.head+b.n)%len(b.buf)] = f
+	b.n++
+	if b.countable && b.full() {
+		b.fab.fullBuffers++
+	}
+}
+
+func (b *vcBuffer) pop() flit {
+	if b.n == 0 {
+		panic(fmt.Sprintf("router: underflow of %v", b))
+	}
+	if b.countable && b.full() {
+		b.fab.fullBuffers--
+	}
+	f := b.buf[b.head]
+	b.buf[b.head] = flit{}
+	b.head = (b.head + 1) % len(b.buf)
+	b.n--
+	return f
+}
+
+// clearBinding resets the wormhole route state after a tail departs.
+func (b *vcBuffer) clearBinding() {
+	b.bound = false
+	b.boundPkt = nil
+	b.outPort = 0
+	b.outVC = 0
+}
+
+// CountOf implements packet.Location.
+func (b *vcBuffer) CountOf(p *packet.Packet) int {
+	c := 0
+	for i := 0; i < b.n; i++ {
+		if b.buf[(b.head+i)%len(b.buf)].pkt == p {
+			c++
+		}
+	}
+	return c
+}
+
+// EvictFront implements packet.Location: deadlock recovery removes the
+// worm's front flit.
+func (b *vcBuffer) EvictFront(p *packet.Packet) {
+	f := b.front()
+	if f.pkt != p {
+		panic(fmt.Sprintf("router: EvictFront of %v: front belongs to %v, not %v", b, f.pkt, p))
+	}
+	b.pop()
+}
+
+func (b *vcBuffer) String() string {
+	return fmt.Sprintf("vcbuf(node %d port %d vc %d)", b.node, b.port, b.vc)
+}
+
+// latch is the one-flit output register between a router's crossbar and
+// its outgoing link (or the delivery channel). A flit spends exactly one
+// cycle here: crossbar traversal fills it, link traversal drains it.
+type latch struct {
+	node topology.NodeID
+	port int
+	vc   int
+	f    flit
+	full bool
+}
+
+func (l *latch) set(f flit) {
+	if l.full {
+		panic(fmt.Sprintf("router: latch collision at %v", l))
+	}
+	l.f = f
+	l.full = true
+}
+
+func (l *latch) clear() flit {
+	f := l.f
+	l.f = flit{}
+	l.full = false
+	return f
+}
+
+// CountOf implements packet.Location.
+func (l *latch) CountOf(p *packet.Packet) int {
+	if l.full && l.f.pkt == p {
+		return 1
+	}
+	return 0
+}
+
+// EvictFront implements packet.Location.
+func (l *latch) EvictFront(p *packet.Packet) {
+	if !l.full || l.f.pkt != p {
+		panic(fmt.Sprintf("router: EvictFront of %v: not holding a flit of %v", l, p))
+	}
+	l.clear()
+}
+
+func (l *latch) String() string {
+	return fmt.Sprintf("latch(node %d port %d vc %d)", l.node, l.port, l.vc)
+}
+
+// srcSlot is the not-yet-injected remainder of the packet currently
+// streaming into a node's injection channel.
+type srcSlot struct {
+	node topology.NodeID
+	pkt  *packet.Packet // nil when no packet is streaming
+}
+
+// CountOf implements packet.Location.
+func (s *srcSlot) CountOf(p *packet.Packet) int {
+	if s.pkt == p {
+		return p.SrcRemaining
+	}
+	return 0
+}
+
+// EvictFront implements packet.Location: recovery consumes source flits
+// directly.
+func (s *srcSlot) EvictFront(p *packet.Packet) {
+	if s.pkt != p || p.SrcRemaining == 0 {
+		panic(fmt.Sprintf("router: EvictFront of source %d: not streaming %v", s.node, p))
+	}
+	p.SrcRemaining--
+	if p.SrcRemaining == 0 {
+		s.pkt = nil
+	}
+}
+
+// outVC is one output virtual channel: ownership (a packet holds an
+// output VC from header allocation until its tail crosses the link) plus
+// the output latch.
+type outVC struct {
+	owner    *vcBuffer // input VC whose packet owns this output VC
+	ownerPkt *packet.Packet
+	lat      latch
+}
+
+func (o *outVC) free() bool { return o.ownerPkt == nil }
+
+func (o *outVC) release() {
+	o.owner = nil
+	o.ownerPkt = nil
+}

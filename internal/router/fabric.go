@@ -1,0 +1,422 @@
+package router
+
+import (
+	"fmt"
+
+	"repro/internal/packet"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+// DeadlockMode selects how the network handles deadlocks.
+type DeadlockMode uint8
+
+const (
+	// Avoidance reserves virtual channel 0 of every physical channel as
+	// a deadlock-free escape lane routed dimension-order over the mesh
+	// sub-network (Duato's protocol); the remaining channels are fully
+	// adaptive.
+	Avoidance DeadlockMode = iota
+	// Recovery lets every virtual channel route fully adaptively,
+	// detects deadlock by timeout, and drains one suspected packet at a
+	// time through a dedicated deadlock-buffer lane (Disha progressive
+	// recovery with a global token).
+	Recovery
+)
+
+func (m DeadlockMode) String() string {
+	switch m {
+	case Avoidance:
+		return "avoidance"
+	case Recovery:
+		return "recovery"
+	default:
+		return fmt.Sprintf("DeadlockMode(%d)", uint8(m))
+	}
+}
+
+// SelectionPolicy chooses among the minimal output ports a fully
+// adaptive header may take.
+type SelectionPolicy uint8
+
+const (
+	// RotatePorts starts the port scan at a rotating offset (the
+	// default; spreads load evenly without global knowledge).
+	RotatePorts SelectionPolicy = iota
+	// FirstPort always scans ports in dimension order (biases load
+	// toward low dimensions; the cheapest hardware).
+	FirstPort
+	// MostFreeVCs picks the minimal port with the most free output
+	// virtual channels, breaking ties in dimension order (a congestion-
+	// aware selection function).
+	MostFreeVCs
+)
+
+func (p SelectionPolicy) String() string {
+	switch p {
+	case RotatePorts:
+		return "rotate"
+	case FirstPort:
+		return "first"
+	case MostFreeVCs:
+		return "mostfree"
+	default:
+		return fmt.Sprintf("SelectionPolicy(%d)", uint8(p))
+	}
+}
+
+// Switching selects the flow control discipline.
+type Switching uint8
+
+const (
+	// Wormhole forwards flits as soon as the header reserves a channel;
+	// a blocked worm spans several routers (the paper's evaluation
+	// setting, prone to tree saturation).
+	Wormhole Switching = iota
+	// CutThrough (virtual cut-through) also forwards immediately, but a
+	// header only acquires an output VC if the downstream buffer can
+	// hold the whole packet, so blocked packets collapse into a single
+	// router. Requires BufDepth >= the longest packet. The paper argues
+	// its scheme applies to cut-through networks too; this mode lets
+	// that claim be tested.
+	CutThrough
+)
+
+func (s Switching) String() string {
+	switch s {
+	case Wormhole:
+		return "wormhole"
+	case CutThrough:
+		return "cutthrough"
+	default:
+		return fmt.Sprintf("Switching(%d)", uint8(s))
+	}
+}
+
+// Config describes the router fabric. The paper's configuration is a
+// 16-ary 2-cube with 3 VCs of depth 8 and 16-flit packets.
+type Config struct {
+	Topo     *topology.Torus
+	VCs      int // virtual channels per physical channel
+	BufDepth int // flits per virtual-channel edge buffer
+	Mode     DeadlockMode
+	// DeadlockTimeout is the cycles a packet may go without progress
+	// before recovery considers it deadlocked (Recovery mode only).
+	DeadlockTimeout int64
+	// TokenWaitTimeout is how long a suspected packet stays frozen
+	// waiting for the recovery token before it re-arms: it resumes
+	// normal routing and its deadlock timer restarts. This mirrors
+	// Disha's behavior (a presumed-deadlocked packet that regains
+	// mobility continues normally) and bounds how long a congested-but-
+	// not-deadlocked worm clogs the network. Zero selects 2.4x the
+	// deadlock timeout (384 cycles for the calibrated default timeout),
+	// the value at which the simulator reproduces the paper's
+	// saturation collapse while keeping it reversible under throttling.
+	TokenWaitTimeout int64
+	// DeliveryChannels is the number of consumption channels per node
+	// (Basak & Panda showed consumption channels can bottleneck and
+	// exacerbate tree saturation). Zero means 1, the paper's setting.
+	DeliveryChannels int
+	// Selection picks among minimal ports for adaptive headers.
+	Selection SelectionPolicy
+	// Switching selects wormhole (default) or virtual cut-through flow
+	// control.
+	Switching Switching
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Topo == nil {
+		return fmt.Errorf("router: topology is required")
+	}
+	if c.VCs < 1 {
+		return fmt.Errorf("router: need at least 1 virtual channel, got %d", c.VCs)
+	}
+	if c.Mode == Avoidance && c.VCs < 2 {
+		return fmt.Errorf("router: deadlock avoidance needs >= 2 VCs (1 escape + adaptive), got %d", c.VCs)
+	}
+	if c.BufDepth < 1 {
+		return fmt.Errorf("router: buffer depth must be >= 1, got %d", c.BufDepth)
+	}
+	if c.Mode == Recovery && c.DeadlockTimeout < 1 {
+		return fmt.Errorf("router: recovery mode needs a positive deadlock timeout, got %d", c.DeadlockTimeout)
+	}
+	if c.TokenWaitTimeout < 0 {
+		return fmt.Errorf("router: negative token wait timeout %d", c.TokenWaitTimeout)
+	}
+	if c.DeliveryChannels < 0 {
+		return fmt.Errorf("router: negative delivery channel count %d", c.DeliveryChannels)
+	}
+	switch c.Selection {
+	case RotatePorts, FirstPort, MostFreeVCs:
+	default:
+		return fmt.Errorf("router: unknown selection policy %d", c.Selection)
+	}
+	switch c.Switching {
+	case Wormhole, CutThrough:
+	default:
+		return fmt.Errorf("router: unknown switching discipline %d", c.Switching)
+	}
+	if c.Mode != Avoidance && c.Mode != Recovery {
+		return fmt.Errorf("router: unknown deadlock mode %d", c.Mode)
+	}
+	return nil
+}
+
+// node is one router: input VC buffers, output VCs with latches, and the
+// arbitration pointers.
+type node struct {
+	id topology.NodeID
+	// inputs[port][vc]: physical ports 0..2n-1, then the injection port
+	// (single VC).
+	inputs [][]*vcBuffer
+	// outs[port][vc]: physical ports 0..2n-1, then the delivery port
+	// (single VC).
+	outs [][]*outVC
+
+	// Demand-slotted round-robin pointer of the central routing arbiter
+	// (flattened over input VCs).
+	arbPtr int
+	// Per-output-port round-robin pointers for switch allocation.
+	swPtr []int
+	// Rotating start offset for adaptive output-port selection.
+	adaptPtr int
+
+	// Injection state: the packet currently streaming into the
+	// injection channel.
+	src srcSlot
+}
+
+// Fabric is the whole network of routers plus global bookkeeping. It is
+// advanced one cycle at a time by Step; packet generation, throttling and
+// statistics live in the sim package on top.
+type Fabric struct {
+	cfg   Config
+	topo  *topology.Torus
+	nodes []*node
+	now   int64
+
+	injPort int // input port index of the injection channel
+	dlvPort int // output port index of the delivery channel
+
+	// fullBuffers counts currently full countable VC buffers (the
+	// side-band's congestion metric).
+	fullBuffers int
+
+	// Delivery accounting.
+	deliveredFlits  int64 // all-time
+	deliveredWindow int64 // since last TakeDeliveredFlits
+	inFlight        int   // packets injected but not delivered
+
+	// Disha recovery: the active drain, the token wait queue of frozen
+	// suspects, and the completion count.
+	rec        *recoveryState
+	suspects   []suspect
+	tokenWait  int64
+	recoveries int64 // completed recoveries
+
+	// OnDelivered, when set, is called once per delivered packet with
+	// the delivery cycle already stamped.
+	OnDelivered func(p *packet.Packet)
+
+	// OnEvent, when set, receives packet lifecycle events (injection,
+	// routing, delivery, deadlock suspicion/recovery). Nil costs one
+	// predictable branch per event site.
+	OnEvent func(e trace.Event)
+
+	scratchPorts []int
+}
+
+// New builds the fabric. The configuration must validate.
+func New(cfg Config) (*Fabric, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	f := &Fabric{
+		cfg:       cfg,
+		topo:      cfg.Topo,
+		injPort:   cfg.Topo.PhysPorts(),
+		dlvPort:   cfg.Topo.PhysPorts(),
+		tokenWait: cfg.TokenWaitTimeout,
+	}
+	if f.tokenWait == 0 {
+		f.tokenWait = 12 * cfg.DeadlockTimeout / 5
+	}
+	phys := cfg.Topo.PhysPorts()
+	f.nodes = make([]*node, cfg.Topo.Nodes())
+	for id := range f.nodes {
+		nd := &node{id: topology.NodeID(id)}
+		nd.inputs = make([][]*vcBuffer, phys+1)
+		for p := 0; p < phys; p++ {
+			nd.inputs[p] = make([]*vcBuffer, cfg.VCs)
+			for v := 0; v < cfg.VCs; v++ {
+				nd.inputs[p][v] = newVCBuffer(f, nd.id, p, v, cfg.BufDepth, true)
+			}
+		}
+		nd.inputs[f.injPort] = []*vcBuffer{newVCBuffer(f, nd.id, f.injPort, 0, cfg.BufDepth, false)}
+
+		nd.outs = make([][]*outVC, phys+1)
+		for p := 0; p < phys; p++ {
+			nd.outs[p] = make([]*outVC, cfg.VCs)
+			for v := 0; v < cfg.VCs; v++ {
+				nd.outs[p][v] = &outVC{lat: latch{node: nd.id, port: p, vc: v}}
+			}
+		}
+		dlv := cfg.DeliveryChannels
+		if dlv == 0 {
+			dlv = 1
+		}
+		nd.outs[f.dlvPort] = make([]*outVC, dlv)
+		for v := 0; v < dlv; v++ {
+			nd.outs[f.dlvPort][v] = &outVC{lat: latch{node: nd.id, port: f.dlvPort, vc: v}}
+		}
+		nd.swPtr = make([]int, phys+1)
+		nd.src = srcSlot{node: nd.id}
+		f.nodes[id] = nd
+	}
+	return f, nil
+}
+
+// MustNew is New for constant configurations.
+func MustNew(cfg Config) *Fabric {
+	f, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Config returns the fabric's configuration.
+func (f *Fabric) Config() Config { return f.cfg }
+
+// Now returns the current cycle (the cycle the next Step will simulate).
+func (f *Fabric) Now() int64 { return f.now }
+
+// FullVCBuffers implements the side-band's congestion source: the number
+// of completely full physical-channel VC buffers network-wide.
+func (f *Fabric) FullVCBuffers() int { return f.fullBuffers }
+
+// FullVCBuffersAt returns the number of completely full physical-channel
+// VC buffers at one node. O(ports x VCs); intended for visualization and
+// analysis, not the per-cycle hot path (which uses the incremental
+// global counter).
+func (f *Fabric) FullVCBuffersAt(nodeID topology.NodeID) int {
+	nd := f.nodes[nodeID]
+	full := 0
+	for p := 0; p < f.topo.PhysPorts(); p++ {
+		for _, b := range nd.inputs[p] {
+			if b.full() {
+				full++
+			}
+		}
+	}
+	return full
+}
+
+// TakeDeliveredFlits implements the side-band's throughput source.
+func (f *Fabric) TakeDeliveredFlits() int {
+	d := f.deliveredWindow
+	f.deliveredWindow = 0
+	return int(d)
+}
+
+// DeliveredFlits returns the all-time delivered flit count.
+func (f *Fabric) DeliveredFlits() int64 { return f.deliveredFlits }
+
+// InFlight returns the number of packets injected but not yet delivered.
+func (f *Fabric) InFlight() int { return f.inFlight }
+
+// Recoveries returns how many deadlock recoveries have completed.
+func (f *Fabric) Recoveries() int64 { return f.recoveries }
+
+// RecoveryActive reports whether the recovery token is currently held.
+func (f *Fabric) RecoveryActive() bool { return f.rec != nil }
+
+// SuspectedPackets returns how many frozen packets are waiting for the
+// recovery token.
+func (f *Fabric) SuspectedPackets() int { return len(f.suspects) }
+
+// VCsPerPort implements congestion.LocalView.
+func (f *Fabric) VCsPerPort() int { return f.cfg.VCs }
+
+// FreeVCs implements congestion.LocalView: output VCs on the port not
+// currently owned by any packet.
+func (f *Fabric) FreeVCs(nodeID topology.NodeID, port int) int {
+	outs := f.nodes[nodeID].outs[port]
+	free := 0
+	for _, o := range outs {
+		if o.free() {
+			free++
+		}
+	}
+	return free
+}
+
+// CanStartInjection reports whether node's injection channel is ready for
+// a new packet (no other packet is mid-stream).
+func (f *Fabric) CanStartInjection(nodeID topology.NodeID) bool {
+	return f.nodes[nodeID].src.pkt == nil
+}
+
+// StartInjection hands pkt to node's injection channel. The head flit
+// enters the channel this cycle (the fabric's injection stage runs inside
+// Step); throttling decisions therefore gate packets, never parts of
+// worms. Panics if the channel is busy or the packet malformed — callers
+// must check CanStartInjection.
+func (f *Fabric) StartInjection(pkt *packet.Packet) {
+	nd := f.nodes[pkt.Src]
+	if nd.src.pkt != nil {
+		panic(fmt.Sprintf("router: injection channel of node %d busy", pkt.Src))
+	}
+	if pkt.SrcRemaining != pkt.Length {
+		panic(fmt.Sprintf("router: packet %d already partially injected", pkt.ID))
+	}
+	nd.src.pkt = pkt
+	f.inFlight++
+}
+
+// Step advances the network one cycle: deadlock-recovery drain, link
+// traversal (including delivery consumption), crossbar traversal, header
+// routing, injection streaming, and deadlock detection, in that order.
+// The order gives headers the paper's one-cycle routing delay: a header
+// routed in cycle t traverses the crossbar no earlier than t+1.
+func (f *Fabric) Step() {
+	f.recoveryStep()
+	f.linkStage()
+	f.crossbarStage()
+	f.routingStage()
+	f.injectionStage()
+	if f.cfg.Mode == Recovery {
+		f.detectDeadlock()
+	}
+	f.now++
+}
+
+// deliver finalizes a packet: stamps delivery, updates counters, invokes
+// the callbacks.
+func (f *Fabric) deliver(p *packet.Packet, now int64) {
+	p.DeliveredAt = now
+	f.inFlight--
+	f.emit(trace.Delivered, p, p.Dst)
+	if f.OnDelivered != nil {
+		f.OnDelivered(p)
+	}
+}
+
+// emit sends a lifecycle event to the sink, if any.
+func (f *Fabric) emit(kind trace.Kind, p *packet.Packet, node topology.NodeID) {
+	if f.OnEvent == nil {
+		return
+	}
+	f.OnEvent(trace.Event{
+		Cycle: f.now, Kind: kind, Packet: p.ID,
+		Src: p.Src, Dst: p.Dst, Node: node,
+	})
+}
+
+// countDeliveredFlit accounts one flit leaving through a delivery channel
+// (or the recovery lane).
+func (f *Fabric) countDeliveredFlit() {
+	f.deliveredFlits++
+	f.deliveredWindow++
+}

@@ -1,0 +1,81 @@
+package router
+
+import (
+	"fmt"
+
+	"repro/internal/packet"
+)
+
+// CheckInvariants walks the whole fabric and verifies structural
+// invariants: buffer occupancy bounds, the incremental full-buffer
+// counter, wormhole binding/ownership consistency, and per-packet flit
+// conservation (buffered + consumed + in the recovery lane == length).
+// It exists for tests and debugging; it is O(network size) and is never
+// called by Step.
+func (f *Fabric) CheckInvariants() error {
+	buffered := map[*packet.Packet]int{}
+	full := 0
+
+	for _, nd := range f.nodes {
+		for _, port := range nd.inputs {
+			for _, b := range port {
+				if b.n < 0 || b.n > len(b.buf) {
+					return fmt.Errorf("%v occupancy %d out of range", b, b.n)
+				}
+				if b.countable && b.full() {
+					full++
+				}
+				for i := 0; i < b.n; i++ {
+					fl := b.buf[(b.head+i)%len(b.buf)]
+					if fl.pkt == nil {
+						return fmt.Errorf("%v holds a nil flit at %d", b, i)
+					}
+					buffered[fl.pkt]++
+				}
+				if b.bound {
+					if b.boundPkt == nil {
+						return fmt.Errorf("%v bound without packet", b)
+					}
+					o := f.nodes[b.node].outs[b.outPort][b.outVC]
+					if o.ownerPkt != b.boundPkt {
+						return fmt.Errorf("%v bound to %v but output VC owned by %v", b, b.boundPkt, o.ownerPkt)
+					}
+				}
+			}
+		}
+		for _, outs := range nd.outs {
+			for _, o := range outs {
+				if o.lat.full {
+					if o.lat.f.pkt == nil {
+						return fmt.Errorf("%v holds a nil flit", &o.lat)
+					}
+					buffered[o.lat.f.pkt]++
+				}
+				if (o.ownerPkt == nil) != (o.owner == nil) {
+					return fmt.Errorf("output VC at node %d: owner/ownerPkt mismatch", nd.id)
+				}
+			}
+		}
+		if p := nd.src.pkt; p != nil {
+			buffered[p] += p.SrcRemaining
+		}
+	}
+
+	if full != f.fullBuffers {
+		return fmt.Errorf("full-buffer counter %d, recount %d", f.fullBuffers, full)
+	}
+
+	for p, n := range buffered {
+		want := p.Length - p.Consumed
+		if f.rec != nil && f.rec.pkt == p {
+			want -= f.rec.popped - f.rec.arrived // flits in the recovery lane
+		}
+		if n != want {
+			return fmt.Errorf("%v: %d flits buffered, want %d (consumed %d)", p, n, want, p.Consumed)
+		}
+		if p.Delivered() {
+			return fmt.Errorf("%v delivered but still buffered", p)
+		}
+	}
+	return nil
+}

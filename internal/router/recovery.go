@@ -1,0 +1,221 @@
+package router
+
+import (
+	"fmt"
+
+	"repro/internal/packet"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+// Disha-style progressive deadlock recovery.
+//
+// Detection: a packet whose header flit sits blocked at the front of an
+// input virtual channel for longer than the configured timeout is
+// presumed deadlocked. Recovery: the packet acquires the network's single
+// recovery token ("exclusive access to the deadlock-free path") and is
+// drained, one flit per cycle, through the per-node deadlock-buffer lane,
+// which routes dimension-order over the mesh sub-network and is therefore
+// deadlock free. Flits reach the destination after the lane's hop latency
+// and are consumed there; the token is released when the tail arrives.
+// Draining frees the virtual channels and buffers the worm occupied,
+// letting the rest of the deadlocked cycle make progress.
+
+// drainLoc is one location of the frozen worm, with the flits it held at
+// freeze time and the resource cleanup to run once it is vacated.
+type drainLoc struct {
+	loc     packet.Location
+	count   int
+	cleanup func()
+}
+
+// suspect is a frozen packet queued for the recovery token.
+type suspect struct {
+	buf *vcBuffer
+	pkt *packet.Packet
+	at  int64 // cycle of suspicion
+}
+
+// recoveryState tracks the packet currently holding the recovery token.
+type recoveryState struct {
+	pkt     *packet.Packet
+	locs    []drainLoc // downstream-first: locs[0] drains first
+	idx     int
+	dist    int // mesh DOR hops from the header's router to the destination
+	started int64
+	popped  int
+	arrived int
+}
+
+// detectDeadlock marks packets blocked past the timeout as deadlock
+// suspects. A suspected packet is committed to recovery: it freezes in
+// place (its flits stop competing for normal channels) and queues for the
+// single recovery token — "a packet [must] obtain exclusive access to the
+// deadlock-free path". When the token is free the oldest suspect starts
+// draining. Past saturation most packets exceed the timeout, the token
+// queue grows, and frozen worms clog the network: this is the mechanism
+// behind the paper's throughput collapse in the recovery configuration.
+func (f *Fabric) detectDeadlock() {
+	now := f.now
+	timeout := f.cfg.DeadlockTimeout
+	for _, nd := range f.nodes {
+		for _, port := range nd.inputs {
+			for _, b := range port {
+				if b.len() == 0 {
+					continue
+				}
+				fl := b.front()
+				if !fl.isHead() || fl.pkt.Mode.Frozen() {
+					continue
+				}
+				if fl.pkt.BlockedFor(now) > timeout {
+					fl.pkt.Mode = packet.Suspected
+					f.suspects = append(f.suspects, suspect{buf: b, pkt: fl.pkt, at: now})
+					f.emit(trace.Suspected, fl.pkt, b.node)
+				}
+			}
+		}
+	}
+
+	// Re-arm suspects that have waited too long for the token: the
+	// presumed deadlock may have been plain congestion, so the packet
+	// resumes normal routing with a fresh timer. Without this, one
+	// serialized token would freeze a saturated network forever.
+	kept := f.suspects[:0]
+	for _, s := range f.suspects {
+		if now-s.at > f.tokenWait {
+			s.pkt.Mode = packet.Adaptive
+			s.pkt.Progress(now)
+			continue
+		}
+		kept = append(kept, s)
+	}
+	for i := len(kept); i < len(f.suspects); i++ {
+		f.suspects[i] = suspect{}
+	}
+	f.suspects = kept
+
+	if f.rec == nil && len(f.suspects) > 0 {
+		victim := f.suspects[0]
+		copy(f.suspects, f.suspects[1:])
+		f.suspects[len(f.suspects)-1] = suspect{}
+		f.suspects = f.suspects[:len(f.suspects)-1]
+		f.startRecovery(victim.buf)
+	}
+}
+
+// feedingLatch returns the output latch (and owning output VC) at the
+// upstream router that sends into input buffer b; nil for the injection
+// channel, which is fed directly from the source.
+func (f *Fabric) feedingLatch(b *vcBuffer) *outVC {
+	if b.port == f.injPort {
+		return nil
+	}
+	up := f.topo.Neighbor(b.node, topology.PortDim(b.port), topology.PortDir(b.port))
+	return f.nodes[up].outs[topology.OppositePort(b.port)][b.vc]
+}
+
+// startRecovery freezes the worm whose header sits at the front of head
+// and reconstructs its locations from the packet's trail.
+func (f *Fabric) startRecovery(head *vcBuffer) {
+	pkt := head.front().pkt
+	pkt.Mode = packet.Recovering
+
+	r := &recoveryState{
+		pkt:     pkt,
+		dist:    f.topo.MeshDistance(head.node, pkt.Dst),
+		started: f.now,
+	}
+
+	total := 0
+	addLoc := func(loc packet.Location, count int, cleanup func()) {
+		if count <= 0 {
+			return
+		}
+		r.locs = append(r.locs, drainLoc{loc: loc, count: count, cleanup: cleanup})
+		total += count
+	}
+
+	trail := pkt.Trail
+	for i := len(trail) - 1; i >= 0; i-- {
+		b := trail[i].(*vcBuffer)
+		addLoc(b, b.CountOf(pkt), func() { f.cleanupBuffer(b, pkt) })
+		// A mid-worm flit may sit in the latch feeding b (crossbar'd
+		// this cycle, frozen before link traversal).
+		if o := f.feedingLatch(b); o != nil {
+			addLoc(&o.lat, o.lat.CountOf(pkt), func() { f.cleanupOutVC(o, pkt) })
+		}
+	}
+	src := &f.nodes[pkt.Src].src
+	addLoc(src, src.CountOf(pkt), nil)
+
+	if total != pkt.Length {
+		panic(fmt.Sprintf("router: recovery of %v found %d flits, want %d", pkt, total, pkt.Length))
+	}
+	f.rec = r
+	f.emit(trace.RecoveryStarted, pkt, head.node)
+}
+
+// cleanupBuffer releases the resources an input buffer held for the
+// recovered packet: its wormhole binding and the output VC its header
+// allocated at this router (whose downstream flits have already drained).
+func (f *Fabric) cleanupBuffer(b *vcBuffer, pkt *packet.Packet) {
+	if b.bound && b.boundPkt == pkt {
+		o := f.nodes[b.node].outs[b.outPort][b.outVC]
+		if o.ownerPkt == pkt {
+			o.release()
+		}
+		b.clearBinding()
+	}
+}
+
+// cleanupOutVC releases ownership of an output VC once the recovered
+// packet's flit has been evicted from its latch (the in-flight tail
+// case).
+func (f *Fabric) cleanupOutVC(o *outVC, pkt *packet.Packet) {
+	if o.ownerPkt == pkt {
+		o.release()
+	}
+}
+
+// recoveryStep advances the active recovery by one cycle: evict one flit
+// into the deadlock-buffer lane and count lane arrivals at the
+// destination.
+func (f *Fabric) recoveryStep() {
+	r := f.rec
+	if r == nil {
+		return
+	}
+	now := f.now
+	r.pkt.Progress(now)
+
+	if r.popped < r.pkt.Length {
+		for r.idx < len(r.locs) && r.locs[r.idx].count == 0 {
+			r.idx++
+		}
+		if r.idx >= len(r.locs) {
+			panic(fmt.Sprintf("router: recovery of %v ran out of flits after %d", r.pkt, r.popped))
+		}
+		d := &r.locs[r.idx]
+		d.loc.EvictFront(r.pkt)
+		d.count--
+		r.popped++
+		if d.count == 0 && d.cleanup != nil {
+			d.cleanup()
+		}
+	}
+
+	// Flit j is popped at cycle started+1+j and arrives at the
+	// destination dist+1 cycles later.
+	if j := now - r.started - int64(r.dist) - 2; j >= 0 && j < int64(r.pkt.Length) {
+		f.countDeliveredFlit()
+		r.pkt.Consumed++
+		r.arrived++
+		if r.arrived == r.pkt.Length {
+			f.emit(trace.RecoveryCompleted, r.pkt, r.pkt.Dst)
+			f.deliver(r.pkt, now)
+			f.recoveries++
+			f.rec = nil
+		}
+	}
+}

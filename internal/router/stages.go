@@ -1,0 +1,292 @@
+package router
+
+import (
+	"fmt"
+
+	"repro/internal/packet"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+// linkStage moves every latched flit across its link into the downstream
+// virtual-channel buffer (one cycle per flit per link), or consumes it at
+// the delivery channel. Space downstream is guaranteed: the crossbar only
+// latched the flit after checking occupancy, and each buffer has exactly
+// one upstream source.
+func (f *Fabric) linkStage() {
+	now := f.now
+	for _, nd := range f.nodes {
+		for p, outs := range nd.outs {
+			for _, o := range outs {
+				if !o.lat.full || o.lat.f.pkt.Mode.Frozen() {
+					continue
+				}
+				fl := o.lat.clear()
+				fl.pkt.Progress(now)
+				if p == f.dlvPort {
+					f.countDeliveredFlit()
+					fl.pkt.Consumed++
+					if fl.isTail() {
+						o.release()
+						f.deliver(fl.pkt, now)
+					}
+					continue
+				}
+				nb := f.topo.Neighbor(nd.id, topology.PortDim(p), topology.PortDir(p))
+				tb := f.nodes[nb].inputs[topology.OppositePort(p)][o.lat.vc]
+				if tb.full() {
+					panic(fmt.Sprintf("router: link overflow into %v at cycle %d", tb, now))
+				}
+				fl.arrived = now
+				tb.push(fl)
+				if fl.isHead() {
+					fl.pkt.PushTrail(tb)
+				}
+				if fl.isTail() {
+					o.release()
+				}
+			}
+		}
+	}
+}
+
+// crossbarStage performs switch allocation and crossbar traversal: per
+// output port, at most one flit moves from the front of an owning input
+// VC into the output latch (one cycle per flit through the crossbar).
+// Winners are chosen round-robin over the port's output VCs.
+func (f *Fabric) crossbarStage() {
+	now := f.now
+	for _, nd := range f.nodes {
+		for p, outs := range nd.outs {
+			nvc := len(outs)
+			start := nd.swPtr[p]
+			for i := 0; i < nvc; i++ {
+				vi := (start + i) % nvc
+				o := outs[vi]
+				if o.ownerPkt == nil || o.lat.full || o.ownerPkt.Mode.Frozen() {
+					continue
+				}
+				b := o.owner
+				if b.len() == 0 {
+					continue // worm stretched thin: no flit buffered here yet
+				}
+				if p != f.dlvPort {
+					nb := f.topo.Neighbor(nd.id, topology.PortDim(p), topology.PortDir(p))
+					tb := f.nodes[nb].inputs[topology.OppositePort(p)][vi]
+					if tb.full() {
+						continue // no downstream credit
+					}
+				}
+				fl := b.pop()
+				if fl.pkt != o.ownerPkt {
+					panic(fmt.Sprintf("router: %v front flit of %v, owner %v", b, fl.pkt, o.ownerPkt))
+				}
+				fl.pkt.Progress(now)
+				if fl.isTail() {
+					b.clearBinding()
+				}
+				o.lat.set(fl)
+				if p != f.dlvPort {
+					// One flit per physical output port per cycle; each
+					// delivery (consumption) channel drains independently.
+					nd.swPtr[p] = (vi + 1) % nvc
+					break
+				}
+			}
+		}
+	}
+}
+
+// routingStage runs each router's central arbiter: demand-slotted
+// round-robin over input VCs whose front flit is an unrouted header, at
+// most one routing decision per router per cycle (the paper's one-cycle
+// routing delay; body flits stream behind the header without consulting
+// the arbiter).
+func (f *Fabric) routingStage() {
+	for _, nd := range f.nodes {
+		f.arbitrate(nd)
+	}
+}
+
+// flatten input VC index space: physical ports * VCs, then injection.
+func (f *Fabric) inputVCCount() int { return f.topo.PhysPorts()*f.cfg.VCs + 1 }
+
+func (f *Fabric) inputVCAt(nd *node, idx int) *vcBuffer {
+	phys := f.topo.PhysPorts() * f.cfg.VCs
+	if idx < phys {
+		return nd.inputs[idx/f.cfg.VCs][idx%f.cfg.VCs]
+	}
+	return nd.inputs[f.injPort][0]
+}
+
+func (f *Fabric) arbitrate(nd *node) {
+	total := f.inputVCCount()
+	for i := 0; i < total; i++ {
+		idx := (nd.arbPtr + i) % total
+		b := f.inputVCAt(nd, idx)
+		if b.len() == 0 || b.bound {
+			continue
+		}
+		fl := b.front()
+		if !fl.isHead() || fl.pkt.Mode.Frozen() {
+			continue
+		}
+		if fl.arrived >= f.now {
+			// The header arrived this cycle; routing occupies the next
+			// cycle (the paper's one-cycle routing delay).
+			continue
+		}
+		// This requester gets the arbiter slot this cycle, whether or
+		// not allocation succeeds (demand-slotted round robin).
+		nd.arbPtr = (idx + 1) % total
+		f.routeHeader(nd, b, fl.pkt)
+		return
+	}
+}
+
+// vcAvailable reports whether output VC (port, vc) at nd can be
+// allocated to pkt: it must be unowned, and under virtual cut-through
+// the downstream buffer must have room for the entire packet (so a
+// blocked packet never spans routers).
+func (f *Fabric) vcAvailable(nd *node, port, vc int, pkt *packet.Packet) bool {
+	if !nd.outs[port][vc].free() {
+		return false
+	}
+	if f.cfg.Switching != CutThrough || port == f.dlvPort {
+		return true
+	}
+	nb := f.topo.Neighbor(nd.id, topology.PortDim(port), topology.PortDir(port))
+	tb := f.nodes[nb].inputs[topology.OppositePort(port)][vc]
+	return tb.cap()-tb.len() >= pkt.Length
+}
+
+// routeHeader attempts route computation and output VC allocation for the
+// header at the front of b. On failure the header retries on a later
+// arbiter slot.
+func (f *Fabric) routeHeader(nd *node, b *vcBuffer, pkt *packet.Packet) bool {
+	if pkt.Dst == nd.id {
+		for v, o := range nd.outs[f.dlvPort] {
+			if o.free() {
+				f.allocate(nd, b, pkt, f.dlvPort, v)
+				return true
+			}
+		}
+		return false
+	}
+	switch f.cfg.Mode {
+	case Recovery:
+		// All virtual channels are fully adaptive.
+		return f.routeAdaptive(nd, b, pkt, 0)
+	default: // Avoidance
+		if pkt.Mode != packet.Escape && f.routeAdaptive(nd, b, pkt, 1) {
+			return true
+		}
+		// Escape lane: dimension-order over the mesh on VC 0. Once a
+		// packet enters the escape lane it stays there (conservative
+		// Duato protocol, trivially deadlock free).
+		if f.routeEscape(nd, b, pkt) {
+			pkt.Mode = packet.Escape
+			return true
+		}
+		return false
+	}
+}
+
+// routeAdaptive tries the minimal output ports in the order the
+// configured selection policy prefers, and every virtual channel from
+// minVC up, taking the first free output VC.
+func (f *Fabric) routeAdaptive(nd *node, b *vcBuffer, pkt *packet.Packet, minVC int) bool {
+	ports := f.topo.MinimalPorts(nd.id, pkt.Dst, f.scratchPorts[:0])
+	f.scratchPorts = ports
+	if len(ports) == 0 {
+		return false
+	}
+	start := 0
+	switch f.cfg.Selection {
+	case RotatePorts:
+		start = nd.adaptPtr % len(ports)
+		nd.adaptPtr++
+	case MostFreeVCs:
+		best := -1
+		for i, p := range ports {
+			free := 0
+			for v := minVC; v < f.cfg.VCs; v++ {
+				if nd.outs[p][v].free() {
+					free++
+				}
+			}
+			if free > best {
+				best = free
+				start = i
+			}
+		}
+	}
+	for i := 0; i < len(ports); i++ {
+		p := ports[(start+i)%len(ports)]
+		for v := minVC; v < f.cfg.VCs; v++ {
+			if f.vcAvailable(nd, p, v, pkt) {
+				f.allocate(nd, b, pkt, p, v)
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// routeEscape allocates escape VC 0 on the mesh dimension-order port.
+func (f *Fabric) routeEscape(nd *node, b *vcBuffer, pkt *packet.Packet) bool {
+	p, ok := f.topo.DORMeshNextPort(nd.id, pkt.Dst)
+	if !ok {
+		return false // local destination handled earlier
+	}
+	if f.vcAvailable(nd, p, 0, pkt) {
+		f.allocate(nd, b, pkt, p, 0)
+		return true
+	}
+	return false
+}
+
+// allocate binds input VC b to output VC (port, vc) for the packet.
+func (f *Fabric) allocate(nd *node, b *vcBuffer, pkt *packet.Packet, port, vc int) {
+	o := nd.outs[port][vc]
+	if !o.free() {
+		panic(fmt.Sprintf("router: double allocation of node %d port %d vc %d", nd.id, port, vc))
+	}
+	b.bound = true
+	b.boundPkt = pkt
+	b.outPort = port
+	b.outVC = vc
+	o.owner = b
+	o.ownerPkt = pkt
+	pkt.Hops++
+	pkt.Progress(f.now)
+	f.emit(trace.Routed, pkt, nd.id)
+}
+
+// injectionStage streams the current packet of each node's source slot
+// into the injection channel at one flit per cycle.
+func (f *Fabric) injectionStage() {
+	now := f.now
+	for _, nd := range f.nodes {
+		pkt := nd.src.pkt
+		if pkt == nil || pkt.Mode.Frozen() {
+			continue
+		}
+		b := nd.inputs[f.injPort][0]
+		if b.full() {
+			continue
+		}
+		idx := pkt.Length - pkt.SrcRemaining
+		b.push(flit{pkt: pkt, idx: idx, arrived: now})
+		pkt.SrcRemaining--
+		pkt.Progress(now)
+		if idx == 0 {
+			pkt.InjectedAt = now
+			pkt.PushTrail(b)
+			f.emit(trace.Injected, pkt, pkt.Src)
+		}
+		if pkt.SrcRemaining == 0 {
+			nd.src.pkt = nil
+		}
+	}
+}

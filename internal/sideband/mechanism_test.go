@@ -1,0 +1,155 @@
+package sideband
+
+import (
+	"testing"
+)
+
+func TestMechanismStrings(t *testing.T) {
+	want := map[Mechanism]string{Dedicated: "sideband", MetaPacket: "metapacket", Piggyback: "piggyback"}
+	for m, s := range want {
+		if m.String() != s {
+			t.Errorf("%d.String() = %q", m, m.String())
+		}
+	}
+	if Mechanism(9).String() == "" {
+		t.Error("unknown mechanism should format")
+	}
+}
+
+func TestMechanismValidation(t *testing.T) {
+	c := paperCfg()
+	c.Mechanism = Mechanism(9)
+	if c.Validate() == nil {
+		t.Error("unknown mechanism validated")
+	}
+	c = paperCfg()
+	c.Mechanism = MetaPacket
+	if c.Validate() == nil {
+		t.Error("meta-packet without TotalBuffers validated")
+	}
+	c.TotalBuffers = 3072
+	if err := c.Validate(); err != nil {
+		t.Error(err)
+	}
+	c = paperCfg()
+	c.PiggybackP = 1.5
+	if c.Validate() == nil {
+		t.Error("bad PiggybackP validated")
+	}
+}
+
+func TestMetaPacketDelayGrowsWithCongestion(t *testing.T) {
+	cfg := paperCfg()
+	cfg.Mechanism = MetaPacket
+	cfg.TotalBuffers = 3072
+
+	visibleAt := func(full int) int64 {
+		src := &fakeSource{full: full}
+		nw := New(cfg, src)
+		sink := &captureSink{}
+		nw.Subscribe(sink)
+		for now := int64(0); now < 400; now++ {
+			nw.Tick(now)
+			if len(sink.snaps) > 0 {
+				return now
+			}
+		}
+		t.Fatalf("snapshot never delivered at congestion %d", full)
+		return -1
+	}
+	idle := visibleAt(0)
+	congested := visibleAt(3072)
+	if idle != 32 {
+		t.Errorf("idle meta-packet delay = %d, want g = 32", idle)
+	}
+	// Fully congested: g + 2g = 96.
+	if congested != 96 {
+		t.Errorf("congested meta-packet delay = %d, want 3g = 96", congested)
+	}
+}
+
+func TestMetaPacketDeliversInOrder(t *testing.T) {
+	cfg := paperCfg()
+	cfg.Mechanism = MetaPacket
+	cfg.TotalBuffers = 3072
+	src := &fakeSource{full: 3072} // first snapshot slow
+	nw := New(cfg, src)
+	sink := &captureSink{}
+	nw.Subscribe(sink)
+	for now := int64(0); now <= 200; now++ {
+		nw.Tick(now)
+		if now == 0 {
+			src.full = 0 // later snapshots fast
+		}
+	}
+	for i := 1; i < len(sink.snaps); i++ {
+		if sink.snaps[i].Taken <= sink.snaps[i-1].Taken {
+			t.Fatal("snapshots out of order")
+		}
+	}
+}
+
+func TestPiggybackDropsSomeSnapshots(t *testing.T) {
+	cfg := paperCfg()
+	cfg.Mechanism = Piggyback
+	cfg.PiggybackP = 0.5
+	cfg.Seed = 3
+	src := &fakeSource{}
+	nw := New(cfg, src)
+	sink := &captureSink{}
+	nw.Subscribe(sink)
+	const gathers = 400
+	for now := int64(0); now < gathers*32; now++ {
+		nw.Tick(now)
+	}
+	got := len(sink.snaps)
+	if got == 0 || got >= gathers-1 {
+		t.Fatalf("piggyback delivered %d of ~%d snapshots; expected lossy delivery", got, gathers)
+	}
+	// Roughly half should arrive.
+	if got < gathers/4 || got > 3*gathers/4 {
+		t.Errorf("piggyback delivery count %d far from p=0.5 of %d", got, gathers)
+	}
+}
+
+func TestPiggybackDeterministicPerSeed(t *testing.T) {
+	run := func(seed int64) int {
+		cfg := paperCfg()
+		cfg.Mechanism = Piggyback
+		cfg.Seed = seed
+		nw := New(cfg, &fakeSource{})
+		sink := &captureSink{}
+		nw.Subscribe(sink)
+		for now := int64(0); now < 300*32; now++ {
+			nw.Tick(now)
+		}
+		return len(sink.snaps)
+	}
+	if run(1) != run(1) {
+		t.Error("same seed differed")
+	}
+	if run(1) == run(2) && run(1) == run(3) {
+		t.Error("different seeds all identical (suspicious)")
+	}
+}
+
+func TestPiggybackDefaultProbability(t *testing.T) {
+	cfg := paperCfg()
+	cfg.Mechanism = Piggyback
+	nw := New(cfg, &fakeSource{})
+	if nw.pp != 0.7 {
+		t.Errorf("default PiggybackP = %v, want 0.7", nw.pp)
+	}
+}
+
+func TestDedicatedIsLossless(t *testing.T) {
+	nw := New(paperCfg(), &fakeSource{})
+	sink := &captureSink{}
+	nw.Subscribe(sink)
+	for now := int64(0); now < 100*32; now++ {
+		nw.Tick(now)
+	}
+	if len(sink.snaps) != 99 {
+		t.Errorf("dedicated delivered %d snapshots, want 99", len(sink.snaps))
+	}
+}

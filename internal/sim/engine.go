@@ -1,0 +1,267 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/congestion"
+	"repro/internal/core"
+	"repro/internal/packet"
+	"repro/internal/router"
+	"repro/internal/sideband"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/trace"
+	"repro/internal/traffic"
+)
+
+// pending is a generated-but-not-injected packet. Keeping queue entries
+// compact (instead of materializing Packet objects at generation time)
+// bounds memory when sweeping far past saturation, where source queues
+// grow with simulation length.
+type pending struct {
+	created int64
+	dst     topology.NodeID
+}
+
+// Engine runs one simulation.
+type Engine struct {
+	cfg   Config
+	topo  *topology.Torus
+	fab   *router.Fabric
+	side  *sideband.Network
+	thr   congestion.Throttler
+	glob  *core.GlobalThrottler // nil for local schemes
+	sched *traffic.Schedule
+	rng   *rand.Rand
+
+	queues  [][]pending // per-node source queues
+	nextID  packet.ID
+	created int64
+
+	// Measurement.
+	warmup          int64
+	total           int64
+	netLatency      stats.LatencyStats
+	totLatency      stats.LatencyStats
+	hops            stats.Accumulator
+	delivered       int64 // all packets
+	deliveredMeas   int64 // packets created after warm-up
+	injected        int64
+	throttleDenials int64
+	throttledCycles int64
+
+	deliveredMark   int64 // for the sample series
+	tputSeries      *stats.Series
+	fullSeries      *stats.Series
+	fullAccum       float64
+	fullAccumCycles int64
+}
+
+// New builds an engine. The configuration must validate.
+func New(cfg Config) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	topo, err := cfg.Topology()
+	if err != nil {
+		return nil, err
+	}
+	fab, err := router.New(router.Config{
+		Topo: topo, VCs: cfg.VCs, BufDepth: cfg.BufDepth,
+		Mode: cfg.Mode, DeadlockTimeout: cfg.DeadlockTimeout,
+		TokenWaitTimeout: cfg.TokenWaitTimeout,
+		DeliveryChannels: cfg.DeliveryChannels, Selection: cfg.Selection,
+		Switching: cfg.Switching,
+	})
+	if err != nil {
+		return nil, err
+	}
+	side := sideband.New(cfg.sidebandConfig(topo), fab)
+	sched, err := cfg.schedule(topo)
+	if err != nil {
+		return nil, err
+	}
+
+	e := &Engine{
+		cfg:    cfg,
+		topo:   topo,
+		fab:    fab,
+		side:   side,
+		sched:  sched,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		queues: make([][]pending, topo.Nodes()),
+		warmup: cfg.WarmupCycles,
+		total:  cfg.TotalCycles(),
+	}
+	interval := cfg.SampleInterval
+	if interval == 0 {
+		interval = cfg.GatherDuration()
+	}
+	e.tputSeries = stats.NewSeries(0, interval)
+	e.fullSeries = stats.NewSeries(0, interval)
+
+	if e.thr, e.glob, err = e.buildThrottler(); err != nil {
+		return nil, err
+	}
+	fab.OnDelivered = e.onDelivered
+	return e, nil
+}
+
+// buildThrottler constructs the configured congestion controller and
+// subscribes global ones to the side-band.
+func (e *Engine) buildThrottler() (congestion.Throttler, *core.GlobalThrottler, error) {
+	s := e.cfg.Scheme
+	switch s.Kind {
+	case Base:
+		return congestion.None{}, nil, nil
+	case ALO:
+		return congestion.NewALO(e.topo, e.fab), nil, nil
+	case BusyVC:
+		limit := s.BusyLimit
+		if limit == 0 {
+			limit = e.topo.PhysPorts() * e.cfg.VCs / 2
+		}
+		return congestion.NewBusyVC(e.topo, e.fab, limit), nil, nil
+	case Custom:
+		if sink, ok := s.Custom.(sideband.Sink); ok {
+			e.side.Subscribe(sink)
+		}
+		if vb, ok := s.Custom.(ViewBinder); ok {
+			vb.BindView(e.fab)
+		}
+		return s.Custom, nil, nil
+	}
+
+	// Global schemes.
+	var est core.Estimator
+	if s.Estimator == LastValueEstimator {
+		est = &core.LastValue{}
+	} else {
+		est = &core.LinearExtrapolation{}
+	}
+	g := e.cfg.GatherDuration()
+	period := s.TuningPeriod
+	if period == 0 {
+		period = 3 * g
+	}
+	var policy core.ThresholdPolicy
+	switch s.Kind {
+	case StaticGlobal:
+		policy = core.StaticThreshold(s.StaticThreshold)
+	default: // SelfTuned, HillClimbOnly
+		tc := core.DefaultTunerConfig(e.topo.TotalVCBuffers(e.cfg.VCs))
+		if s.Tuner != nil {
+			tc = *s.Tuner
+		}
+		tc.AvoidLocalMaxima = s.Kind != HillClimbOnly
+		tuner, err := core.NewTuner(tc)
+		if err != nil {
+			return nil, nil, err
+		}
+		policy = tuner
+	}
+	glob, err := core.NewGlobalThrottler(core.GlobalConfig{
+		TuningPeriod:   period,
+		GatherDuration: g,
+		KeepTrace:      s.KeepTrace,
+	}, est, policy)
+	if err != nil {
+		return nil, nil, err
+	}
+	e.side.Subscribe(glob)
+	return glob, glob, nil
+}
+
+func (e *Engine) onDelivered(p *packet.Packet) {
+	e.delivered++
+	if p.CreatedAt >= e.warmup {
+		e.deliveredMeas++
+		e.netLatency.Add(float64(p.NetworkLatency()))
+		e.totLatency.Add(float64(p.TotalLatency()))
+		e.hops.Add(float64(p.Hops))
+	}
+}
+
+// Run executes the full simulation and returns its results. It can only
+// be called once per engine.
+func (e *Engine) Run() (Result, error) {
+	return e.RunWithProgress(0, nil)
+}
+
+// RunWithProgress is Run with a progress callback invoked after every
+// `every` simulated cycles (fn may inspect the fabric via Fabric).
+// A zero interval or nil fn disables the callback.
+func (e *Engine) RunWithProgress(every int64, fn func(now int64)) (Result, error) {
+	if e.fab.Now() != 0 {
+		return Result{}, fmt.Errorf("sim: engine already run")
+	}
+	for now := int64(0); now < e.total; now++ {
+		e.step(now)
+		if fn != nil && every > 0 && (now+1)%every == 0 {
+			fn(now + 1)
+		}
+	}
+	return e.result(), nil
+}
+
+func (e *Engine) step(now int64) {
+	// 1. Global information gather and controller tick.
+	e.side.Tick(now)
+	e.thr.Tick(now)
+
+	// 2. Packet generation into source queues.
+	nodes := e.topo.Nodes()
+	for n := 0; n < nodes; n++ {
+		if dst, ok := e.sched.Generate(now, topology.NodeID(n), e.rng); ok {
+			e.created++
+			e.queues[n] = append(e.queues[n], pending{created: now, dst: dst})
+		}
+	}
+
+	// 3. Injection, gated by the throttler.
+	throttledThisCycle := false
+	for n := 0; n < nodes; n++ {
+		q := e.queues[n]
+		if len(q) == 0 || !e.fab.CanStartInjection(topology.NodeID(n)) {
+			continue
+		}
+		head := q[0]
+		if !e.thr.AllowInjection(now, topology.NodeID(n), head.dst) {
+			e.throttleDenials++
+			throttledThisCycle = true
+			continue
+		}
+		copy(q, q[1:])
+		e.queues[n] = q[:len(q)-1]
+		p := packet.New(e.nextID, topology.NodeID(n), head.dst, e.cfg.PacketLength, head.created)
+		e.nextID++
+		p.Progress(now)
+		e.fab.StartInjection(p)
+		e.injected++
+	}
+	if throttledThisCycle {
+		e.throttledCycles++
+	}
+
+	// 4. Network cycle.
+	e.fab.Step()
+
+	// 5. Sampling.
+	e.fullAccum += float64(e.fab.FullVCBuffers())
+	e.fullAccumCycles++
+	if (now+1)%e.tputSeries.Interval == 0 {
+		flits := e.fab.DeliveredFlits() - e.deliveredMark
+		e.deliveredMark = e.fab.DeliveredFlits()
+		e.tputSeries.Append(stats.Rate(flits, nodes, e.tputSeries.Interval))
+		e.fullSeries.Append(e.fullAccum / float64(e.fullAccumCycles))
+		e.fullAccum, e.fullAccumCycles = 0, 0
+	}
+}
+
+// Fabric exposes the underlying fabric (tests and experiment drivers).
+func (e *Engine) Fabric() *router.Fabric { return e.fab }
+
+// SetEventSink attaches a packet lifecycle event receiver (for example a
+// trace.Recorder) to the fabric. Call before Run.
+func (e *Engine) SetEventSink(fn func(trace.Event)) { e.fab.OnEvent = fn }

@@ -1,0 +1,109 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// Result is one simulation run's measurements. Rates are normalized to
+// the paper's units (per node per cycle); latency is in cycles, measured
+// only over packets created after warm-up.
+type Result struct {
+	Scheme  SchemeKind
+	Mode    string
+	Pattern string
+
+	// OfferedRate is the realized generation rate in packets/node/cycle
+	// over the whole run.
+	OfferedRate float64
+	// AcceptedFlits is the delivered bandwidth in flits/node/cycle over
+	// the measurement window — the paper's "normalized accepted
+	// traffic".
+	AcceptedFlits float64
+	// AcceptedPackets is the same in packets/node/cycle.
+	AcceptedPackets float64
+
+	// Latency statistics (cycles).
+	AvgNetworkLatency float64
+	P95NetworkLatency float64
+	MaxNetworkLatency float64
+	AvgTotalLatency   float64
+	AvgHops           float64
+
+	// Counts over the whole run.
+	PacketsCreated   int64
+	PacketsInjected  int64
+	PacketsDelivered int64
+	Recoveries       int64
+	ThrottleDenials  int64
+	ThrottledCycles  int64
+	AvgFullBuffers   float64
+	FinalThreshold   float64
+
+	// Time series over the whole run (including warm-up), sampled every
+	// SampleInterval cycles.
+	Throughput  *stats.Series // flits/node/cycle
+	FullBuffers *stats.Series // mean full buffers per interval
+
+	// ThresholdTrace is the tuner's per-period trace (global schemes
+	// with KeepTrace only).
+	ThresholdTrace []core.TracePoint
+}
+
+func (e *Engine) result() Result {
+	nodes := e.topo.Nodes()
+	meas := e.cfg.MeasureCycles
+	from, to := e.warmup, e.total
+	r := Result{
+		Scheme:  e.cfg.Scheme.Kind,
+		Mode:    e.cfg.Mode.String(),
+		Pattern: string(e.cfg.Pattern),
+
+		OfferedRate: stats.Rate(e.created, nodes, e.total),
+
+		AvgNetworkLatency: e.netLatency.Mean(),
+		P95NetworkLatency: e.netLatency.Percentile(95),
+		MaxNetworkLatency: e.netLatency.Max(),
+		AvgTotalLatency:   e.totLatency.Mean(),
+		AvgHops:           e.hops.Mean(),
+
+		PacketsCreated:   e.created,
+		PacketsInjected:  e.injected,
+		PacketsDelivered: e.delivered,
+		Recoveries:       e.fab.Recoveries(),
+		ThrottleDenials:  e.throttleDenials,
+		ThrottledCycles:  e.throttledCycles,
+
+		Throughput:  e.tputSeries,
+		FullBuffers: e.fullSeries,
+	}
+	if e.cfg.Schedule != nil {
+		r.Pattern = "schedule"
+	}
+	// Accepted traffic over the measurement window, from the series.
+	r.AcceptedFlits = e.tputSeries.Window(from, to)
+	r.AcceptedPackets = r.AcceptedFlits / float64(e.cfg.PacketLength)
+	r.AvgFullBuffers = e.fullSeries.Window(from, to)
+	_ = meas
+	if e.glob != nil {
+		r.FinalThreshold = e.glob.Threshold()
+		r.ThresholdTrace = e.glob.Trace()
+	}
+	return r
+}
+
+// Run is the package-level convenience: build an engine and run it.
+func Run(cfg Config) (Result, error) {
+	e, err := New(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return e.Run()
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("%s/%s %s: offered %.5f pkts/node/cyc, accepted %.4f flits/node/cyc, latency %.0f cyc (recoveries %d)",
+		r.Scheme, r.Mode, r.Pattern, r.OfferedRate, r.AcceptedFlits, r.AvgNetworkLatency, r.Recoveries)
+}

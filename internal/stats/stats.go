@@ -1,0 +1,200 @@
+// Package stats provides the measurement machinery for network
+// simulations: scalar accumulators, interval time series, and latency
+// summaries. All types are plain values safe for single-threaded
+// simulation use.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Accumulator tracks count/sum/min/max of a stream of samples.
+type Accumulator struct {
+	Count int64
+	Sum   float64
+	Min   float64
+	Max   float64
+}
+
+// Add records one sample.
+func (a *Accumulator) Add(v float64) {
+	if a.Count == 0 || v < a.Min {
+		a.Min = v
+	}
+	if a.Count == 0 || v > a.Max {
+		a.Max = v
+	}
+	a.Count++
+	a.Sum += v
+}
+
+// Mean returns the sample mean, or 0 when empty.
+func (a *Accumulator) Mean() float64 {
+	if a.Count == 0 {
+		return 0
+	}
+	return a.Sum / float64(a.Count)
+}
+
+// Merge folds other into a.
+func (a *Accumulator) Merge(other Accumulator) {
+	if other.Count == 0 {
+		return
+	}
+	if a.Count == 0 {
+		*a = other
+		return
+	}
+	if other.Min < a.Min {
+		a.Min = other.Min
+	}
+	if other.Max > a.Max {
+		a.Max = other.Max
+	}
+	a.Count += other.Count
+	a.Sum += other.Sum
+}
+
+// Reset clears the accumulator.
+func (a *Accumulator) Reset() { *a = Accumulator{} }
+
+// Series is a time series sampled at a fixed cycle interval: point i
+// covers cycles [Start + i*Interval, Start + (i+1)*Interval).
+type Series struct {
+	Start    int64
+	Interval int64
+	Values   []float64
+}
+
+// NewSeries returns an empty series beginning at cycle start with the
+// given sampling interval (must be positive).
+func NewSeries(start, interval int64) *Series {
+	if interval <= 0 {
+		panic(fmt.Sprintf("stats: non-positive series interval %d", interval))
+	}
+	return &Series{Start: start, Interval: interval}
+}
+
+// Append adds the next interval's value.
+func (s *Series) Append(v float64) { s.Values = append(s.Values, v) }
+
+// Len returns the number of recorded intervals.
+func (s *Series) Len() int { return len(s.Values) }
+
+// CycleAt returns the starting cycle of point i.
+func (s *Series) CycleAt(i int) int64 { return s.Start + int64(i)*s.Interval }
+
+// Mean returns the mean of all points, or 0 when empty.
+func (s *Series) Mean() float64 {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.Values {
+		sum += v
+	}
+	return sum / float64(len(s.Values))
+}
+
+// Window returns the mean of points whose start cycle lies in [from, to).
+func (s *Series) Window(from, to int64) float64 {
+	sum, n := 0.0, 0
+	for i, v := range s.Values {
+		c := s.CycleAt(i)
+		if c >= from && c < to {
+			sum += v
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// LatencyStats summarizes packet latencies.
+type LatencyStats struct {
+	samples []float64
+	sorted  bool
+	acc     Accumulator
+}
+
+// Add records one latency sample.
+func (l *LatencyStats) Add(v float64) {
+	l.samples = append(l.samples, v)
+	l.sorted = false
+	l.acc.Add(v)
+}
+
+// Count returns the number of samples.
+func (l *LatencyStats) Count() int64 { return l.acc.Count }
+
+// Mean returns the mean latency, or 0 when empty.
+func (l *LatencyStats) Mean() float64 { return l.acc.Mean() }
+
+// Max returns the maximum latency, or 0 when empty.
+func (l *LatencyStats) Max() float64 {
+	if l.acc.Count == 0 {
+		return 0
+	}
+	return l.acc.Max
+}
+
+// Percentile returns the q-th percentile (q in [0,100]) using
+// nearest-rank, or 0 when empty.
+func (l *LatencyStats) Percentile(q float64) float64 {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	if !l.sorted {
+		sort.Float64s(l.samples)
+		l.sorted = true
+	}
+	if q <= 0 {
+		return l.samples[0]
+	}
+	if q >= 100 {
+		return l.samples[len(l.samples)-1]
+	}
+	rank := int(math.Ceil(q/100*float64(len(l.samples)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return l.samples[rank]
+}
+
+// Counter is a monotone event counter with windowed deltas.
+type Counter struct {
+	total int64
+	mark  int64
+}
+
+// Add increments the counter by n (n must be non-negative).
+func (c *Counter) Add(n int64) {
+	if n < 0 {
+		panic("stats: negative Counter.Add")
+	}
+	c.total += n
+}
+
+// Total returns the all-time count.
+func (c *Counter) Total() int64 { return c.total }
+
+// TakeDelta returns the count accumulated since the previous TakeDelta
+// (or since creation) and starts a new window.
+func (c *Counter) TakeDelta() int64 {
+	d := c.total - c.mark
+	c.mark = c.total
+	return d
+}
+
+// Rate converts a flit count over nodes and cycles into the paper's
+// normalized units (flits/node/cycle). Returns 0 for empty windows.
+func Rate(flits int64, nodes int, cycles int64) float64 {
+	if nodes <= 0 || cycles <= 0 {
+		return 0
+	}
+	return float64(flits) / float64(nodes) / float64(cycles)
+}

@@ -1,0 +1,196 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAccumulatorBasic(t *testing.T) {
+	var a Accumulator
+	if a.Mean() != 0 {
+		t.Error("empty mean should be 0")
+	}
+	for _, v := range []float64{3, 1, 4, 1, 5} {
+		a.Add(v)
+	}
+	if a.Count != 5 || a.Sum != 14 || a.Min != 1 || a.Max != 5 {
+		t.Errorf("acc = %+v", a)
+	}
+	if got := a.Mean(); math.Abs(got-2.8) > 1e-12 {
+		t.Errorf("Mean = %v", got)
+	}
+}
+
+func TestAccumulatorNegativeFirst(t *testing.T) {
+	var a Accumulator
+	a.Add(-3)
+	if a.Min != -3 || a.Max != -3 {
+		t.Errorf("first sample min/max: %+v", a)
+	}
+}
+
+func TestAccumulatorMerge(t *testing.T) {
+	var a, b Accumulator
+	a.Add(1)
+	a.Add(2)
+	b.Add(-5)
+	b.Add(10)
+	a.Merge(b)
+	if a.Count != 4 || a.Min != -5 || a.Max != 10 || a.Sum != 8 {
+		t.Errorf("merged = %+v", a)
+	}
+	var empty Accumulator
+	a.Merge(empty)
+	if a.Count != 4 {
+		t.Error("merging empty changed count")
+	}
+	var c Accumulator
+	c.Merge(a)
+	if c != a {
+		t.Error("merge into empty should copy")
+	}
+}
+
+func TestAccumulatorReset(t *testing.T) {
+	var a Accumulator
+	a.Add(5)
+	a.Reset()
+	if a.Count != 0 || a.Sum != 0 {
+		t.Error("reset did not clear")
+	}
+}
+
+func TestAccumulatorMergeQuick(t *testing.T) {
+	f := func(xs, ys []int32) bool {
+		var a, b, all Accumulator
+		for _, xi := range xs {
+			x := float64(xi)
+			a.Add(x)
+			all.Add(x)
+		}
+		for _, yi := range ys {
+			y := float64(yi)
+			b.Add(y)
+			all.Add(y)
+		}
+		a.Merge(b)
+		return a.Count == all.Count && a.Min == all.Min && a.Max == all.Max &&
+			math.Abs(a.Sum-all.Sum) < 1e-9*(1+math.Abs(all.Sum))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := NewSeries(100, 32)
+	for i := 0; i < 4; i++ {
+		s.Append(float64(i))
+	}
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if s.CycleAt(3) != 100+3*32 {
+		t.Errorf("CycleAt(3) = %d", s.CycleAt(3))
+	}
+	if got := s.Mean(); got != 1.5 {
+		t.Errorf("Mean = %v", got)
+	}
+	// Window covering points 1 and 2: cycles [132, 196).
+	if got := s.Window(132, 196); got != 1.5 {
+		t.Errorf("Window = %v", got)
+	}
+	if got := s.Window(5000, 6000); got != 0 {
+		t.Errorf("empty window = %v", got)
+	}
+}
+
+func TestSeriesEmptyMean(t *testing.T) {
+	if NewSeries(0, 1).Mean() != 0 {
+		t.Error("empty series mean should be 0")
+	}
+}
+
+func TestNewSeriesPanicsOnBadInterval(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewSeries(0, 0)
+}
+
+func TestLatencyStats(t *testing.T) {
+	var l LatencyStats
+	if l.Mean() != 0 || l.Max() != 0 || l.Percentile(50) != 0 {
+		t.Error("empty latency stats should be zero")
+	}
+	for _, v := range []float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100} {
+		l.Add(v)
+	}
+	if l.Count() != 10 {
+		t.Errorf("Count = %d", l.Count())
+	}
+	if l.Mean() != 55 {
+		t.Errorf("Mean = %v", l.Mean())
+	}
+	if l.Max() != 100 {
+		t.Errorf("Max = %v", l.Max())
+	}
+	if got := l.Percentile(50); got != 50 {
+		t.Errorf("P50 = %v", got)
+	}
+	if got := l.Percentile(90); got != 90 {
+		t.Errorf("P90 = %v", got)
+	}
+	if got := l.Percentile(0); got != 10 {
+		t.Errorf("P0 = %v", got)
+	}
+	if got := l.Percentile(100); got != 100 {
+		t.Errorf("P100 = %v", got)
+	}
+	// Adding after a percentile query must resort.
+	l.Add(5)
+	if got := l.Percentile(0); got != 5 {
+		t.Errorf("P0 after add = %v", got)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Add(5)
+	c.Add(3)
+	if c.Total() != 8 {
+		t.Errorf("Total = %d", c.Total())
+	}
+	if d := c.TakeDelta(); d != 8 {
+		t.Errorf("first delta = %d", d)
+	}
+	c.Add(2)
+	if d := c.TakeDelta(); d != 2 {
+		t.Errorf("second delta = %d", d)
+	}
+	if d := c.TakeDelta(); d != 0 {
+		t.Errorf("empty delta = %d", d)
+	}
+}
+
+func TestCounterPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	var c Counter
+	c.Add(-1)
+}
+
+func TestRate(t *testing.T) {
+	if got := Rate(256*1000, 256, 1000); got != 1.0 {
+		t.Errorf("Rate = %v, want 1.0 (saturated delivery)", got)
+	}
+	if Rate(10, 0, 5) != 0 || Rate(10, 5, 0) != 0 {
+		t.Error("degenerate rates should be 0")
+	}
+}

@@ -1,0 +1,143 @@
+// Package trace records packet lifecycle events emitted by the router
+// fabric: injections, routing decisions, deliveries, deadlock suspicion
+// and recovery. A Recorder keeps a bounded ring of events with optional
+// filtering; it is designed for debugging and for tests that assert on
+// event sequences, not for always-on production use.
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/packet"
+	"repro/internal/topology"
+)
+
+// Kind classifies a lifecycle event.
+type Kind uint8
+
+// Event kinds, in rough lifecycle order.
+const (
+	// Injected: the packet's head flit entered the injection channel.
+	Injected Kind = iota
+	// Routed: a router's arbiter allocated an output VC to the header.
+	Routed
+	// Delivered: the packet's tail flit left the network.
+	Delivered
+	// Suspected: the packet timed out and froze awaiting the recovery
+	// token.
+	Suspected
+	// RecoveryStarted: the packet acquired the token and began draining
+	// through the deadlock-buffer lane.
+	RecoveryStarted
+	// RecoveryCompleted: the recovered packet's tail reached its
+	// destination and the token was released.
+	RecoveryCompleted
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Injected:
+		return "injected"
+	case Routed:
+		return "routed"
+	case Delivered:
+		return "delivered"
+	case Suspected:
+		return "suspected"
+	case RecoveryStarted:
+		return "recovery-start"
+	case RecoveryCompleted:
+		return "recovery-done"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Event is one recorded lifecycle step.
+type Event struct {
+	Cycle  int64
+	Kind   Kind
+	Packet packet.ID
+	Src    topology.NodeID
+	Dst    topology.NodeID
+	// Node is where the event happened (the routing router, the
+	// suspicion site, ...); equal to Src for injections and Dst for
+	// deliveries.
+	Node topology.NodeID
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("%8d %-14s pkt %d %d->%d @ node %d",
+		e.Cycle, e.Kind, e.Packet, e.Src, e.Dst, e.Node)
+}
+
+// Recorder collects events into a bounded ring buffer.
+type Recorder struct {
+	events []Event
+	head   int
+	n      int
+	filter func(Event) bool
+	total  int64
+}
+
+// NewRecorder returns a recorder holding the most recent capacity events.
+func NewRecorder(capacity int) *Recorder {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Recorder{events: make([]Event, capacity)}
+}
+
+// SetFilter drops events for which f returns false. A nil filter keeps
+// everything.
+func (r *Recorder) SetFilter(f func(Event) bool) { r.filter = f }
+
+// Record implements the fabric's event sink.
+func (r *Recorder) Record(e Event) {
+	if r.filter != nil && !r.filter(e) {
+		return
+	}
+	r.total++
+	if r.n < len(r.events) {
+		r.events[(r.head+r.n)%len(r.events)] = e
+		r.n++
+		return
+	}
+	r.events[r.head] = e
+	r.head = (r.head + 1) % len(r.events)
+}
+
+// Len returns how many events are currently retained.
+func (r *Recorder) Len() int { return r.n }
+
+// Total returns how many events were recorded overall (including those
+// that have rotated out of the ring).
+func (r *Recorder) Total() int64 { return r.total }
+
+// Events returns the retained events, oldest first.
+func (r *Recorder) Events() []Event {
+	out := make([]Event, r.n)
+	for i := 0; i < r.n; i++ {
+		out[i] = r.events[(r.head+i)%len(r.events)]
+	}
+	return out
+}
+
+// OfPacket returns the retained events of one packet, oldest first.
+func (r *Recorder) OfPacket(id packet.ID) []Event {
+	var out []Event
+	for _, e := range r.Events() {
+		if e.Packet == id {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Dump writes the retained events to w, one per line.
+func (r *Recorder) Dump(w io.Writer) {
+	for _, e := range r.Events() {
+		fmt.Fprintln(w, e)
+	}
+}

@@ -1,0 +1,325 @@
+// Package stcc (Self-Tuned Congestion Control) reproduces "Self-Tuned
+// Congestion Control for Multiprocessor Networks" (Thottethodi, Lebeck &
+// Mukherjee, HPCA 2001) as a Go library.
+//
+// It contains a cycle-level wormhole network simulator for k-ary n-cube
+// multiprocessor interconnects — virtual channels, fully adaptive minimal
+// routing, Duato-style deadlock avoidance and Disha-style deadlock
+// recovery — plus the paper's contribution: a source-throttling
+// congestion controller driven by a globally gathered full-buffer count
+// whose threshold tunes itself from throughput feedback.
+//
+// Quick start:
+//
+//	cfg := stcc.NewConfig()              // the paper's 16-ary 2-cube
+//	cfg.Rate = 0.03                      // packets/node/cycle (overload)
+//	cfg.Scheme = stcc.Scheme{Kind: stcc.SelfTuned}
+//	res, err := stcc.Run(cfg)
+//	fmt.Println(res.AcceptedFlits)       // delivered flits/node/cycle
+//
+// The experiment drivers behind every table and figure of the paper's
+// evaluation are exposed through the Fig1..Fig7, Table1 and Ext*
+// functions; `go test -bench .` regenerates them all, and the
+// cmd/stcc-paper binary writes them as CSV at the paper's full scale.
+//
+// The package is a thin facade: the implementation lives in
+// internal/{topology,packet,router,traffic,sideband,core,congestion,sim,
+// experiments}, and the types below are aliases so that the facade and
+// the internals are always in sync.
+package stcc
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/congestion"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/router"
+	"repro/internal/sideband"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/trace"
+	"repro/internal/traffic"
+)
+
+// Core configuration and results.
+type (
+	// Config describes one simulation run; see NewConfig for the
+	// paper's defaults.
+	Config = sim.Config
+	// Scheme selects and parameterizes the congestion controller.
+	Scheme = sim.Scheme
+	// SchemeKind names a congestion control scheme.
+	SchemeKind = sim.SchemeKind
+	// EstimatorKind names a congestion estimator.
+	EstimatorKind = sim.EstimatorKind
+	// Result is one run's measurements.
+	Result = sim.Result
+	// Engine is a configured simulation; use New + Run for control over
+	// the underlying fabric, or the package-level Run for one-shot use.
+	Engine = sim.Engine
+)
+
+// Congestion control schemes (the paper's evaluation matrix).
+const (
+	// Base applies no congestion control.
+	Base = sim.Base
+	// ALO is the At-Least-One local-estimation baseline.
+	ALO = sim.ALO
+	// BusyVCScheme is the Lopez et al. busy-VC local baseline.
+	BusyVCScheme = sim.BusyVC
+	// StaticGlobal throttles against a fixed global threshold.
+	StaticGlobal = sim.StaticGlobal
+	// SelfTuned is the paper's self-tuned global scheme.
+	SelfTuned = sim.SelfTuned
+	// HillClimbOnly disables the local-maximum avoidance mechanism.
+	HillClimbOnly = sim.HillClimbOnly
+	// CustomScheme runs a user-supplied Throttler (Scheme.Custom).
+	CustomScheme = sim.Custom
+)
+
+// Congestion estimators.
+const (
+	// LinearEstimator extrapolates from the last two side-band
+	// snapshots (the paper's default).
+	LinearEstimator = sim.LinearEstimator
+	// LastValueEstimator holds the last snapshot.
+	LastValueEstimator = sim.LastValueEstimator
+)
+
+// Deadlock handling.
+type (
+	// DeadlockMode selects avoidance or recovery.
+	DeadlockMode = router.DeadlockMode
+)
+
+// Deadlock modes.
+const (
+	// Avoidance reserves an escape virtual channel (Duato's protocol).
+	Avoidance = router.Avoidance
+	// Recovery detects deadlock by timeout and drains suspects through
+	// a token-serialized deadlock-buffer lane (Disha).
+	Recovery = router.Recovery
+)
+
+// Workload types.
+type (
+	// PatternKind names a communication pattern.
+	PatternKind = traffic.PatternKind
+	// Pattern maps sources to destinations.
+	Pattern = traffic.Pattern
+	// Process decides when nodes generate packets.
+	Process = traffic.Process
+	// Phase is one segment of a bursty schedule.
+	Phase = traffic.Phase
+	// Schedule is a piecewise workload.
+	Schedule = traffic.Schedule
+	// Bernoulli generates packets with a fixed per-cycle probability.
+	Bernoulli = traffic.Bernoulli
+	// Periodic generates a packet every Interval cycles.
+	Periodic = traffic.Periodic
+)
+
+// Communication patterns (the paper evaluates the first four).
+const (
+	// UniformRandom picks destinations uniformly.
+	UniformRandom = traffic.UniformRandom
+	// BitReversal reverses the address bits.
+	BitReversal = traffic.BitReversal
+	// PerfectShuffle rotates the address bits left.
+	PerfectShuffle = traffic.PerfectShuffle
+	// Butterfly swaps the most and least significant address bits.
+	Butterfly = traffic.Butterfly
+	// Transpose swaps the address halves.
+	Transpose = traffic.Transpose
+	// BitComplement inverts the address bits.
+	BitComplement = traffic.BitComplement
+)
+
+// Extension points for custom controllers and analysis.
+type (
+	// Throttler is the congestion-control interface consulted before
+	// each packet injection.
+	Throttler = congestion.Throttler
+	// LocalView exposes router-local channel state to throttlers.
+	LocalView = congestion.LocalView
+	// ViewBinder lets a custom Throttler receive the LocalView.
+	ViewBinder = sim.ViewBinder
+	// Snapshot is one globally gathered side-band aggregate; custom
+	// Throttlers implementing OnSnapshot(Snapshot) receive them.
+	Snapshot = sideband.Snapshot
+	// TunerConfig parameterizes the self-tuning mechanism.
+	TunerConfig = core.TunerConfig
+	// Tuner is the hill-climbing threshold policy.
+	Tuner = core.Tuner
+	// TracePoint is one tuning-period record of the controller state.
+	TracePoint = core.TracePoint
+	// Series is a fixed-interval time series of measurements.
+	Series = stats.Series
+	// Event is one packet lifecycle event (injection, routing,
+	// delivery, deadlock suspicion/recovery).
+	Event = trace.Event
+	// EventKind classifies lifecycle events.
+	EventKind = trace.Kind
+	// Recorder collects lifecycle events into a bounded ring; attach
+	// one with Engine.SetEventSink.
+	Recorder = trace.Recorder
+	// Torus is a k-ary n-cube topology.
+	Torus = topology.Torus
+	// NodeID identifies a network node.
+	NodeID = topology.NodeID
+)
+
+// NewConfig returns the paper's simulation parameters: a 16-ary 2-cube
+// (256 nodes), 3 virtual channels of depth 8, 16-flit packets, a
+// side-band with hop delay 2 (gather duration 32 cycles), deadlock
+// recovery, uniform random traffic, and 600k cycles with 100k warm-up.
+func NewConfig() Config { return sim.NewConfig() }
+
+// Run executes one simulation.
+func Run(cfg Config) (Result, error) { return sim.Run(cfg) }
+
+// New builds an Engine for callers that need access to the fabric.
+func New(cfg Config) (*Engine, error) { return sim.New(cfg) }
+
+// NewRecorder returns a lifecycle event recorder holding the most recent
+// capacity events.
+func NewRecorder(capacity int) *Recorder { return trace.NewRecorder(capacity) }
+
+// NewTorus constructs a k-ary n-cube topology.
+func NewTorus(k, n int) (*Torus, error) { return topology.New(k, n) }
+
+// NewPattern constructs a built-in communication pattern for a network
+// of the given node count.
+func NewPattern(kind PatternKind, nodes int) (Pattern, error) {
+	return traffic.NewPattern(kind, nodes)
+}
+
+// NewHotspotPattern returns a pattern that sends the given fraction of
+// packets to one hot node and the rest uniformly at random — the classic
+// tree-saturation workload.
+func NewHotspotPattern(nodes int, hot NodeID, fraction float64) Pattern {
+	return traffic.NewHotspot(nodes, hot, fraction)
+}
+
+// NewSchedule builds a piecewise workload schedule.
+func NewSchedule(phases []Phase, loop bool) (*Schedule, error) {
+	return traffic.NewSchedule(phases, loop)
+}
+
+// Steady returns a single-phase schedule that runs forever.
+func Steady(pattern Pattern, process Process) *Schedule {
+	return traffic.Steady(pattern, process)
+}
+
+// PaperBurstySchedule builds the alternating low/high-load workload of
+// the paper's Figure 6.
+func PaperBurstySchedule(nodes int, opt traffic.PaperBurstyOptions) (*Schedule, error) {
+	return traffic.PaperBurstySchedule(nodes, opt)
+}
+
+// BurstyOptions configures PaperBurstySchedule.
+type BurstyOptions = traffic.PaperBurstyOptions
+
+// DefaultTunerConfig returns the paper's tuning parameters for a network
+// with the given total VC buffer count (increment 1%, decrement 4%, drop
+// trigger 75%, r = 5).
+func DefaultTunerConfig(totalBuffers int) TunerConfig {
+	return core.DefaultTunerConfig(totalBuffers)
+}
+
+// Experiment drivers: one per table/figure of the paper's evaluation.
+type (
+	// Scale controls experiment run lengths.
+	Scale = experiments.Scale
+	// Curve is a named rate-sweep result.
+	Curve = experiments.Curve
+	// RatePoint is one point of a rate sweep.
+	RatePoint = experiments.RatePoint
+)
+
+// Analysis helpers.
+type (
+	// Knee summarizes where a rate sweep saturates.
+	Knee = analysis.Knee
+	// Stat is a mean with dispersion over replicated runs.
+	Stat = analysis.Stat
+	// Replication aggregates one configuration over several seeds.
+	Replication = analysis.Replication
+	// CompareRow is one scheme's aggregated outcome from CompareSchemes.
+	CompareRow = analysis.CompareRow
+)
+
+// FindKnee locates the saturation knee of a rate sweep.
+func FindKnee(points []RatePoint) (Knee, error) { return analysis.FindKnee(points) }
+
+// Replicate runs one configuration over several seeds and aggregates the
+// headline metrics (mean, standard deviation, min, max).
+func Replicate(cfg Config, seeds []int64) (Replication, error) {
+	return analysis.Replicate(cfg, seeds)
+}
+
+// CompareSchemes runs several congestion control schemes on the same
+// configuration and seeds.
+func CompareSchemes(cfg Config, schemes []Scheme, seeds []int64) ([]CompareRow, error) {
+	return analysis.Compare(cfg, schemes, seeds)
+}
+
+// Heatmap renders per-node values of a k x k network as an ASCII
+// intensity grid (useful with Engine.Fabric().FullVCBuffersAt to watch
+// tree saturation form).
+func Heatmap(values []float64, k int) string { return analysis.Heatmap(values, k) }
+
+// Experiment scales.
+var (
+	// QuickScale regenerates figure shapes in minutes.
+	QuickScale = experiments.Quick
+	// PaperScale is the published 600k-cycle methodology.
+	PaperScale = experiments.Paper
+)
+
+// Experiment drivers. Each regenerates one artifact of the paper's
+// evaluation at the given scale; see EXPERIMENTS.md for the paper-vs-
+// measured record.
+var (
+	// Fig1 is the saturation-collapse sweep (random + butterfly, base).
+	Fig1 = experiments.Fig1
+	// Fig2 is throughput vs full buffers (the hill the tuner climbs).
+	Fig2 = experiments.Fig2
+	// Fig3 is the Base/ALO/Tune comparison for one deadlock mode.
+	Fig3 = experiments.Fig3Curves
+	// Fig4 is the self-tuning threshold/throughput trace.
+	Fig4 = experiments.Fig4
+	// Fig5 is static thresholds vs self-tuning on two patterns.
+	Fig5 = experiments.Fig5
+	// Fig6 is the bursty offered-load schedule.
+	Fig6 = experiments.Fig6
+	// Fig7 is throughput over time under the bursty load.
+	Fig7 = experiments.Fig7
+	// Table1 exercises the tuning decision table.
+	Table1 = experiments.Table1
+	// Ext1Estimator compares congestion estimators.
+	Ext1Estimator = experiments.Ext1Estimator
+	// Ext2TuningPeriod sweeps the tuning period.
+	Ext2TuningPeriod = experiments.Ext2TuningPeriod
+	// Ext3Steps sweeps the tuner's step sizes.
+	Ext3Steps = experiments.Ext3Steps
+	// Ext4NarrowSideband compares side-band widths.
+	Ext4NarrowSideband = experiments.Ext4NarrowSideband
+	// Ext5HopDelay sweeps the side-band hop delay.
+	Ext5HopDelay = experiments.Ext5HopDelay
+	// Ext6ConsumptionChannels sweeps delivery channels per node.
+	Ext6ConsumptionChannels = experiments.Ext6ConsumptionChannels
+	// Ext7Selection compares adaptive port selection policies.
+	Ext7Selection = experiments.Ext7Selection
+	// Ext8GatherMechanism compares information gather mechanisms.
+	Ext8GatherMechanism = experiments.Ext8GatherMechanism
+	// Ext9AllPatterns sweeps base vs tune over all four patterns.
+	Ext9AllPatterns = experiments.Ext9AllPatterns
+	// Ext10CutThrough compares wormhole and cut-through switching.
+	Ext10CutThrough = experiments.Ext10CutThrough
+	// Ext11LocalBaselines compares both cited local baselines to Tune.
+	Ext11LocalBaselines = experiments.Ext11LocalBaselines
+	// Ext12ThreeCube checks generality on an 8-ary 3-cube.
+	Ext12ThreeCube = experiments.Ext12ThreeCube
+)
