@@ -294,6 +294,85 @@ func BenchmarkRouterStepLoaded(b *testing.B) {
 	}
 }
 
+// BenchmarkFabricStep measures one network cycle of the paper's 256-node
+// fabric at three occupancy regimes. The idle and low cases are where the
+// per-node active-set counters pay off (most routers are skipped in O(1));
+// the saturated case checks the bookkeeping does not slow the full-scan
+// regime down.
+func BenchmarkFabricStep(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		rate float64
+	}{
+		{"idle", 0},
+		{"low", 0.002},
+		{"saturated", 0.2},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			topo := topology.MustNew(16, 2)
+			fab := router.MustNew(router.Config{
+				Topo: topo, VCs: 3, BufDepth: 8, Mode: router.Recovery, DeadlockTimeout: 160,
+			})
+			rng := rand.New(rand.NewSource(1))
+			var id packet.ID
+			inject := func() {
+				if tc.rate == 0 {
+					return
+				}
+				for n := 0; n < topo.Nodes(); n++ {
+					if rng.Float64() < tc.rate && fab.CanStartInjection(topology.NodeID(n)) {
+						dst := topology.NodeID(rng.Intn(topo.Nodes()))
+						if dst == topology.NodeID(n) {
+							continue
+						}
+						fab.StartInjection(packet.New(id, topology.NodeID(n), dst, 16, fab.Now()))
+						id++
+					}
+				}
+			}
+			for i := 0; i < 2000; i++ { // reach steady-state occupancy
+				inject()
+				fab.Step()
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				inject()
+				fab.Step()
+			}
+		})
+	}
+}
+
+// BenchmarkEngineStep measures a full engine cycle (generation,
+// throttling, network step, sampling) at three operating points of the
+// self-tuned configuration.
+func BenchmarkEngineStep(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		rate float64
+	}{
+		{"idle", 0.0001},
+		{"moderate", 0.02},
+		{"saturated", 0.06},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			cfg := sim.NewConfig()
+			cfg.Rate = tc.rate
+			cfg.Scheme = sim.Scheme{Kind: sim.SelfTuned}
+			cfg.WarmupCycles = 1
+			cfg.MeasureCycles = int64(b.N) + 2000
+			e, err := sim.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			if _, err := e.Run(); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
 // BenchmarkTopologyMinimalPorts measures adaptive route candidate
 // generation.
 func BenchmarkTopologyMinimalPorts(b *testing.B) {

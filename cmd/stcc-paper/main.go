@@ -25,6 +25,7 @@ func main() {
 	exp := flag.String("exp", "all", "experiment: all, fig1..fig7, tab1, ext1..ext12")
 	scaleName := flag.String("scale", "quick", "run length: quick or paper")
 	out := flag.String("out", "", "directory for CSV output (optional)")
+	workers := flag.Int("workers", 0, "parallel simulations per experiment (0 = all CPUs)")
 	flag.Parse()
 
 	var scale experiments.Scale
@@ -44,7 +45,7 @@ func main() {
 		}
 	}
 
-	runner := &runner{scale: scale, out: *out}
+	runner := &runner{scale: scale, out: *out, run: experiments.Runner{Workers: *workers}}
 	all := map[string]func() error{
 		"fig1": runner.fig1, "fig2": runner.fig2, "fig3": runner.fig3,
 		"fig4": runner.fig4, "fig5": runner.fig5, "fig6": runner.fig6,
@@ -85,6 +86,7 @@ func main() {
 type runner struct {
 	scale experiments.Scale
 	out   string
+	run   experiments.Runner // worker pool shared by every experiment
 }
 
 func (r *runner) csv(name string, write func(f *os.File) error) error {
@@ -100,7 +102,7 @@ func (r *runner) csv(name string, write func(f *os.File) error) error {
 }
 
 func (r *runner) fig1() error {
-	curves, err := experiments.Fig1(r.scale, nil)
+	curves, err := r.run.Fig1(r.scale, nil)
 	if err != nil {
 		return err
 	}
@@ -109,7 +111,7 @@ func (r *runner) fig1() error {
 }
 
 func (r *runner) fig2() error {
-	pts, err := experiments.Fig2(r.scale, nil)
+	pts, err := r.run.Fig2(r.scale, nil)
 	if err != nil {
 		return err
 	}
@@ -119,7 +121,7 @@ func (r *runner) fig2() error {
 
 func (r *runner) fig3() error {
 	for _, mode := range []router.DeadlockMode{router.Recovery, router.Avoidance} {
-		curves, err := experiments.Fig3Curves(r.scale, mode, nil)
+		curves, err := r.run.Fig3Curves(r.scale, mode, nil)
 		if err != nil {
 			return err
 		}
@@ -134,7 +136,7 @@ func (r *runner) fig3() error {
 }
 
 func (r *runner) fig4() error {
-	traces, err := experiments.Fig4(r.scale, 0)
+	traces, err := r.run.Fig4(r.scale, 0)
 	if err != nil {
 		return err
 	}
@@ -147,7 +149,7 @@ func (r *runner) fig4() error {
 }
 
 func (r *runner) fig5() error {
-	curves, err := experiments.Fig5(r.scale, nil)
+	curves, err := r.run.Fig5(r.scale, nil)
 	if err != nil {
 		return err
 	}
@@ -166,7 +168,7 @@ func (r *runner) fig6() error {
 
 func (r *runner) fig7() error {
 	for _, mode := range []router.DeadlockMode{router.Recovery, router.Avoidance} {
-		series, err := experiments.Fig7(r.scale, mode)
+		series, err := r.run.Fig7(r.scale, mode)
 		if err != nil {
 			return err
 		}
@@ -187,7 +189,7 @@ func (r *runner) tab1() error {
 }
 
 func (r *runner) ext1() error {
-	pts, err := experiments.Ext1Estimator(r.scale, 0)
+	pts, err := r.run.Ext1Estimator(r.scale, 0)
 	if err != nil {
 		return err
 	}
@@ -196,7 +198,7 @@ func (r *runner) ext1() error {
 }
 
 func (r *runner) ext2() error {
-	pts, err := experiments.Ext2TuningPeriod(r.scale, 0)
+	pts, err := r.run.Ext2TuningPeriod(r.scale, 0)
 	if err != nil {
 		return err
 	}
@@ -205,7 +207,7 @@ func (r *runner) ext2() error {
 }
 
 func (r *runner) ext3() error {
-	pts, err := experiments.Ext3Steps(r.scale, 0)
+	pts, err := r.run.Ext3Steps(r.scale, 0)
 	if err != nil {
 		return err
 	}
@@ -214,7 +216,7 @@ func (r *runner) ext3() error {
 }
 
 func (r *runner) ext4() error {
-	pts, err := experiments.Ext4NarrowSideband(r.scale, 0)
+	pts, err := r.run.Ext4NarrowSideband(r.scale, 0)
 	if err != nil {
 		return err
 	}
@@ -223,7 +225,7 @@ func (r *runner) ext4() error {
 }
 
 func (r *runner) ext5() error {
-	pts, err := experiments.Ext5HopDelay(r.scale, 0)
+	pts, err := r.run.Ext5HopDelay(r.scale, 0)
 	if err != nil {
 		return err
 	}
@@ -232,7 +234,7 @@ func (r *runner) ext5() error {
 }
 
 func (r *runner) ext6() error {
-	pts, err := experiments.Ext6ConsumptionChannels(r.scale, 0)
+	pts, err := r.run.Ext6ConsumptionChannels(r.scale, 0)
 	if err != nil {
 		return err
 	}
@@ -241,7 +243,7 @@ func (r *runner) ext6() error {
 }
 
 func (r *runner) ext7() error {
-	pts, err := experiments.Ext7Selection(r.scale, 0)
+	pts, err := r.run.Ext7Selection(r.scale, 0)
 	if err != nil {
 		return err
 	}
@@ -250,7 +252,7 @@ func (r *runner) ext7() error {
 }
 
 func (r *runner) ext8() error {
-	pts, err := experiments.Ext8GatherMechanism(r.scale, 0)
+	pts, err := r.run.Ext8GatherMechanism(r.scale, 0)
 	if err != nil {
 		return err
 	}
@@ -259,7 +261,7 @@ func (r *runner) ext8() error {
 }
 
 func (r *runner) ext10() error {
-	pts, err := experiments.Ext10CutThrough(r.scale, 0)
+	pts, err := r.run.Ext10CutThrough(r.scale, 0)
 	if err != nil {
 		return err
 	}
@@ -268,7 +270,7 @@ func (r *runner) ext10() error {
 }
 
 func (r *runner) ext11() error {
-	pts, err := experiments.Ext11LocalBaselines(r.scale, 0)
+	pts, err := r.run.Ext11LocalBaselines(r.scale, 0)
 	if err != nil {
 		return err
 	}
@@ -277,7 +279,7 @@ func (r *runner) ext11() error {
 }
 
 func (r *runner) ext12() error {
-	pts, err := experiments.Ext12ThreeCube(r.scale, 0)
+	pts, err := r.run.Ext12ThreeCube(r.scale, 0)
 	if err != nil {
 		return err
 	}
@@ -286,7 +288,7 @@ func (r *runner) ext12() error {
 }
 
 func (r *runner) ext9() error {
-	curves, err := experiments.Ext9AllPatterns(r.scale, nil)
+	curves, err := r.run.Ext9AllPatterns(r.scale, nil)
 	if err != nil {
 		return err
 	}

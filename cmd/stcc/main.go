@@ -174,6 +174,7 @@ func cmdSweep(args []string) error {
 	build := netFlags(fs)
 	rates := fs.String("rates", "0.005,0.01,0.015,0.02,0.025,0.03,0.04,0.06",
 		"comma-separated injection rates")
+	workers := fs.Int("workers", 0, "parallel simulations (0 = all CPUs)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -181,23 +182,32 @@ func cmdSweep(args []string) error {
 	if err != nil {
 		return err
 	}
-	var curve experiments.Curve
-	curve.Name = fmt.Sprintf("%s/%s/%s", cfg.Scheme.Kind, cfg.Mode, cfg.Pattern)
+	var parsed []float64
 	for _, part := range strings.Split(*rates, ",") {
 		rate, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
 		if err != nil {
 			return fmt.Errorf("bad rate %q: %w", part, err)
 		}
+		parsed = append(parsed, rate)
+	}
+	var curve experiments.Curve
+	curve.Name = fmt.Sprintf("%s/%s/%s", cfg.Scheme.Kind, cfg.Mode, cfg.Pattern)
+	curve.Points = make([]experiments.RatePoint, len(parsed))
+	run := experiments.Runner{Workers: *workers}
+	if err := run.ForEach(len(parsed), func(i int) error {
 		c := cfg
-		c.Rate = rate
+		c.Rate = parsed[i]
 		r, err := stcc.Run(c)
 		if err != nil {
-			return err
+			return fmt.Errorf("rate %g: %w", parsed[i], err)
 		}
-		curve.Points = append(curve.Points, experiments.RatePoint{
-			Rate: rate, Accepted: r.AcceptedFlits, Latency: r.AvgNetworkLatency,
+		curve.Points[i] = experiments.RatePoint{
+			Rate: parsed[i], Accepted: r.AcceptedFlits, Latency: r.AvgNetworkLatency,
 			Recov: r.Recoveries, Full: r.AvgFullBuffers,
-		})
+		}
+		return nil
+	}); err != nil {
+		return err
 	}
 	experiments.PrintCurves(os.Stdout, "rate sweep", []experiments.Curve{curve})
 	return nil
@@ -285,6 +295,7 @@ func cmdCompare(args []string) error {
 	fs := flag.NewFlagSet("compare", flag.ExitOnError)
 	build := netFlags(fs)
 	seedsFlag := fs.String("seeds", "1,2,3", "comma-separated seeds for replication")
+	workers := fs.Int("workers", 0, "parallel simulations (0 = all CPUs)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -306,7 +317,7 @@ func cmdCompare(args []string) error {
 		{Kind: sim.StaticGlobal, StaticThreshold: cfg.Scheme.StaticThreshold},
 		{Kind: sim.SelfTuned},
 	}
-	rows, err := analysis.Compare(cfg, schemes, seeds)
+	rows, err := analysis.CompareWith(experiments.Runner{Workers: *workers}, cfg, schemes, seeds)
 	if err != nil {
 		return err
 	}

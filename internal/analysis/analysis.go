@@ -104,18 +104,34 @@ type Replication struct {
 
 // Replicate runs cfg once per seed and aggregates the headline metrics.
 // It is how the repository distinguishes real effects from seed noise.
+// It runs on every available CPU; use ReplicateWith to bound the pool.
 func Replicate(cfg sim.Config, seeds []int64) (Replication, error) {
+	return ReplicateWith(experiments.Runner{}, cfg, seeds)
+}
+
+// ReplicateWith is Replicate on the given runner's worker pool. Results
+// are aggregated in seed order, so the statistics are identical for any
+// worker count.
+func ReplicateWith(run experiments.Runner, cfg sim.Config, seeds []int64) (Replication, error) {
 	if len(seeds) == 0 {
 		return Replication{}, fmt.Errorf("analysis: need at least one seed")
 	}
-	var acc, lat, rec, full []float64
-	for _, seed := range seeds {
+	results := make([]sim.Result, len(seeds))
+	err := run.ForEach(len(seeds), func(i int) error {
 		c := cfg
-		c.Seed = seed
+		c.Seed = seeds[i]
 		r, err := sim.Run(c)
 		if err != nil {
-			return Replication{}, fmt.Errorf("analysis: seed %d: %w", seed, err)
+			return fmt.Errorf("analysis: seed %d: %w", seeds[i], err)
 		}
+		results[i] = r
+		return nil
+	})
+	if err != nil {
+		return Replication{}, err
+	}
+	var acc, lat, rec, full []float64
+	for _, r := range results {
 		acc = append(acc, r.AcceptedFlits)
 		lat = append(lat, r.AvgNetworkLatency)
 		rec = append(rec, float64(r.Recoveries))
@@ -136,24 +152,56 @@ type CompareRow struct {
 }
 
 // Compare runs several schemes on the same configuration and seeds,
-// returning one aggregated row per scheme.
+// returning one aggregated row per scheme. It runs on every available
+// CPU; use CompareWith to bound the pool.
 func Compare(cfg sim.Config, schemes []sim.Scheme, seeds []int64) ([]CompareRow, error) {
+	return CompareWith(experiments.Runner{}, cfg, schemes, seeds)
+}
+
+// CompareWith is Compare on the given runner's worker pool. The full
+// scheme x seed grid is flattened into one job list, so a 4-scheme,
+// 5-seed comparison keeps 20 workers busy rather than 5.
+func CompareWith(run experiments.Runner, cfg sim.Config, schemes []sim.Scheme, seeds []int64) ([]CompareRow, error) {
 	if len(schemes) == 0 {
 		return nil, fmt.Errorf("analysis: need at least one scheme")
 	}
-	var rows []CompareRow
-	for _, sch := range schemes {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("analysis: need at least one seed")
+	}
+	results := make([]sim.Result, len(schemes)*len(seeds))
+	err := run.ForEach(len(results), func(i int) error {
 		c := cfg
-		c.Scheme = sch
-		rep, err := Replicate(c, seeds)
+		c.Scheme = schemes[i/len(seeds)]
+		c.Seed = seeds[i%len(seeds)]
+		r, err := sim.Run(c)
 		if err != nil {
-			return nil, err
+			return fmt.Errorf("analysis: scheme %s seed %d: %w", c.Scheme.Kind, c.Seed, err)
+		}
+		results[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []CompareRow
+	for si, sch := range schemes {
+		var acc, lat, rec, full []float64
+		for _, r := range results[si*len(seeds) : (si+1)*len(seeds)] {
+			acc = append(acc, r.AcceptedFlits)
+			lat = append(lat, r.AvgNetworkLatency)
+			rec = append(rec, float64(r.Recoveries))
+			full = append(full, r.AvgFullBuffers)
 		}
 		name := string(sch.Kind)
 		if sch.Kind == sim.StaticGlobal {
 			name = fmt.Sprintf("static(%g)", sch.StaticThreshold)
 		}
-		rows = append(rows, CompareRow{Name: name, Rep: rep})
+		rows = append(rows, CompareRow{Name: name, Rep: Replication{
+			Accepted:   newStat(acc),
+			Latency:    newStat(lat),
+			Recoveries: newStat(rec),
+			FullBufs:   newStat(full),
+		}})
 	}
 	return rows, nil
 }

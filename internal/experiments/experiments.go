@@ -1,7 +1,8 @@
 // Package experiments contains one driver per table and figure of the
 // paper's evaluation (Section 5), each returning typed rows that the
 // benchmark harness and the stcc-paper command print or write as CSV.
-// Drivers are deterministic for a given Scale and seed.
+// Drivers are deterministic for a given Scale and seed, regardless of
+// how many Runner workers execute the grid.
 package experiments
 
 import (
@@ -65,30 +66,67 @@ type Curve struct {
 	Points []RatePoint
 }
 
+// gridJob pairs a simulation configuration with the label used both for
+// its result row and for contextualizing its error.
+type gridJob struct {
+	name string
+	cfg  sim.Config
+}
+
+// runJobs executes every job on the runner's pool and returns results in
+// job order, wrapping a failure as "<prefix> <job name>: <cause>".
+func (r Runner) runJobs(prefix string, jobs []gridJob) ([]sim.Result, error) {
+	cfgs := make([]sim.Config, len(jobs))
+	for i, j := range jobs {
+		cfgs[i] = j.cfg
+	}
+	return r.runGrid(cfgs, func(i int, err error) error {
+		return fmt.Errorf("%s %s: %w", prefix, jobs[i].name, err)
+	})
+}
+
+// curveGrid assembles rate-sweep results into curves: jobs are laid out
+// as len(names) consecutive blocks of len(rates) points each.
+func curveGrid(names []string, rates []float64, results []sim.Result) []Curve {
+	curves := make([]Curve, 0, len(names))
+	for ci, name := range names {
+		c := Curve{Name: name}
+		for ri, rate := range rates {
+			c.Points = append(c.Points, point(results[ci*len(rates)+ri], rate))
+		}
+		curves = append(curves, c)
+	}
+	return curves
+}
+
 // Fig1 reproduces Figure 1: performance breakdown at network saturation.
 // Base configuration (no congestion control), deadlock recovery, 16-ary
 // 2-cube, for uniform random and butterfly patterns: delivered bandwidth
 // collapses past the (pattern-dependent) saturation point.
-func Fig1(s Scale, rates []float64) ([]Curve, error) {
+func Fig1(s Scale, rates []float64) ([]Curve, error) { return Runner{}.Fig1(s, rates) }
+
+// Fig1 runs the Figure 1 grid on this runner's worker pool.
+func (r Runner) Fig1(s Scale, rates []float64) ([]Curve, error) {
 	if rates == nil {
 		rates = DefaultRates
 	}
-	var curves []Curve
-	for _, pat := range []traffic.PatternKind{traffic.UniformRandom, traffic.Butterfly} {
-		c := Curve{Name: string(pat)}
+	patterns := []traffic.PatternKind{traffic.UniformRandom, traffic.Butterfly}
+	var jobs []gridJob
+	names := make([]string, 0, len(patterns))
+	for _, pat := range patterns {
+		names = append(names, string(pat))
 		for _, rate := range rates {
 			cfg := baseConfig(s)
 			cfg.Pattern = pat
 			cfg.Rate = rate
-			r, err := sim.Run(cfg)
-			if err != nil {
-				return nil, fmt.Errorf("fig1 %s rate %g: %w", pat, rate, err)
-			}
-			c.Points = append(c.Points, point(r, rate))
+			jobs = append(jobs, gridJob{fmt.Sprintf("%s rate %g", pat, rate), cfg})
 		}
-		curves = append(curves, c)
 	}
-	return curves, nil
+	results, err := r.runJobs("fig1", jobs)
+	if err != nil {
+		return nil, err
+	}
+	return curveGrid(names, rates, results), nil
 }
 
 // Fig2Point is one (full buffers, throughput) sample of the Figure 2
@@ -104,19 +142,26 @@ type Fig2Point struct {
 // motivates using the full-buffer count as the tuning knob (the paper's
 // conceptual Figure 2), by sweeping offered load on the base
 // configuration and recording where each run settles.
-func Fig2(s Scale, rates []float64) ([]Fig2Point, error) {
+func Fig2(s Scale, rates []float64) ([]Fig2Point, error) { return Runner{}.Fig2(s, rates) }
+
+// Fig2 runs the Figure 2 sweep on this runner's worker pool.
+func (r Runner) Fig2(s Scale, rates []float64) ([]Fig2Point, error) {
 	if rates == nil {
 		rates = DefaultRates
 	}
-	var pts []Fig2Point
+	jobs := make([]gridJob, 0, len(rates))
 	for _, rate := range rates {
 		cfg := baseConfig(s)
 		cfg.Rate = rate
-		r, err := sim.Run(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("fig2 rate %g: %w", rate, err)
-		}
-		pts = append(pts, Fig2Point{Rate: rate, FullBuffers: r.AvgFullBuffers, Throughput: r.AcceptedFlits})
+		jobs = append(jobs, gridJob{fmt.Sprintf("rate %g", rate), cfg})
+	}
+	results, err := r.runJobs("fig2", jobs)
+	if err != nil {
+		return nil, err
+	}
+	pts := make([]Fig2Point, len(rates))
+	for i, res := range results {
+		pts[i] = Fig2Point{Rate: rates[i], FullBuffers: res.AvgFullBuffers, Throughput: res.AcceptedFlits}
 	}
 	return pts, nil
 }
@@ -126,27 +171,32 @@ func Fig2(s Scale, rates []float64) ([]Fig2Point, error) {
 // curves carry both throughput and latency per point ((a)+(b) for
 // recovery, (c)+(d) for avoidance).
 func Fig3Curves(s Scale, mode router.DeadlockMode, rates []float64) ([]Curve, error) {
+	return Runner{}.Fig3Curves(s, mode, rates)
+}
+
+// Fig3Curves runs the Figure 3 grid on this runner's worker pool.
+func (r Runner) Fig3Curves(s Scale, mode router.DeadlockMode, rates []float64) ([]Curve, error) {
 	if rates == nil {
 		rates = DefaultRates
 	}
 	schemes := []sim.Scheme{{Kind: sim.Base}, {Kind: sim.ALO}, {Kind: sim.SelfTuned}}
-	var curves []Curve
+	var jobs []gridJob
+	names := make([]string, 0, len(schemes))
 	for _, sch := range schemes {
-		c := Curve{Name: string(sch.Kind)}
+		names = append(names, string(sch.Kind))
 		for _, rate := range rates {
 			cfg := baseConfig(s)
 			cfg.Mode = mode
 			cfg.Rate = rate
 			cfg.Scheme = sch
-			r, err := sim.Run(cfg)
-			if err != nil {
-				return nil, fmt.Errorf("fig3 %s/%v rate %g: %w", sch.Kind, mode, rate, err)
-			}
-			c.Points = append(c.Points, point(r, rate))
+			jobs = append(jobs, gridJob{fmt.Sprintf("%s/%v rate %g", sch.Kind, mode, rate), cfg})
 		}
-		curves = append(curves, c)
 	}
-	return curves, nil
+	results, err := r.runJobs("fig3", jobs)
+	if err != nil {
+		return nil, err
+	}
+	return curveGrid(names, rates, results), nil
 }
 
 // Fig4Trace is one self-tuning run's threshold/throughput trajectory.
@@ -166,35 +216,44 @@ type Fig4Trace struct {
 // this simulator saturates at roughly twice that load, so the default
 // here is 50 cycles (0.02 packets/node/cycle) to reproduce the same
 // operating point.
-func Fig4(s Scale, regenInterval int64) ([]Fig4Trace, error) {
+func Fig4(s Scale, regenInterval int64) ([]Fig4Trace, error) { return Runner{}.Fig4(s, regenInterval) }
+
+// Fig4 runs both Figure 4 configurations on this runner's worker pool.
+func (r Runner) Fig4(s Scale, regenInterval int64) ([]Fig4Trace, error) {
 	if regenInterval <= 0 {
 		regenInterval = 50
 	}
-	var traces []Fig4Trace
-	for _, kind := range []sim.SchemeKind{sim.HillClimbOnly, sim.SelfTuned} {
+	kinds := []sim.SchemeKind{sim.HillClimbOnly, sim.SelfTuned}
+	jobs := make([]gridJob, 0, len(kinds))
+	var nodes float64
+	for _, kind := range kinds {
 		cfg := baseConfig(s)
 		cfg.Mode = router.Avoidance
 		topo, err := cfg.Topology()
 		if err != nil {
 			return nil, err
 		}
+		nodes = float64(topo.Nodes())
 		pat, err := traffic.NewPattern(traffic.UniformRandom, topo.Nodes())
 		if err != nil {
 			return nil, err
 		}
 		cfg.Schedule = traffic.Steady(pat, traffic.Periodic{Interval: regenInterval})
 		cfg.Scheme = sim.Scheme{Kind: kind, KeepTrace: true}
-		r, err := sim.Run(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("fig4 %s: %w", kind, err)
-		}
+		jobs = append(jobs, gridJob{string(kind), cfg})
+	}
+	results, err := r.runJobs("fig4", jobs)
+	if err != nil {
+		return nil, err
+	}
+	traces := make([]Fig4Trace, 0, len(kinds))
+	for i, kind := range kinds {
 		tr := Fig4Trace{Name: string(kind)}
-		nodes := float64(topo.Nodes())
-		period := float64(cfg.Scheme.TuningPeriod)
+		period := float64(jobs[i].cfg.Scheme.TuningPeriod)
 		if period == 0 {
-			period = float64(3 * cfg.GatherDuration())
+			period = float64(3 * jobs[i].cfg.GatherDuration())
 		}
-		for _, tp := range r.ThresholdTrace {
+		for _, tp := range results[i].ThresholdTrace {
 			tr.Cycle = append(tr.Cycle, tp.Cycle)
 			tr.Threshold = append(tr.Threshold, tp.Threshold)
 			tr.Throughput = append(tr.Throughput, tp.Throughput/nodes/period)
@@ -214,7 +273,10 @@ func Fig4(s Scale, regenInterval int64) ([]Fig4Trace, error) {
 // uniform random, degraded for butterfly — and 50, which over-throttles
 // random but suits butterfly. Both pairs are exercised so the paper's
 // original numbers remain visible.
-func Fig5(s Scale, rates []float64) ([]Curve, error) {
+func Fig5(s Scale, rates []float64) ([]Curve, error) { return Runner{}.Fig5(s, rates) }
+
+// Fig5 runs the Figure 5 grid on this runner's worker pool.
+func (r Runner) Fig5(s Scale, rates []float64) ([]Curve, error) {
 	if rates == nil {
 		rates = DefaultRates
 	}
@@ -227,25 +289,26 @@ func Fig5(s Scale, rates []float64) ([]Curve, error) {
 		{"static50", sim.Scheme{Kind: sim.StaticGlobal, StaticThreshold: 50}},
 		{"tune", sim.Scheme{Kind: sim.SelfTuned}},
 	}
-	var curves []Curve
+	var jobs []gridJob
+	var names []string
 	for _, pat := range []traffic.PatternKind{traffic.UniformRandom, traffic.Butterfly} {
 		for _, sc := range schemes {
-			c := Curve{Name: string(pat) + "/" + sc.name}
+			name := string(pat) + "/" + sc.name
+			names = append(names, name)
 			for _, rate := range rates {
 				cfg := baseConfig(s)
 				cfg.Pattern = pat
 				cfg.Rate = rate
 				cfg.Scheme = sc.sch
-				r, err := sim.Run(cfg)
-				if err != nil {
-					return nil, fmt.Errorf("fig5 %s: %w", c.Name, err)
-				}
-				c.Points = append(c.Points, point(r, rate))
+				jobs = append(jobs, gridJob{name, cfg})
 			}
-			curves = append(curves, c)
 		}
 	}
-	return curves, nil
+	results, err := r.runJobs("fig5", jobs)
+	if err != nil {
+		return nil, err
+	}
+	return curveGrid(names, rates, results), nil
 }
 
 // Fig6Row describes one phase of the bursty workload of Figure 6.
@@ -291,13 +354,19 @@ type Fig7Series struct {
 
 // Fig7 reproduces Figure 7: delivered throughput under the bursty load
 // for Base, ALO and Tune in the given deadlock mode.
-func Fig7(s Scale, mode router.DeadlockMode) ([]Fig7Series, error) {
+func Fig7(s Scale, mode router.DeadlockMode) ([]Fig7Series, error) { return Runner{}.Fig7(s, mode) }
+
+// Fig7 runs the three bursty-load schemes on this runner's worker pool.
+// The schemes share one traffic schedule; schedules are stateless during
+// generation, so concurrent engines can read it safely.
+func (r Runner) Fig7(s Scale, mode router.DeadlockMode) ([]Fig7Series, error) {
 	_, sched, err := Fig6(s)
 	if err != nil {
 		return nil, err
 	}
-	var out []Fig7Series
-	for _, sch := range []sim.Scheme{{Kind: sim.Base}, {Kind: sim.ALO}, {Kind: sim.SelfTuned}} {
+	schemes := []sim.Scheme{{Kind: sim.Base}, {Kind: sim.ALO}, {Kind: sim.SelfTuned}}
+	jobs := make([]gridJob, 0, len(schemes))
+	for _, sch := range schemes {
 		cfg := baseConfig(s)
 		cfg.Mode = mode
 		cfg.Schedule = sched
@@ -305,13 +374,18 @@ func Fig7(s Scale, mode router.DeadlockMode) ([]Fig7Series, error) {
 		cfg.MeasureCycles = sched.TotalDuration()
 		cfg.SampleInterval = 1024
 		cfg.Scheme = sch
-		r, err := sim.Run(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("fig7 %s/%v: %w", sch.Kind, mode, err)
-		}
-		fs := Fig7Series{Scheme: string(sch.Kind), AvgLatency: r.AvgNetworkLatency, AvgTotal: r.AvgTotalLatency}
-		for i, v := range r.Throughput.Values {
-			fs.Cycle = append(fs.Cycle, r.Throughput.CycleAt(i))
+		jobs = append(jobs, gridJob{fmt.Sprintf("%s/%v", sch.Kind, mode), cfg})
+	}
+	results, err := r.runJobs("fig7", jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Fig7Series, 0, len(schemes))
+	for i, sch := range schemes {
+		res := results[i]
+		fs := Fig7Series{Scheme: string(sch.Kind), AvgLatency: res.AvgNetworkLatency, AvgTotal: res.AvgTotalLatency}
+		for j, v := range res.Throughput.Values {
+			fs.Cycle = append(fs.Cycle, res.Throughput.CycleAt(j))
 			fs.Throughput = append(fs.Throughput, v)
 		}
 		out = append(out, fs)

@@ -44,59 +44,79 @@ type AblationPoint struct {
 	Latency  float64
 }
 
+// ablation runs each job on the runner's pool and maps the results to
+// named (throughput, latency) points — the shape every Ext* sweep shares.
+func (r Runner) ablation(prefix string, jobs []gridJob) ([]AblationPoint, error) {
+	results, err := r.runJobs(prefix, jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]AblationPoint, len(jobs))
+	for i, res := range results {
+		out[i] = AblationPoint{Name: jobs[i].name, Accepted: res.AcceptedFlits, Latency: res.AvgNetworkLatency}
+	}
+	return out, nil
+}
+
 // Ext1Estimator compares linear extrapolation against last-value
 // estimation near saturation (the paper reports 3-5% throughput from
 // extrapolation).
 func Ext1Estimator(s Scale, rate float64) ([]AblationPoint, error) {
+	return Runner{}.Ext1Estimator(s, rate)
+}
+
+// Ext1Estimator runs the estimator ablation on this runner's pool.
+func (r Runner) Ext1Estimator(s Scale, rate float64) ([]AblationPoint, error) {
 	if rate == 0 {
 		rate = 0.03
 	}
-	var out []AblationPoint
+	var jobs []gridJob
 	for _, est := range []sim.EstimatorKind{sim.LinearEstimator, sim.LastValueEstimator} {
 		cfg := baseConfig(s)
 		cfg.Rate = rate
 		cfg.Scheme = sim.Scheme{Kind: sim.SelfTuned, Estimator: est}
-		r, err := sim.Run(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("ext1 %s: %w", est, err)
-		}
-		out = append(out, AblationPoint{Name: string(est), Accepted: r.AcceptedFlits, Latency: r.AvgNetworkLatency})
+		jobs = append(jobs, gridJob{string(est), cfg})
 	}
-	return out, nil
+	return r.ablation("ext1", jobs)
 }
 
 // Ext2TuningPeriod sweeps the tuning period (the paper found 32-192
 // cycles performs within a few percent; it uses 96).
 func Ext2TuningPeriod(s Scale, rate float64) ([]AblationPoint, error) {
+	return Runner{}.Ext2TuningPeriod(s, rate)
+}
+
+// Ext2TuningPeriod runs the tuning-period sweep on this runner's pool.
+func (r Runner) Ext2TuningPeriod(s Scale, rate float64) ([]AblationPoint, error) {
 	if rate == 0 {
 		rate = 0.03
 	}
-	var out []AblationPoint
+	var jobs []gridJob
 	for _, period := range []int64{32, 64, 96, 160, 192} {
 		cfg := baseConfig(s)
 		cfg.Rate = rate
 		cfg.Scheme = sim.Scheme{Kind: sim.SelfTuned, TuningPeriod: period}
-		r, err := sim.Run(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("ext2 period %d: %w", period, err)
-		}
-		out = append(out, AblationPoint{Name: fmt.Sprintf("period=%d", period),
-			Accepted: r.AcceptedFlits, Latency: r.AvgNetworkLatency})
+		jobs = append(jobs, gridJob{fmt.Sprintf("period=%d", period), cfg})
 	}
-	return out, nil
+	return r.ablation("ext2", jobs)
 }
 
 // Ext3Steps sweeps the tuner's increment/decrement step sizes (the paper
 // found 1-4% of all buffers performs within ~4%, slightly better with
 // decrement > increment).
 func Ext3Steps(s Scale, rate float64) ([]AblationPoint, error) {
+	return Runner{}.Ext3Steps(s, rate)
+}
+
+// Ext3Steps runs the step-size sweep on this runner's pool.
+func (r Runner) Ext3Steps(s Scale, rate float64) ([]AblationPoint, error) {
 	if rate == 0 {
 		rate = 0.03
 	}
 	steps := []struct{ inc, dec float64 }{
 		{0.01, 0.01}, {0.01, 0.04}, {0.04, 0.01}, {0.04, 0.04}, {0.02, 0.02},
 	}
-	var out []AblationPoint
+	var jobs []gridJob
 	for _, st := range steps {
 		cfg := baseConfig(s)
 		cfg.Rate = rate
@@ -104,38 +124,35 @@ func Ext3Steps(s Scale, rate float64) ([]AblationPoint, error) {
 		tc.IncrementFraction = st.inc
 		tc.DecrementFraction = st.dec
 		cfg.Scheme = sim.Scheme{Kind: sim.SelfTuned, Tuner: &tc}
-		r, err := sim.Run(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("ext3 %+v: %w", st, err)
-		}
-		out = append(out, AblationPoint{Name: fmt.Sprintf("inc=%g%%,dec=%g%%", st.inc*100, st.dec*100),
-			Accepted: r.AcceptedFlits, Latency: r.AvgNetworkLatency})
+		jobs = append(jobs, gridJob{fmt.Sprintf("inc=%g%%,dec=%g%%", st.inc*100, st.dec*100), cfg})
 	}
-	return out, nil
+	return r.ablation("ext3", jobs)
 }
 
 // Ext4NarrowSideband compares the full-precision side-band against the
 // technical report's narrow (9-bit) side-band, which quantizes the
 // transported counts.
 func Ext4NarrowSideband(s Scale, rate float64) ([]AblationPoint, error) {
+	return Runner{}.Ext4NarrowSideband(s, rate)
+}
+
+// Ext4NarrowSideband runs the side-band-width ablation on this runner's
+// pool.
+func (r Runner) Ext4NarrowSideband(s Scale, rate float64) ([]AblationPoint, error) {
 	if rate == 0 {
 		rate = 0.03
 	}
-	var out []AblationPoint
+	var jobs []gridJob
 	for _, bits := range []int{0, 9} {
 		cfg := baseConfig(s)
 		cfg.Rate = rate
 		cfg.SidebandBits = bits
 		cfg.Scheme = sim.Scheme{Kind: sim.SelfTuned}
-		r, err := sim.Run(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("ext4 bits=%d: %w", bits, err)
-		}
 		name := "full-precision"
 		if bits > 0 {
 			name = fmt.Sprintf("%d-bit", bits)
 		}
-		out = append(out, AblationPoint{Name: name, Accepted: r.AcceptedFlits, Latency: r.AvgNetworkLatency})
+		jobs = append(jobs, gridJob{name, cfg})
 	}
-	return out, nil
+	return r.ablation("ext4", jobs)
 }

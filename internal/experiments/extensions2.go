@@ -14,25 +14,23 @@ import (
 // slower control loop (the technical report quantifies this effect; the
 // paper assumes h = 2 throughout).
 func Ext5HopDelay(s Scale, rate float64) ([]AblationPoint, error) {
+	return Runner{}.Ext5HopDelay(s, rate)
+}
+
+// Ext5HopDelay runs the hop-delay sweep on this runner's pool.
+func (r Runner) Ext5HopDelay(s Scale, rate float64) ([]AblationPoint, error) {
 	if rate == 0 {
 		rate = 0.03
 	}
-	var out []AblationPoint
+	var jobs []gridJob
 	for _, h := range []int{1, 2, 4, 8} {
 		cfg := baseConfig(s)
 		cfg.Rate = rate
 		cfg.SidebandHopDelay = h
 		cfg.Scheme = sim.Scheme{Kind: sim.SelfTuned}
-		r, err := sim.Run(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("ext5 h=%d: %w", h, err)
-		}
-		out = append(out, AblationPoint{
-			Name:     fmt.Sprintf("h=%d (g=%d)", h, cfg.GatherDuration()),
-			Accepted: r.AcceptedFlits, Latency: r.AvgNetworkLatency,
-		})
+		jobs = append(jobs, gridJob{fmt.Sprintf("h=%d (g=%d)", h, cfg.GatherDuration()), cfg})
 	}
-	return out, nil
+	return r.ablation("ext5", jobs)
 }
 
 // Ext6ConsumptionChannels sweeps the number of delivery (consumption)
@@ -40,48 +38,45 @@ func Ext5HopDelay(s Scale, rate float64) ([]AblationPoint, error) {
 // Panda's observation that consumption bandwidth bounds saturation
 // throughput.
 func Ext6ConsumptionChannels(s Scale, rate float64) ([]AblationPoint, error) {
+	return Runner{}.Ext6ConsumptionChannels(s, rate)
+}
+
+// Ext6ConsumptionChannels runs the consumption-channel sweep on this
+// runner's pool.
+func (r Runner) Ext6ConsumptionChannels(s Scale, rate float64) ([]AblationPoint, error) {
 	if rate == 0 {
 		rate = 0.03
 	}
-	var out []AblationPoint
+	var jobs []gridJob
 	for _, c := range []int{1, 2, 4} {
 		cfg := baseConfig(s)
 		cfg.Rate = rate
 		cfg.DeliveryChannels = c
-		r, err := sim.Run(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("ext6 c=%d: %w", c, err)
-		}
-		out = append(out, AblationPoint{
-			Name:     fmt.Sprintf("consumption=%d", c),
-			Accepted: r.AcceptedFlits, Latency: r.AvgNetworkLatency,
-		})
+		jobs = append(jobs, gridJob{fmt.Sprintf("consumption=%d", c), cfg})
 	}
-	return out, nil
+	return r.ablation("ext6", jobs)
 }
 
 // Ext7Selection compares adaptive-routing port selection policies on the
 // uncontrolled network near saturation.
 func Ext7Selection(s Scale, rate float64) ([]AblationPoint, error) {
+	return Runner{}.Ext7Selection(s, rate)
+}
+
+// Ext7Selection runs the selection-policy comparison on this runner's
+// pool.
+func (r Runner) Ext7Selection(s Scale, rate float64) ([]AblationPoint, error) {
 	if rate == 0 {
 		rate = 0.02
 	}
-	policies := []router.SelectionPolicy{router.RotatePorts, router.FirstPort, router.MostFreeVCs}
-	var out []AblationPoint
-	for _, pol := range policies {
+	var jobs []gridJob
+	for _, pol := range []router.SelectionPolicy{router.RotatePorts, router.FirstPort, router.MostFreeVCs} {
 		cfg := baseConfig(s)
 		cfg.Rate = rate
 		cfg.Selection = pol
-		r, err := sim.Run(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("ext7 %v: %w", pol, err)
-		}
-		out = append(out, AblationPoint{
-			Name:     "selection=" + pol.String(),
-			Accepted: r.AcceptedFlits, Latency: r.AvgNetworkLatency,
-		})
+		jobs = append(jobs, gridJob{"selection=" + pol.String(), cfg})
 	}
-	return out, nil
+	return r.ablation("ext7", jobs)
 }
 
 // Ext8GatherMechanism compares the three information distribution
@@ -89,56 +84,61 @@ func Ext7Selection(s Scale, rate float64) ([]AblationPoint, error) {
 // piggybacking — as substrates for the self-tuned controller at
 // saturation.
 func Ext8GatherMechanism(s Scale, rate float64) ([]AblationPoint, error) {
+	return Runner{}.Ext8GatherMechanism(s, rate)
+}
+
+// Ext8GatherMechanism runs the gather-mechanism comparison on this
+// runner's pool.
+func (r Runner) Ext8GatherMechanism(s Scale, rate float64) ([]AblationPoint, error) {
 	if rate == 0 {
 		rate = 0.03
 	}
-	var out []AblationPoint
+	var jobs []gridJob
 	for _, m := range []sideband.Mechanism{sideband.Dedicated, sideband.MetaPacket, sideband.Piggyback} {
 		cfg := baseConfig(s)
 		cfg.Rate = rate
 		cfg.SidebandMechanism = m
 		cfg.Scheme = sim.Scheme{Kind: sim.SelfTuned}
-		r, err := sim.Run(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("ext8 %v: %w", m, err)
-		}
-		out = append(out, AblationPoint{
-			Name:     "gather=" + m.String(),
-			Accepted: r.AcceptedFlits, Latency: r.AvgNetworkLatency,
-		})
+		jobs = append(jobs, gridJob{"gather=" + m.String(), cfg})
 	}
-	return out, nil
+	return r.ablation("ext8", jobs)
 }
 
 // Ext9AllPatterns produces base-vs-tune rate curves for all four of the
 // paper's communication patterns (the technical report's steady-load
 // study: the HPCA paper prints only uniform random in full).
 func Ext9AllPatterns(s Scale, rates []float64) ([]Curve, error) {
+	return Runner{}.Ext9AllPatterns(s, rates)
+}
+
+// Ext9AllPatterns runs the pattern/scheme grid on this runner's pool.
+func (r Runner) Ext9AllPatterns(s Scale, rates []float64) ([]Curve, error) {
 	if rates == nil {
 		rates = DefaultRates
 	}
 	patterns := []traffic.PatternKind{
 		traffic.UniformRandom, traffic.BitReversal, traffic.PerfectShuffle, traffic.Butterfly,
 	}
-	var curves []Curve
+	var jobs []gridJob
+	var names []string
 	for _, pat := range patterns {
 		for _, sch := range []sim.Scheme{{Kind: sim.Base}, {Kind: sim.SelfTuned}} {
-			c := Curve{Name: string(pat) + "/" + string(sch.Kind)}
+			name := string(pat) + "/" + string(sch.Kind)
+			names = append(names, name)
 			for _, rate := range rates {
 				cfg := baseConfig(s)
 				cfg.Pattern = pat
 				cfg.Rate = rate
 				cfg.Scheme = sch
-				r, err := sim.Run(cfg)
-				if err != nil {
-					return nil, fmt.Errorf("ext9 %s: %w", c.Name, err)
-				}
-				c.Points = append(c.Points, point(r, rate))
+				jobs = append(jobs, gridJob{name, cfg})
 			}
-			curves = append(curves, c)
 		}
 	}
-	return curves, nil
+	results, err := r.runJobs("ext9", jobs)
+	if err != nil {
+		return nil, err
+	}
+	return curveGrid(names, rates, results), nil
 }
 
 // Ext10CutThrough compares wormhole against virtual cut-through
@@ -148,21 +148,25 @@ func Ext9AllPatterns(s Scale, rates []float64) ([]Curve, error) {
 // packets inside single routers, so tree saturation is milder but still
 // present once router buffers fill.
 func Ext10CutThrough(s Scale, rate float64) ([]AblationPoint, error) {
+	return Runner{}.Ext10CutThrough(s, rate)
+}
+
+// Ext10CutThrough runs the switching-mode grid on this runner's pool.
+func (r Runner) Ext10CutThrough(s Scale, rate float64) ([]AblationPoint, error) {
 	if rate == 0 {
 		rate = 0.04
 	}
-	type cfgCase struct {
+	cases := []struct {
 		name      string
 		switching router.Switching
 		scheme    sim.Scheme
-	}
-	cases := []cfgCase{
+	}{
 		{"wormhole/base", router.Wormhole, sim.Scheme{Kind: sim.Base}},
 		{"wormhole/tune", router.Wormhole, sim.Scheme{Kind: sim.SelfTuned}},
 		{"cutthrough/base", router.CutThrough, sim.Scheme{Kind: sim.Base}},
 		{"cutthrough/tune", router.CutThrough, sim.Scheme{Kind: sim.SelfTuned}},
 	}
-	var out []AblationPoint
+	var jobs []gridJob
 	for _, c := range cases {
 		cfg := baseConfig(s)
 		cfg.Rate = rate
@@ -171,19 +175,21 @@ func Ext10CutThrough(s Scale, rate float64) ([]AblationPoint, error) {
 		if c.switching == router.CutThrough {
 			cfg.BufDepth = cfg.PacketLength // whole-packet buffers
 		}
-		r, err := sim.Run(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("ext10 %s: %w", c.name, err)
-		}
-		out = append(out, AblationPoint{Name: c.name, Accepted: r.AcceptedFlits, Latency: r.AvgNetworkLatency})
+		jobs = append(jobs, gridJob{c.name, cfg})
 	}
-	return out, nil
+	return r.ablation("ext10", jobs)
 }
 
 // Ext11LocalBaselines compares the paper's scheme against both local
 // baselines it cites — ALO (Baydal et al.) and busy-VC counting (Lopez
 // et al.) — at overload.
 func Ext11LocalBaselines(s Scale, rate float64) ([]AblationPoint, error) {
+	return Runner{}.Ext11LocalBaselines(s, rate)
+}
+
+// Ext11LocalBaselines runs the local-baseline comparison on this
+// runner's pool.
+func (r Runner) Ext11LocalBaselines(s Scale, rate float64) ([]AblationPoint, error) {
 	if rate == 0 {
 		rate = 0.04
 	}
@@ -193,18 +199,14 @@ func Ext11LocalBaselines(s Scale, rate float64) ([]AblationPoint, error) {
 		{Kind: sim.ALO},
 		{Kind: sim.SelfTuned},
 	}
-	var out []AblationPoint
+	var jobs []gridJob
 	for _, sch := range schemes {
 		cfg := baseConfig(s)
 		cfg.Rate = rate
 		cfg.Scheme = sch
-		r, err := sim.Run(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("ext11 %s: %w", sch.Kind, err)
-		}
-		out = append(out, AblationPoint{Name: string(sch.Kind), Accepted: r.AcceptedFlits, Latency: r.AvgNetworkLatency})
+		jobs = append(jobs, gridJob{string(sch.Kind), cfg})
 	}
-	return out, nil
+	return r.ablation("ext11", jobs)
 }
 
 // Ext12ThreeCube runs base vs tune on an 8-ary 3-cube (512 nodes),
@@ -212,21 +214,21 @@ func Ext11LocalBaselines(s Scale, rate float64) ([]AblationPoint, error) {
 // the paper's k-ary n-cube framing implies. The tuning period is three
 // gather durations of the 3-cube's side-band (g = 4*2*3 = 24 cycles).
 func Ext12ThreeCube(s Scale, rate float64) ([]AblationPoint, error) {
+	return Runner{}.Ext12ThreeCube(s, rate)
+}
+
+// Ext12ThreeCube runs the 3-cube comparison on this runner's pool.
+func (r Runner) Ext12ThreeCube(s Scale, rate float64) ([]AblationPoint, error) {
 	if rate == 0 {
 		rate = 0.05
 	}
-	var out []AblationPoint
+	var jobs []gridJob
 	for _, sch := range []sim.Scheme{{Kind: sim.Base}, {Kind: sim.SelfTuned}} {
 		cfg := baseConfig(s)
 		cfg.K, cfg.N = 8, 3
 		cfg.Rate = rate
 		cfg.Scheme = sch
-		r, err := sim.Run(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("ext12 %s: %w", sch.Kind, err)
-		}
-		out = append(out, AblationPoint{Name: "8-ary 3-cube/" + string(sch.Kind),
-			Accepted: r.AcceptedFlits, Latency: r.AvgNetworkLatency})
+		jobs = append(jobs, gridJob{"8-ary 3-cube/" + string(sch.Kind), cfg})
 	}
-	return out, nil
+	return r.ablation("ext12", jobs)
 }

@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"context"
+	"runtime"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// Runner executes the independent points of an experiment grid — rate x
+// scheme x deadlock-mode x seed — across a pool of worker goroutines.
+// Each point is a self-contained sim.Engine run (own RNG, own fabric), so
+// points are embarrassingly parallel; the runner only schedules them and
+// reassembles results in deterministic input order. Every figure and
+// extension driver in this package is a method on Runner; the package-
+// level functions of the same names run on the zero Runner, which uses
+// every available CPU.
+type Runner struct {
+	// Workers caps the number of concurrently running simulations.
+	// Zero or negative selects runtime.GOMAXPROCS(0); 1 runs the whole
+	// grid serially on the calling goroutine.
+	Workers int
+}
+
+// workerCount resolves the effective pool size for n jobs.
+func (r Runner) workerCount(n int) int {
+	w := r.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	return w
+}
+
+// ForEach runs fn(0), fn(1), ..., fn(n-1) across the runner's worker
+// pool and blocks until all started jobs finish. fn must store its own
+// result at its index; distinct indices never race. The first error
+// cancels the dispatch of not-yet-started jobs via context, and the
+// returned error is the one with the lowest index among jobs that ran —
+// so the reported error does not depend on the worker count.
+func (r Runner) ForEach(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := r.workerCount(n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	indices := make(chan int)
+	go func() {
+		defer close(indices)
+		for i := 0; i < n; i++ {
+			select {
+			case indices <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range indices {
+				if err := fn(i); err != nil {
+					errs[i] = err
+					cancel()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// The lowest failing index is always dispatched before any higher
+	// one, so this choice is deterministic for deterministic jobs.
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runGrid executes one simulation per configuration and returns results
+// in input order. wrapErr contextualizes a point's failure ("fig3 tune
+// rate 0.02: ...") for the aggregated error.
+func (r Runner) runGrid(cfgs []sim.Config, wrapErr func(i int, err error) error) ([]sim.Result, error) {
+	out := make([]sim.Result, len(cfgs))
+	err := r.ForEach(len(cfgs), func(i int) error {
+		res, err := sim.Run(cfgs[i])
+		if err != nil {
+			return wrapErr(i, err)
+		}
+		out[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,70 @@
+package router
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/topology"
+)
+
+// TestActiveSetCountersUnderLoad drives the fabric through idle, loaded
+// and draining phases in both deadlock modes and verifies the per-node
+// active-set counters (which the stages use to skip idle routers) against
+// a full recount every few cycles. Saturating injection exercises the
+// recovery paths (freeze, drain, re-arm), which are the trickiest counter
+// transitions.
+func TestActiveSetCountersUnderLoad(t *testing.T) {
+	for _, mode := range []DeadlockMode{Avoidance, Recovery} {
+		t.Run(mode.String(), func(t *testing.T) {
+			cfg := testConfig(8, mode)
+			f := MustNew(cfg)
+			rng := rand.New(rand.NewSource(7))
+			var id packet.ID
+
+			check := func(phase string) {
+				if err := f.CheckInvariants(); err != nil {
+					t.Fatalf("%s at cycle %d: %v", phase, f.Now(), err)
+				}
+			}
+
+			// Idle network: every counter must be zero.
+			for i := 0; i < 20; i++ {
+				f.Step()
+			}
+			for _, nd := range f.nodes {
+				if nd.latched != 0 || nd.ownedOuts != 0 || nd.occupiedIns != 0 || nd.pendingIns != 0 {
+					t.Fatalf("idle node %d has nonzero counters: %d %d %d %d",
+						nd.id, nd.latched, nd.ownedOuts, nd.occupiedIns, nd.pendingIns)
+				}
+			}
+
+			// Saturating load: inject aggressively for a while.
+			for i := 0; i < 1500; i++ {
+				for n := 0; n < f.topo.Nodes(); n++ {
+					if rng.Float64() < 0.1 && f.CanStartInjection(topology.NodeID(n)) {
+						dst := topology.NodeID(rng.Intn(f.topo.Nodes()))
+						if dst == topology.NodeID(n) {
+							continue
+						}
+						f.StartInjection(packet.New(id, topology.NodeID(n), dst, 16, f.Now()))
+						id++
+					}
+				}
+				f.Step()
+				if i%50 == 0 {
+					check("loaded")
+				}
+			}
+
+			// Drain: stop injecting and let the network empty out.
+			for i := 0; i < 3000 && f.InFlight() > 0; i++ {
+				f.Step()
+				if i%100 == 0 {
+					check("draining")
+				}
+			}
+			check("drained")
+		})
+	}
+}

@@ -77,6 +77,13 @@ func (b *vcBuffer) push(f flit) {
 	}
 	b.buf[(b.head+b.n)%len(b.buf)] = f
 	b.n++
+	if b.n == 1 {
+		nd := b.fab.nodes[b.node]
+		nd.occupiedIns++
+		if !b.bound {
+			nd.pendingIns++
+		}
+	}
 	if b.countable && b.full() {
 		b.fab.fullBuffers++
 	}
@@ -93,15 +100,40 @@ func (b *vcBuffer) pop() flit {
 	b.buf[b.head] = flit{}
 	b.head = (b.head + 1) % len(b.buf)
 	b.n--
+	if b.n == 0 {
+		nd := b.fab.nodes[b.node]
+		nd.occupiedIns--
+		if !b.bound {
+			nd.pendingIns--
+		}
+	}
 	return f
 }
 
-// clearBinding resets the wormhole route state after a tail departs.
+// setBinding records the wormhole route decision for the packet at the
+// front of b. The buffer leaves the pending set: its front is no longer
+// an unrouted header.
+func (b *vcBuffer) setBinding(pkt *packet.Packet, port, vc int) {
+	b.bound = true
+	b.boundPkt = pkt
+	b.outPort = port
+	b.outVC = vc
+	if b.n > 0 {
+		b.fab.nodes[b.node].pendingIns--
+	}
+}
+
+// clearBinding resets the wormhole route state after a tail departs. Any
+// flits still buffered belong to the next packet, whose header is now an
+// arbitration candidate again.
 func (b *vcBuffer) clearBinding() {
 	b.bound = false
 	b.boundPkt = nil
 	b.outPort = 0
 	b.outVC = 0
+	if b.n > 0 {
+		b.fab.nodes[b.node].pendingIns++
+	}
 }
 
 // CountOf implements packet.Location.
@@ -133,6 +165,7 @@ func (b *vcBuffer) String() string {
 // its outgoing link (or the delivery channel). A flit spends exactly one
 // cycle here: crossbar traversal fills it, link traversal drains it.
 type latch struct {
+	fab  *Fabric
 	node topology.NodeID
 	port int
 	vc   int
@@ -146,12 +179,14 @@ func (l *latch) set(f flit) {
 	}
 	l.f = f
 	l.full = true
+	l.fab.nodes[l.node].latched++
 }
 
 func (l *latch) clear() flit {
 	f := l.f
 	l.f = flit{}
 	l.full = false
+	l.fab.nodes[l.node].latched--
 	return f
 }
 
@@ -213,7 +248,14 @@ type outVC struct {
 
 func (o *outVC) free() bool { return o.ownerPkt == nil }
 
+func (o *outVC) acquire(b *vcBuffer, pkt *packet.Packet) {
+	o.owner = b
+	o.ownerPkt = pkt
+	o.lat.fab.nodes[o.lat.node].ownedOuts++
+}
+
 func (o *outVC) release() {
 	o.owner = nil
 	o.ownerPkt = nil
+	o.lat.fab.nodes[o.lat.node].ownedOuts--
 }

@@ -182,6 +182,15 @@ type node struct {
 	// Rotating start offset for adaptive output-port selection.
 	adaptPtr int
 
+	// Active-set occupancy counters, maintained incrementally like the
+	// fabric-wide fullBuffers metric. The per-cycle stages consult them
+	// to skip this router in O(1) instead of scanning its ports and VCs;
+	// at low load almost every router is skipped by every stage.
+	latched     int // output latches currently holding a flit
+	ownedOuts   int // output VCs currently owned by a packet
+	occupiedIns int // input VCs currently holding at least one flit
+	pendingIns  int // input VCs holding flits with no output VC bound yet
+
 	// Injection state: the packet currently streaming into the
 	// injection channel.
 	src srcSlot
@@ -259,7 +268,7 @@ func New(cfg Config) (*Fabric, error) {
 		for p := 0; p < phys; p++ {
 			nd.outs[p] = make([]*outVC, cfg.VCs)
 			for v := 0; v < cfg.VCs; v++ {
-				nd.outs[p][v] = &outVC{lat: latch{node: nd.id, port: p, vc: v}}
+				nd.outs[p][v] = &outVC{lat: latch{fab: f, node: nd.id, port: p, vc: v}}
 			}
 		}
 		dlv := cfg.DeliveryChannels
@@ -268,7 +277,7 @@ func New(cfg Config) (*Fabric, error) {
 		}
 		nd.outs[f.dlvPort] = make([]*outVC, dlv)
 		for v := 0; v < dlv; v++ {
-			nd.outs[f.dlvPort][v] = &outVC{lat: latch{node: nd.id, port: f.dlvPort, vc: v}}
+			nd.outs[f.dlvPort][v] = &outVC{lat: latch{fab: f, node: nd.id, port: f.dlvPort, vc: v}}
 		}
 		nd.swPtr = make([]int, phys+1)
 		nd.src = srcSlot{node: nd.id}

@@ -8,7 +8,8 @@ import (
 
 // CheckInvariants walks the whole fabric and verifies structural
 // invariants: buffer occupancy bounds, the incremental full-buffer
-// counter, wormhole binding/ownership consistency, and per-packet flit
+// counter, the per-node active-set counters the stages use to skip idle
+// routers, wormhole binding/ownership consistency, and per-packet flit
 // conservation (buffered + consumed + in the recovery lane == length).
 // It exists for tests and debugging; it is O(network size) and is never
 // called by Step.
@@ -17,6 +18,7 @@ func (f *Fabric) CheckInvariants() error {
 	full := 0
 
 	for _, nd := range f.nodes {
+		var latched, ownedOuts, occupiedIns, pendingIns int
 		for _, port := range nd.inputs {
 			for _, b := range port {
 				if b.n < 0 || b.n > len(b.buf) {
@@ -24,6 +26,12 @@ func (f *Fabric) CheckInvariants() error {
 				}
 				if b.countable && b.full() {
 					full++
+				}
+				if b.n > 0 {
+					occupiedIns++
+					if !b.bound {
+						pendingIns++
+					}
 				}
 				for i := 0; i < b.n; i++ {
 					fl := b.buf[(b.head+i)%len(b.buf)]
@@ -50,14 +58,24 @@ func (f *Fabric) CheckInvariants() error {
 						return fmt.Errorf("%v holds a nil flit", &o.lat)
 					}
 					buffered[o.lat.f.pkt]++
+					latched++
 				}
 				if (o.ownerPkt == nil) != (o.owner == nil) {
 					return fmt.Errorf("output VC at node %d: owner/ownerPkt mismatch", nd.id)
+				}
+				if o.ownerPkt != nil {
+					ownedOuts++
 				}
 			}
 		}
 		if p := nd.src.pkt; p != nil {
 			buffered[p] += p.SrcRemaining
+		}
+		if latched != nd.latched || ownedOuts != nd.ownedOuts ||
+			occupiedIns != nd.occupiedIns || pendingIns != nd.pendingIns {
+			return fmt.Errorf("node %d active-set counters (latched %d owned %d occupied %d pending %d), recount (%d %d %d %d)",
+				nd.id, nd.latched, nd.ownedOuts, nd.occupiedIns, nd.pendingIns,
+				latched, ownedOuts, occupiedIns, pendingIns)
 		}
 	}
 

@@ -59,6 +59,9 @@ func (f *Fabric) detectDeadlock() {
 	now := f.now
 	timeout := f.cfg.DeadlockTimeout
 	for _, nd := range f.nodes {
+		if nd.occupiedIns == 0 {
+			continue // no buffered flits, so no blockable header here
+		}
 		for _, port := range nd.inputs {
 			for _, b := range port {
 				if b.len() == 0 {

@@ -16,6 +16,9 @@ import (
 func (f *Fabric) linkStage() {
 	now := f.now
 	for _, nd := range f.nodes {
+		if nd.latched == 0 {
+			continue
+		}
 		for p, outs := range nd.outs {
 			for _, o := range outs {
 				if !o.lat.full || o.lat.f.pkt.Mode.Frozen() {
@@ -57,6 +60,9 @@ func (f *Fabric) linkStage() {
 func (f *Fabric) crossbarStage() {
 	now := f.now
 	for _, nd := range f.nodes {
+		if nd.ownedOuts == 0 {
+			continue
+		}
 		for p, outs := range nd.outs {
 			nvc := len(outs)
 			start := nd.swPtr[p]
@@ -120,6 +126,9 @@ func (f *Fabric) inputVCAt(nd *node, idx int) *vcBuffer {
 }
 
 func (f *Fabric) arbitrate(nd *node) {
+	if nd.pendingIns == 0 {
+		return // no input VC holds an unrouted header
+	}
 	total := f.inputVCCount()
 	for i := 0; i < total; i++ {
 		idx := (nd.arbPtr + i) % total
@@ -252,12 +261,8 @@ func (f *Fabric) allocate(nd *node, b *vcBuffer, pkt *packet.Packet, port, vc in
 	if !o.free() {
 		panic(fmt.Sprintf("router: double allocation of node %d port %d vc %d", nd.id, port, vc))
 	}
-	b.bound = true
-	b.boundPkt = pkt
-	b.outPort = port
-	b.outVC = vc
-	o.owner = b
-	o.ownerPkt = pkt
+	b.setBinding(pkt, port, vc)
+	o.acquire(b, pkt)
 	pkt.Hops++
 	pkt.Progress(f.now)
 	f.emit(trace.Routed, pkt, nd.id)

@@ -35,9 +35,10 @@ type Engine struct {
 	sched *traffic.Schedule
 	rng   *rand.Rand
 
-	queues  [][]pending // per-node source queues
-	nextID  packet.ID
-	created int64
+	queues   [][]pending // per-node source queues
+	nextID   packet.ID
+	created  int64
+	injStart int // rotating start node of the injection scan
 
 	// Measurement.
 	warmup          int64
@@ -193,6 +194,9 @@ func (e *Engine) Run() (Result, error) {
 // `every` simulated cycles (fn may inspect the fabric via Fabric).
 // A zero interval or nil fn disables the callback.
 func (e *Engine) RunWithProgress(every int64, fn func(now int64)) (Result, error) {
+	if every < 0 {
+		return Result{}, fmt.Errorf("sim: negative progress interval %d", every)
+	}
 	if e.fab.Now() != 0 {
 		return Result{}, fmt.Errorf("sim: engine already run")
 	}
@@ -219,9 +223,22 @@ func (e *Engine) step(now int64) {
 		}
 	}
 
-	// 3. Injection, gated by the throttler.
+	// 3. Injection, gated by the throttler. The scan starts at a node
+	// that rotates each cycle (mirroring the router's RotatePorts
+	// policy): a fixed start would hand low-numbered nodes every
+	// contended injection slot when the throttler rations per-cycle
+	// injections.
 	throttledThisCycle := false
-	for n := 0; n < nodes; n++ {
+	start := e.injStart
+	e.injStart++
+	if e.injStart == nodes {
+		e.injStart = 0
+	}
+	for i := 0; i < nodes; i++ {
+		n := start + i
+		if n >= nodes {
+			n -= nodes
+		}
 		q := e.queues[n]
 		if len(q) == 0 || !e.fab.CanStartInjection(topology.NodeID(n)) {
 			continue
