@@ -1,0 +1,57 @@
+# Reproducible local equivalents of the CI jobs. `make lint test` is
+# what a PR must pass; `make fuzz-smoke` mirrors CI's fuzz job.
+
+GO ?= go
+FUZZTIME ?= 10s
+
+.PHONY: all build test race bench lint fmt-check vet stcc-vet govulncheck fuzz-smoke
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+
+# lint is the full static gate: formatting, the standard vet suite, the
+# determinism-contract suite, and (when the tool is available)
+# govulncheck.
+lint: fmt-check vet stcc-vet govulncheck
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+# The custom determinism-contract analyzers; see README.md
+# ("Determinism contract") for the rules and internal/analyzers for the
+# implementation.
+stcc-vet:
+	$(GO) run ./cmd/stcc-vet ./...
+
+# govulncheck needs network access to fetch the vuln DB and is not baked
+# into every dev container; run it when present, say so when not. CI
+# installs it explicitly.
+govulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
+	fi
+
+# Native Go fuzzing: each target gets a short deterministic-budget run.
+# Raise FUZZTIME for a real session.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzDORMeshRoute$$' -fuzztime $(FUZZTIME) ./internal/topology
+	$(GO) test -run '^$$' -fuzz '^FuzzMinimalPorts$$' -fuzztime $(FUZZTIME) ./internal/topology
+	$(GO) test -run '^$$' -fuzz '^FuzzFlitFraming$$' -fuzztime $(FUZZTIME) ./internal/packet
+	$(GO) test -run '^$$' -fuzz '^FuzzLatencyAccounting$$' -fuzztime $(FUZZTIME) ./internal/packet

@@ -1,0 +1,46 @@
+package analyzers
+
+import (
+	"strings"
+
+	"repro/internal/analyzers/framework"
+)
+
+// DeterministicPackages are the packages covered by the determinism
+// contract: everything that executes between Config+Seed and a
+// simulation Result. Packages outside this list (experiments, analysis,
+// stats, trace, the CLIs) may use the clock and global randomness
+// freely — they orchestrate runs, they don't define them.
+var DeterministicPackages = []string{
+	"repro/internal/router",
+	"repro/internal/sim",
+	"repro/internal/core",
+	"repro/internal/traffic",
+	"repro/internal/sideband",
+	"repro/internal/topology",
+	"repro/internal/packet",
+}
+
+// RouterPackage is the home of the guarded active-set counters.
+const RouterPackage = "repro/internal/router"
+
+// Suite returns the full analyzer suite with its per-package scoping:
+// detrand and maporder on every deterministic package, counterguard on
+// the router only. Both cmd/stcc-vet drivers and the self-check test
+// use this one definition.
+func Suite() []framework.Config {
+	return []framework.Config{
+		{Analyzer: DetRand, Applies: isDeterministic},
+		{Analyzer: MapOrder, Applies: isDeterministic},
+		{Analyzer: CounterGuard, Applies: func(pkgPath string) bool { return pkgPath == RouterPackage }},
+	}
+}
+
+func isDeterministic(pkgPath string) bool {
+	for _, p := range DeterministicPackages {
+		if pkgPath == p || strings.HasPrefix(pkgPath, p+"/") {
+			return true
+		}
+	}
+	return false
+}

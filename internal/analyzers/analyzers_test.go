@@ -1,0 +1,63 @@
+package analyzers_test
+
+import (
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"repro/internal/analyzers"
+	"repro/internal/analyzers/framework"
+)
+
+// testdata returns the absolute path of this package's testdata dir.
+func testdata(t *testing.T) string {
+	t.Helper()
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("cannot locate test source file")
+	}
+	return filepath.Join(filepath.Dir(file), "testdata")
+}
+
+func TestDetRand(t *testing.T) {
+	framework.TestRunner(t, testdata(t), analyzers.DetRand, "detrand/a")
+}
+
+func TestMapOrder(t *testing.T) {
+	framework.TestRunner(t, testdata(t), analyzers.MapOrder, "maporder/a")
+}
+
+func TestCounterGuard(t *testing.T) {
+	framework.TestRunner(t, testdata(t), analyzers.CounterGuard, "counterguard/a")
+}
+
+// TestSuiteScoping pins the package filters: the determinism analyzers
+// cover exactly the deterministic packages, and counterguard only the
+// router.
+func TestSuiteScoping(t *testing.T) {
+	suite := analyzers.Suite()
+	if len(suite) != 3 {
+		t.Fatalf("suite has %d analyzers, want 3", len(suite))
+	}
+	for _, cfg := range suite {
+		if !cfg.Applies("repro/internal/router") {
+			t.Errorf("%s does not apply to the router package", cfg.Analyzer.Name)
+		}
+		if cfg.Applies("repro/internal/experiments") {
+			t.Errorf("%s applies to the experiments package; orchestration may use the clock", cfg.Analyzer.Name)
+		}
+		if cfg.Applies("repro/internal/analyzers") {
+			t.Errorf("%s applies to the analyzer package itself", cfg.Analyzer.Name)
+		}
+	}
+	for _, cfg := range suite[:2] {
+		for _, pkg := range analyzers.DeterministicPackages {
+			if !cfg.Applies(pkg) {
+				t.Errorf("%s does not apply to deterministic package %s", cfg.Analyzer.Name, pkg)
+			}
+		}
+	}
+	if suite[2].Applies("repro/internal/sim") {
+		t.Error("counterguard applies outside the router package")
+	}
+}

@@ -1,0 +1,98 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+
+	"repro/internal/analyzers/framework"
+)
+
+// CounterGuard protects the incremental active-set counters introduced
+// by the fabric hot-path optimization. The counters are denormalized
+// state: they must move in lockstep with the buffer, latch, and
+// output-VC transitions they summarize, and the only code trusted to
+// keep that lockstep is the accessor layer in buffer.go (push/pop,
+// setBinding/clearBinding, latch.set/clear, outVC.acquire/release).
+// Any direct mutation elsewhere — including taking a counter's address —
+// is flagged. CheckInvariants recounts them from scratch, which is why
+// it reads the fields but never writes them.
+var CounterGuard = &framework.Analyzer{
+	Name: "counterguard",
+	Doc: `restrict active-set counter mutation to the buffer.go accessors
+
+The incremental counters (fullBuffers, latched, ownedOuts, occupiedIns,
+pendingIns) let the per-cycle stages skip idle routers. They are
+consistent only if every state transition updates them exactly once;
+that discipline lives in buffer.go, and this analyzer rejects writes
+from any other file.`,
+	Run: runCounterGuard,
+}
+
+// guardedCounters are the field names the analyzer protects.
+var guardedCounters = map[string]bool{
+	"fullBuffers": true,
+	"latched":     true,
+	"ownedOuts":   true,
+	"occupiedIns": true,
+	"pendingIns":  true,
+}
+
+// counterAccessorFile is the only file allowed to mutate the guarded
+// fields.
+const counterAccessorFile = "buffer.go"
+
+func runCounterGuard(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		name := filepath.Base(pass.Fset.Position(f.Pos()).Filename)
+		if name == counterAccessorFile {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range s.Lhs {
+					if field, ok := guardedField(pass, lhs); ok {
+						pass.Reportf(lhs.Pos(),
+							"direct write to active-set counter %s outside %s; use the accessor methods so the counter stays in lockstep with the state it summarizes",
+							field, counterAccessorFile)
+					}
+				}
+			case *ast.IncDecStmt:
+				if field, ok := guardedField(pass, s.X); ok {
+					pass.Reportf(s.X.Pos(),
+						"direct write to active-set counter %s outside %s; use the accessor methods so the counter stays in lockstep with the state it summarizes",
+						field, counterAccessorFile)
+				}
+			case *ast.UnaryExpr:
+				if s.Op == token.AND {
+					if field, ok := guardedField(pass, s.X); ok {
+						pass.Reportf(s.X.Pos(),
+							"taking the address of active-set counter %s outside %s defeats the accessor-only rule",
+							field, counterAccessorFile)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// guardedField reports whether expr selects one of the guarded counter
+// fields on a struct defined in the package under analysis.
+func guardedField(pass *framework.Pass, expr ast.Expr) (string, bool) {
+	sel, ok := ast.Unparen(expr).(*ast.SelectorExpr)
+	if !ok || !guardedCounters[sel.Sel.Name] {
+		return "", false
+	}
+	selection, ok := pass.TypesInfo.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return "", false
+	}
+	if obj := selection.Obj(); obj.Pkg() == nil || obj.Pkg() != pass.Pkg {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}

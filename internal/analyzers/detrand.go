@@ -1,0 +1,101 @@
+// Package analyzers holds the project-specific static-analysis suite
+// that machine-checks the determinism contract: simulation results must
+// be a pure function of (Config, Seed), replayable bit-for-bit at any
+// worker count. The analyzers run over the deterministic packages via
+// cmd/stcc-vet; see the "Determinism contract" section of README.md.
+package analyzers
+
+import (
+	"go/token"
+	"go/types"
+	"sort"
+
+	"repro/internal/analyzers/framework"
+)
+
+// DetRand reports uses of ambient nondeterminism — the global math/rand
+// source, the wall clock, or crypto/rand — inside the deterministic
+// packages. Randomness must arrive as an injected *rand.Rand (parameter
+// or struct field) seeded from Config.Seed, and cycle accounting must
+// never observe real time, or replays and the Workers=1 == Workers=N
+// guarantee break.
+var DetRand = &framework.Analyzer{
+	Name: "detrand",
+	Doc: `forbid ambient nondeterminism in deterministic packages
+
+Flags references to math/rand's package-level functions (which draw from
+the process-global source), to the wall clock (time.Now and friends),
+and to anything in crypto/rand. Constructing an explicit generator with
+rand.New/rand.NewSource/rand.NewZipf is allowed; so are time.Duration
+conversions and constants, which involve no clock reads.`,
+	Run: runDetRand,
+}
+
+// detRandAllowed are the math/rand package-level functions that build
+// explicit generators rather than drawing from the global source.
+var detRandAllowed = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true,
+}
+
+// detRandClock are the time package functions that observe or depend on
+// the wall clock (or a real timer). Pure conversions such as
+// time.Duration, ParseDuration, or Unix construction are fine.
+var detRandClock = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"AfterFunc": true,
+}
+
+func runDetRand(pass *framework.Pass) error {
+	// Walk uses rather than call sites so that taking a function value
+	// (cb := rand.Intn) is caught as well as calling it.
+	type use struct {
+		pos token.Pos
+		msg string
+	}
+	var uses []use
+	for ident, obj := range pass.TypesInfo.Uses {
+		pkg := obj.Pkg()
+		if pkg == nil {
+			continue
+		}
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Type().(*types.Signature).Recv() != nil {
+			// Methods (e.g. (*rand.Rand).Intn, time.Time.Sub) operate on
+			// injected state and are exactly what the contract wants.
+			continue
+		}
+		switch pkg.Path() {
+		case "math/rand", "math/rand/v2":
+			if !detRandAllowed[fn.Name()] {
+				uses = append(uses, use{ident.Pos(),
+					"rand." + fn.Name() + " draws from the process-global source; use an injected *rand.Rand seeded from Config.Seed"})
+			}
+		case "crypto/rand":
+			uses = append(uses, use{ident.Pos(),
+				"crypto/rand is inherently nondeterministic; use an injected *rand.Rand seeded from Config.Seed"})
+		case "time":
+			if detRandClock[fn.Name()] {
+				uses = append(uses, use{ident.Pos(),
+					"time." + fn.Name() + " observes the wall clock; deterministic packages must account time in simulated cycles only"})
+			}
+		}
+	}
+	// Map iteration above is order-insensitive only because we sort
+	// before reporting.
+	sort.Slice(uses, func(i, j int) bool { return uses[i].pos < uses[j].pos })
+	for _, u := range uses {
+		pass.Reportf(u.pos, "%s", u.msg)
+	}
+	return nil
+}

@@ -1,0 +1,200 @@
+package framework
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestRunner mirrors analysistest.Run: it loads the fixture package at
+// testdata/src/<pkgRel>, runs the analyzer over it, and checks the
+// diagnostics against `// want "regexp"` comments in the fixture
+// sources. A line may carry several quoted regexps; each must be
+// matched by a distinct diagnostic on that line, and every diagnostic
+// must be claimed by some expectation.
+func TestRunner(t *testing.T, testdata string, a *Analyzer, pkgRel string) {
+	t.Helper()
+	dir := filepath.Join(testdata, "src", pkgRel)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		t.Fatalf("no fixture files in %s", dir)
+	}
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parsing fixture: %v", err)
+		}
+		files = append(files, f)
+	}
+
+	info := NewInfo()
+	conf := types.Config{Importer: lazyStdImporter(fset)}
+	tpkg, err := conf.Check(pkgRel, fset, files, info)
+	if err != nil {
+		t.Fatalf("type-checking fixture %s: %v", pkgRel, err)
+	}
+
+	diags, err := RunOne(a, &Package{
+		PkgPath: pkgRel, Dir: dir, Fset: fset,
+		Syntax: files, Types: tpkg, TypesInfo: info,
+	})
+	if err != nil {
+		t.Fatalf("running %s on fixture: %v", a.Name, err)
+	}
+
+	wants := collectWants(t, fset, files)
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		key := posKey{filepath.Base(pos.Filename), pos.Line}
+		matched := false
+		rest := wants[key][:0]
+		for _, w := range wants[key] {
+			if !matched && w.MatchString(d.Message) {
+				matched = true
+				continue
+			}
+			rest = append(rest, w)
+		}
+		wants[key] = rest
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for key, res := range wants {
+		for _, w := range res {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", key.file, key.line, w.String())
+		}
+	}
+}
+
+type posKey struct {
+	file string
+	line int
+}
+
+// wantRE matches a `// want` comment's payload.
+var wantRE = regexp.MustCompile(`^//\s*want\s+(.*)$`)
+
+// collectWants extracts the expected-diagnostic regexps from the
+// fixtures' comments, keyed by (file, line) of the comment.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) map[posKey][]*regexp.Regexp {
+	t.Helper()
+	wants := map[posKey][]*regexp.Regexp{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := posKey{filepath.Base(pos.Filename), pos.Line}
+				for _, q := range splitQuoted(m[1]) {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s: bad want string %s: %v", pos, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+					}
+					wants[key] = append(wants[key], re)
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitQuoted splits a want payload into its Go string literals: both
+// double-quoted (with escapes) and backquoted forms are accepted, as in
+// x/tools' analysistest.
+func splitQuoted(s string) []string {
+	var out []string
+	for i := 0; i < len(s); i++ {
+		quote := s[i]
+		if quote != '"' && quote != '`' {
+			continue
+		}
+		j := i + 1
+		for j < len(s) {
+			if quote == '"' && s[j] == '\\' {
+				j += 2
+				continue
+			}
+			if s[j] == quote {
+				break
+			}
+			j++
+		}
+		if j >= len(s) {
+			break
+		}
+		out = append(out, s[i:j+1])
+		i = j
+	}
+	return out
+}
+
+var (
+	stdExportMu sync.Mutex
+	stdExports  = map[string]string{}
+)
+
+// lazyStdImporter resolves fixture imports (standard library only) by
+// asking the go command for export data one package at a time, caching
+// across fixtures. Fixtures import a handful of std packages, so the
+// per-path `go list -export` (cached by the build cache after the first
+// run) keeps the test setup dependency-free.
+func lazyStdImporter(fset *token.FileSet) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		stdExportMu.Lock()
+		file, ok := stdExports[path]
+		stdExportMu.Unlock()
+		if !ok {
+			cmd := exec.Command("go", "list", "-export", "-f", "{{.Export}}", path)
+			var stderr bytes.Buffer
+			cmd.Stderr = &stderr
+			out, err := cmd.Output()
+			if err != nil {
+				return nil, fmt.Errorf("go list -export %s: %v\n%s", path, err, stderr.String())
+			}
+			file = strings.TrimSpace(string(out))
+			if file == "" {
+				return nil, fmt.Errorf("no export data for %q", path)
+			}
+			stdExportMu.Lock()
+			stdExports[path] = file
+			stdExportMu.Unlock()
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}

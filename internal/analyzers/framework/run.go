@@ -1,0 +1,90 @@
+package framework
+
+import (
+	"fmt"
+	"go/token"
+	"io"
+	"sort"
+)
+
+// Config pairs an analyzer with the set of packages it applies to. A
+// nil Applies runs the analyzer on every loaded package.
+type Config struct {
+	Analyzer *Analyzer
+	// Applies reports whether the analyzer should run on the package
+	// with the given import path.
+	Applies func(pkgPath string) bool
+}
+
+// finding is one rendered diagnostic, kept for sorting.
+type finding struct {
+	pos  token.Position
+	name string
+	msg  string
+}
+
+// Run loads the packages matching patterns under dir, applies every
+// applicable analyzer, and writes diagnostics to w in file:line:col
+// order. It returns the number of diagnostics. A non-nil error means
+// the run itself failed (load, type-check, or analyzer abort), not that
+// diagnostics were found.
+func Run(dir string, patterns []string, cfgs []Config, w io.Writer) (int, error) {
+	pkgs, err := Load(dir, patterns...)
+	if err != nil {
+		return 0, err
+	}
+	var findings []finding
+	for _, pkg := range pkgs {
+		for _, cfg := range cfgs {
+			if cfg.Applies != nil && !cfg.Applies(pkg.PkgPath) {
+				continue
+			}
+			diags, err := RunOne(cfg.Analyzer, pkg)
+			if err != nil {
+				return 0, fmt.Errorf("%s on %s: %v", cfg.Analyzer.Name, pkg.PkgPath, err)
+			}
+			for _, d := range diags {
+				findings = append(findings, finding{
+					pos:  pkg.Fset.Position(d.Pos),
+					name: cfg.Analyzer.Name,
+					msg:  d.Message,
+				})
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.pos.Filename != b.pos.Filename {
+			return a.pos.Filename < b.pos.Filename
+		}
+		if a.pos.Line != b.pos.Line {
+			return a.pos.Line < b.pos.Line
+		}
+		if a.pos.Column != b.pos.Column {
+			return a.pos.Column < b.pos.Column
+		}
+		return a.msg < b.msg
+	})
+	for _, f := range findings {
+		fmt.Fprintf(w, "%s: %s: %s\n", f.pos, f.name, f.msg)
+	}
+	return len(findings), nil
+}
+
+// RunOne applies a single analyzer to a loaded package and returns its
+// diagnostics.
+func RunOne(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Syntax,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.TypesInfo,
+		Report:    func(d Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, err
+	}
+	return diags, nil
+}

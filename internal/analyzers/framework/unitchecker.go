@@ -1,0 +1,111 @@
+package framework
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"io"
+	"os"
+	"strings"
+)
+
+// vetConfig is the JSON configuration `go vet -vettool` hands the tool
+// for each package, one .cfg file per compilation unit. The field set
+// matches cmd/go's internal vetConfig (and x/tools' unitchecker.Config);
+// unknown fields are ignored so the adapter tolerates toolchain drift.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// RunVettool implements the `go vet -vettool` protocol for one .cfg
+// argument: type-check the unit from the compiler-supplied export data
+// and run the applicable analyzers. Diagnostics are written to w (vet
+// relays stderr); the return value is the process exit code — 0 clean,
+// 1 operational failure, 2 diagnostics found.
+func RunVettool(cfgFile string, cfgs []Config, w io.Writer) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintf(w, "stcc-vet: %v\n", err)
+		return 1
+	}
+	var vcfg vetConfig
+	if err := json.Unmarshal(data, &vcfg); err != nil {
+		fmt.Fprintf(w, "stcc-vet: parsing %s: %v\n", cfgFile, err)
+		return 1
+	}
+
+	// cmd/go treats the vetx (facts) file as the action's output and
+	// requires it to exist even though these analyzers exchange no
+	// facts.
+	if vcfg.VetxOutput != "" {
+		if err := os.WriteFile(vcfg.VetxOutput, []byte("stcc-vet: no facts\n"), 0o666); err != nil {
+			fmt.Fprintf(w, "stcc-vet: writing vetx: %v\n", err)
+			return 1
+		}
+	}
+	if vcfg.VetxOnly {
+		return 0
+	}
+
+	// The determinism contract covers the packages' production sources;
+	// test files may range maps or poke counters for assertions without
+	// affecting replay. Standalone mode never sees test files (go list
+	// GoFiles excludes them); filter here so vettool mode agrees.
+	var goFiles []string
+	for _, f := range vcfg.GoFiles {
+		if !strings.HasSuffix(f, "_test.go") {
+			goFiles = append(goFiles, f)
+		}
+	}
+	if len(goFiles) == 0 {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := vcfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := vcfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+	pkg, err := checkPackage(fset, imp, vcfg.ImportPath, vcfg.Dir, goFiles)
+	if err != nil {
+		if vcfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(w, "stcc-vet: %v\n", err)
+		return 1
+	}
+
+	exit := 0
+	for _, cfg := range cfgs {
+		if cfg.Applies != nil && !cfg.Applies(vcfg.ImportPath) {
+			continue
+		}
+		diags, err := RunOne(cfg.Analyzer, pkg)
+		if err != nil {
+			fmt.Fprintf(w, "stcc-vet: %s on %s: %v\n", cfg.Analyzer.Name, vcfg.ImportPath, err)
+			return 1
+		}
+		for _, d := range diags {
+			fmt.Fprintf(w, "%s: %s: %s\n", fset.Position(d.Pos), cfg.Analyzer.Name, d.Message)
+			exit = 2
+		}
+	}
+	return exit
+}

@@ -1,0 +1,136 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analyzers/framework"
+)
+
+// MapOrder reports `for range` loops over maps in the deterministic
+// packages unless the loop is recognizably order-insensitive. Map
+// iteration order is randomized by the runtime, so any map-order
+// dependence in simulation state breaks bit-for-bit replay and the
+// Workers=1 == Workers=N guarantee.
+//
+// A loop is accepted when its body consists only of commutative
+// updates: increments/decrements, op-assignments with a commutative
+// operator (+=, -=, *=, |=, &=, ^=), `delete` calls, and the
+// collect-for-sorting idiom `s = append(s, ...)`. The append form is
+// order-insensitive only once the slice is sorted — the analyzer trusts
+// the surrounding code (and its reviewer) to sort before any
+// order-sensitive use. Anything else — conditionals, returns, sends,
+// arbitrary calls — is flagged. A reviewed loop can be suppressed with
+// a `//stcc:maporder` comment on the loop's line or the line above,
+// followed by a justification.
+var MapOrder = &framework.Analyzer{
+	Name: "maporder",
+	Doc: `flag map iteration whose order can leak into simulation state
+
+Ranging over a map yields keys in randomized order. In the
+deterministic packages that order must never influence results: sort
+the keys first, keep the body commutative, or annotate a reviewed loop
+with //stcc:maporder <justification>.`,
+	Run: runMapOrder,
+}
+
+func runMapOrder(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		suppressed := directiveLines(pass.Fset, f, "stcc:maporder")
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			line := pass.Fset.Position(rng.Pos()).Line
+			if suppressed[line] || suppressed[line-1] {
+				return true
+			}
+			if orderInsensitiveBody(pass.TypesInfo, rng.Body) {
+				return true
+			}
+			pass.Reportf(rng.Pos(),
+				"range over map %s has nondeterministic iteration order; sort the keys first, keep the body commutative, or annotate //stcc:maporder with a justification",
+				types.ExprString(rng.X))
+			return true
+		})
+	}
+	return nil
+}
+
+// directiveLines returns the set of line numbers in f carrying a
+// comment that starts with the given directive.
+func directiveLines(fset *token.FileSet, f *ast.File, directive string) map[int]bool {
+	lines := map[int]bool{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimSpace(text)
+			if strings.HasPrefix(text, directive) {
+				lines[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return lines
+}
+
+// orderInsensitiveBody reports whether every statement in body is a
+// commutative update, so executing the loop in any key order yields the
+// same final state.
+func orderInsensitiveBody(info *types.Info, body *ast.BlockStmt) bool {
+	for _, st := range body.List {
+		if !orderInsensitiveStmt(info, st) {
+			return false
+		}
+	}
+	return true
+}
+
+func orderInsensitiveStmt(info *types.Info, st ast.Stmt) bool {
+	switch s := st.(type) {
+	case *ast.IncDecStmt:
+		return true
+	case *ast.AssignStmt:
+		switch s.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN,
+			token.AND_ASSIGN, token.OR_ASSIGN, token.XOR_ASSIGN:
+			return true
+		case token.ASSIGN:
+			// The collect-then-sort idiom: s = append(s, ...).
+			if len(s.Lhs) == 1 && len(s.Rhs) == 1 {
+				if call, ok := s.Rhs[0].(*ast.CallExpr); ok && isBuiltin(info, call.Fun, "append") &&
+					len(call.Args) > 0 && types.ExprString(call.Args[0]) == types.ExprString(s.Lhs[0]) {
+					return true
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok && isBuiltin(info, call.Fun, "delete") {
+			return true
+		}
+	}
+	return false
+}
+
+// isBuiltin reports whether fun resolves to the named Go builtin.
+func isBuiltin(info *types.Info, fun ast.Expr, name string) bool {
+	id, ok := fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj, ok := info.Uses[id]
+	if !ok {
+		return false
+	}
+	b, ok := obj.(*types.Builtin)
+	return ok && b.Name() == name
+}

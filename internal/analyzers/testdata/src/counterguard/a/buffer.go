@@ -1,0 +1,47 @@
+// Package a is the counterguard fixture. This file plays the role of
+// internal/router/buffer.go: the accessor layer that is allowed to
+// mutate the active-set counters.
+package a
+
+// Fabric mirrors the router fabric's counter-bearing structs.
+type Fabric struct {
+	nodes       []*node
+	fullBuffers int
+}
+
+type node struct {
+	latched     int
+	ownedOuts   int
+	occupiedIns int
+	pendingIns  int
+}
+
+type vcBuffer struct {
+	fab  *Fabric
+	node int
+	n    int
+}
+
+// push is an accessor: counter writes here are legal.
+func (b *vcBuffer) push() {
+	b.n++
+	if b.n == 1 {
+		nd := b.fab.nodes[b.node]
+		nd.occupiedIns++
+		nd.pendingIns++
+	}
+	b.fab.fullBuffers++
+}
+
+// pop is an accessor: counter writes here are legal.
+func (b *vcBuffer) pop() {
+	b.fab.fullBuffers--
+	b.n--
+	if b.n == 0 {
+		b.fab.nodes[b.node].occupiedIns--
+	}
+}
+
+func (f *Fabric) acquire(nd *node) { nd.ownedOuts++ }
+func (f *Fabric) release(nd *node) { nd.ownedOuts-- }
+func (f *Fabric) latch(nd *node)   { nd.latched += 1 }

@@ -1,0 +1,42 @@
+package a
+
+// Reads of the counters outside buffer.go are fine — the stages use
+// them to skip idle routers.
+func (f *Fabric) busyNodes() int {
+	busy := 0
+	for _, nd := range f.nodes {
+		if nd.latched > 0 || nd.ownedOuts > 0 || nd.occupiedIns > 0 {
+			busy++
+		}
+	}
+	return busy
+}
+
+// A recount into shadowing locals is fine too: these are plain ints,
+// not the guarded fields.
+func (f *Fabric) recount() (int, int) {
+	var latched, ownedOuts int
+	for range f.nodes {
+		latched++
+		ownedOuts++
+	}
+	return latched, ownedOuts
+}
+
+func (f *Fabric) badDirectWrites(nd *node) {
+	nd.latched++       // want `direct write to active-set counter latched outside buffer\.go`
+	nd.ownedOuts--     // want `direct write to active-set counter ownedOuts outside buffer\.go`
+	nd.occupiedIns = 0 // want `direct write to active-set counter occupiedIns outside buffer\.go`
+	nd.pendingIns += 2 // want `direct write to active-set counter pendingIns outside buffer\.go`
+	f.fullBuffers = 12 // want `direct write to active-set counter fullBuffers outside buffer\.go`
+	(nd.latched) = 3   // want `direct write to active-set counter latched outside buffer\.go`
+}
+
+func (f *Fabric) badAddress(nd *node) *int {
+	return &nd.pendingIns // want `taking the address of active-set counter pendingIns outside buffer\.go`
+}
+
+// unguarded fields with other names are untouched by the analyzer.
+type other struct{ count int }
+
+func bump(o *other) { o.count++ }

@@ -1,0 +1,50 @@
+// Package a is the detrand fixture: ambient-nondeterminism sources the
+// analyzer must flag, next to the injected-RNG forms it must accept.
+package a
+
+import (
+	crand "crypto/rand"
+	"math/rand"
+	"time"
+)
+
+// state mirrors an engine with an injected RNG: every use below is
+// legal.
+type state struct {
+	rng *rand.Rand
+	now int64
+}
+
+func good(seed int64) int {
+	s := state{rng: rand.New(rand.NewSource(seed))} // constructors are fine
+	z := rand.NewZipf(s.rng, 1.1, 1.0, 100)
+	d := 5 * time.Millisecond // Duration math reads no clock
+	_ = d
+	return s.rng.Intn(10) + int(z.Uint64()) // methods on injected state are fine
+}
+
+func goodInjected(rng *rand.Rand, now int64) bool {
+	return rng.Float64() < 0.5 && now > 0
+}
+
+func badGlobalRand() int {
+	n := rand.Intn(10)                 // want `rand\.Intn draws from the process-global source`
+	f := rand.Float64()                // want `rand\.Float64 draws from the process-global source`
+	rand.Shuffle(n, func(i, j int) {}) // want `rand\.Shuffle draws from the process-global source`
+	pick := rand.Perm                  // want `rand\.Perm draws from the process-global source`
+	_ = pick
+	return n + int(f)
+}
+
+func badClock() int64 {
+	t := time.Now()              // want `time\.Now observes the wall clock`
+	time.Sleep(time.Millisecond) // want `time\.Sleep observes the wall clock`
+	d := time.Since(t)           // want `time\.Since observes the wall clock`
+	return int64(d)
+}
+
+func badCrypto() byte {
+	var b [1]byte
+	crand.Read(b[:]) // want `crypto/rand is inherently nondeterministic`
+	return b[0]
+}

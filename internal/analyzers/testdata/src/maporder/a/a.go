@@ -1,0 +1,83 @@
+// Package a is the maporder fixture: map iterations whose order could
+// leak into simulation state, next to the order-insensitive forms the
+// analyzer accepts.
+package a
+
+import "sort"
+
+func goodSortedKeys(m map[int]string) []string {
+	keys := make([]int, 0, len(m))
+	for k := range m { // collect-then-sort: body is a single append
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := make([]string, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}
+
+func goodCommutative(m map[string]int) int {
+	sum := 0
+	for _, v := range m { // += aggregation is commutative
+		sum += v
+	}
+	seen := 0
+	for range m { // bare counting
+		seen++
+	}
+	return sum + seen
+}
+
+func goodDelete(m, done map[int]bool) {
+	for k := range m {
+		delete(done, k)
+	}
+}
+
+func goodSuppressed(m map[int]int) int {
+	best := 0
+	//stcc:maporder every value is compared with >, max is order-insensitive
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+func goodNotAMap(xs []int) int {
+	n := 0
+	for _, x := range xs { // slices iterate in index order
+		if x > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func badFirstMatch(m map[int]string) string {
+	for _, v := range m { // want `range over map m has nondeterministic iteration order`
+		if v != "" {
+			return v
+		}
+	}
+	return ""
+}
+
+func badOrderedSideEffects(m map[int]int, sink func(int)) {
+	for k := range m { // want `range over map m has nondeterministic iteration order`
+		sink(k)
+	}
+}
+
+func badConditionalAggregation(m map[int]int) int {
+	last := 0
+	for k, v := range m { // want `range over map m has nondeterministic iteration order`
+		if v > 0 {
+			last = k
+		}
+	}
+	return last
+}

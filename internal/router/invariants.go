@@ -2,6 +2,7 @@ package router
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/packet"
 )
@@ -83,7 +84,16 @@ func (f *Fabric) CheckInvariants() error {
 		return fmt.Errorf("full-buffer counter %d, recount %d", f.fullBuffers, full)
 	}
 
-	for p, n := range buffered {
+	// Walk the per-packet tallies in packet-ID order: buffered is keyed
+	// by pointer, so a direct range would surface conservation errors in
+	// a different order on every run.
+	pkts := make([]*packet.Packet, 0, len(buffered))
+	for p := range buffered {
+		pkts = append(pkts, p)
+	}
+	sort.Slice(pkts, func(i, j int) bool { return pkts[i].ID < pkts[j].ID })
+	for _, p := range pkts {
+		n := buffered[p]
 		want := p.Length - p.Consumed
 		if f.rec != nil && f.rec.pkt == p {
 			want -= f.rec.popped - f.rec.arrived // flits in the recovery lane

@@ -439,7 +439,7 @@ func (b *budgetThrottler) AllowInjection(int64, topology.NodeID, topology.NodeID
 	b.used++
 	return true
 }
-func (b *budgetThrottler) Tick(int64) { b.used = 0 }
+func (b *budgetThrottler) Tick(int64)   { b.used = 0 }
 func (b *budgetThrottler) Name() string { return "budget" }
 
 // TestInjectionFairnessUnderContention verifies the rotating injection
