@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race bench lint fmt-check vet stcc-vet govulncheck fuzz-smoke
+.PHONY: all build test race bench bench-json lint fmt-check vet stcc-vet govulncheck fuzz-smoke
 
 all: build lint test
 
@@ -19,6 +19,13 @@ race:
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+
+# Regenerate the checked-in benchmark-trajectory report. Uses real
+# benchtime (minutes, not a smoke run); see README.md ("Benchmark
+# trajectory") for how to read BENCH_*.json.
+BENCH_LABEL ?= PR3
+bench-json:
+	$(GO) run ./cmd/stcc-bench -label $(BENCH_LABEL) -out BENCH_$(BENCH_LABEL).json
 
 # lint is the full static gate: formatting, the standard vet suite, the
 # determinism-contract suite, and (when the tool is available)

@@ -1,0 +1,137 @@
+// Allocation regression gate for the steady-state hot path.
+//
+// After warm-up, one simulated cycle must not allocate: packets come from
+// the per-engine free list, router state lives in arenas sized at
+// construction, source queues are rings that reuse vacated slots, and the
+// side-band keeps its in-flight backing array. AllocsPerOp rounds down,
+// so rare amortized growth (a statistics buffer doubling) is tolerated,
+// but anything that allocates once per cycle or per packet fails the
+// gate.
+package stcc
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/router"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// steadyStateWarmup is how many cycles each gate steps before measuring.
+// It is longer than the benchmarks' warm-up because the gate must be past
+// every transient growth source (pool fill, queue ramp, suspect list),
+// not merely at representative occupancy.
+const steadyStateWarmup = 8000
+
+// engineShapes are the three operating points the gate (and
+// BenchmarkEngineStep) cover: an idle network, a low offered load, and
+// deep saturation with Disha recoveries and throttling active.
+var engineShapes = []struct {
+	name string
+	rate float64
+}{
+	{"idle", 0.0001},
+	{"low", 0.02},
+	{"saturated", 0.06},
+}
+
+// TestEngineStepZeroSteadyStateAllocs asserts that a full engine cycle
+// (generation, throttling, injection, network step, sampling) allocates
+// nothing at steady state for all three shapes.
+func TestEngineStepZeroSteadyStateAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second steady-state measurement")
+	}
+	for _, tc := range engineShapes {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := sim.NewConfig()
+			cfg.Rate = tc.rate
+			cfg.Scheme = sim.Scheme{Kind: sim.SelfTuned}
+			cfg.WarmupCycles = 1
+			cfg.MeasureCycles = 1 << 40 // the loops below pace the cycles
+			e, err := sim.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < steadyStateWarmup; i++ {
+				e.Step()
+			}
+			r := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					e.Step()
+				}
+			})
+			if allocs := r.AllocsPerOp(); allocs != 0 {
+				t.Errorf("engine %s: %d allocs/op (%d B/op) at steady state, want 0",
+					tc.name, allocs, r.AllocedBytesPerOp())
+			}
+			if err := e.CheckInvariants(); err != nil {
+				t.Errorf("engine %s: invariants after measurement: %v", tc.name, err)
+			}
+		})
+	}
+}
+
+// TestFabricStepZeroSteadyStateAllocs asserts the same for the bare
+// fabric with pool-fed injection, isolating the router data path from the
+// engine's statistics and control layers.
+func TestFabricStepZeroSteadyStateAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second steady-state measurement")
+	}
+	for _, tc := range []struct {
+		name string
+		rate float64
+	}{
+		{"idle", 0},
+		{"low", 0.002},
+		{"saturated", 0.2},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			topo := topology.MustNew(16, 2)
+			fab := router.MustNew(router.Config{
+				Topo: topo, VCs: 3, BufDepth: 8, Mode: router.Recovery, DeadlockTimeout: 160,
+			})
+			rng := rand.New(rand.NewSource(1))
+			pool := packet.NewPool()
+			fab.OnDelivered = pool.Put
+			var id packet.ID
+			inject := func() {
+				if tc.rate == 0 {
+					return
+				}
+				for n := 0; n < topo.Nodes(); n++ {
+					if rng.Float64() < tc.rate && fab.CanStartInjection(topology.NodeID(n)) {
+						dst := topology.NodeID(rng.Intn(topo.Nodes()))
+						if dst == topology.NodeID(n) {
+							continue
+						}
+						fab.StartInjection(pool.Get(id, topology.NodeID(n), dst, 16, fab.Now()))
+						id++
+					}
+				}
+			}
+			for i := 0; i < steadyStateWarmup; i++ {
+				inject()
+				fab.Step()
+			}
+			r := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					inject()
+					fab.Step()
+				}
+			})
+			if allocs := r.AllocsPerOp(); allocs != 0 {
+				t.Errorf("fabric %s: %d allocs/op (%d B/op) at steady state, want 0",
+					tc.name, allocs, r.AllocedBytesPerOp())
+			}
+			if err := fab.CheckInvariants(); err != nil {
+				t.Errorf("fabric %s: invariants after measurement: %v", tc.name, err)
+			}
+		})
+	}
+}

@@ -1,0 +1,201 @@
+// Command stcc-bench measures the simulator's steady-state hot paths and
+// emits a machine-readable JSON report (ns/op, B/op, allocs/op per
+// shape). The checked-in BENCH_PR<n>.json files form the repo's
+// benchmark trajectory: each performance PR records the shapes it
+// changed, so regressions are visible as diffs rather than folklore.
+//
+//	go run ./cmd/stcc-bench -label PR3 -out BENCH_PR3.json
+//
+// The shapes mirror BenchmarkFabricStep and BenchmarkEngineStep: the
+// bare router fabric and the full engine, each at idle, low load, and
+// saturation. Every engine is stepped to steady state before the timed
+// region, so the numbers describe the recurring per-cycle cost — the
+// construction and ramp-up transients are excluded by design.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/router"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// warmupCycles matches the steady-state gate in alloc_regression_test.go:
+// long enough that every transient growth source (pool fill, queue ramp,
+// statistics buffers) has settled.
+const warmupCycles = 8000
+
+// Shape is one measured operating point.
+type Shape struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+// Report is the emitted document.
+type Report struct {
+	Label     string  `json:"label"`
+	GoVersion string  `json:"go_version"`
+	GOARCH    string  `json:"goarch"`
+	Shapes    []Shape `json:"shapes"`
+	// Baseline carries the prior trajectory point the shapes should be
+	// read against (the previous PR's checked-in numbers).
+	Baseline []Shape `json:"baseline,omitempty"`
+	Note     string  `json:"note,omitempty"`
+}
+
+func main() {
+	label := flag.String("label", "dev", "trajectory label recorded in the report (e.g. PR3)")
+	out := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+
+	report := Report{
+		Label:     *label,
+		GoVersion: runtime.Version(),
+		GOARCH:    runtime.GOARCH,
+		Baseline:  seedBaseline(),
+		Note: "steady-state per-cycle cost; warmup excluded. Baseline is the " +
+			"pre-pooling seed engine (commit 383a7bf), measured with its " +
+			"Run-included-warmup benchmarks, so baseline allocs/op include " +
+			"per-packet allocation the pooled engine no longer performs.",
+	}
+
+	for _, tc := range []struct {
+		name string
+		rate float64
+	}{
+		{"fabric/idle", 0},
+		{"fabric/low", 0.002},
+		{"fabric/saturated", 0.2},
+	} {
+		report.Shapes = append(report.Shapes, measureFabric(tc.name, tc.rate))
+		fmt.Fprintf(os.Stderr, "%-18s done\n", tc.name)
+	}
+	for _, tc := range []struct {
+		name string
+		rate float64
+	}{
+		{"engine/idle", 0.0001},
+		{"engine/low", 0.02},
+		{"engine/saturated", 0.06},
+	} {
+		report.Shapes = append(report.Shapes, measureEngine(tc.name, tc.rate))
+		fmt.Fprintf(os.Stderr, "%-18s done\n", tc.name)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stcc-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		fmt.Fprintf(os.Stderr, "stcc-bench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func toShape(name string, r testing.BenchmarkResult) Shape {
+	return Shape{
+		Name:        name,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		Iterations:  r.N,
+	}
+}
+
+// measureFabric times one network cycle of the paper's 256-node fabric
+// with pool-fed injection at the given per-node rate.
+func measureFabric(name string, rate float64) Shape {
+	topo := topology.MustNew(16, 2)
+	fab := router.MustNew(router.Config{
+		Topo: topo, VCs: 3, BufDepth: 8, Mode: router.Recovery, DeadlockTimeout: 160,
+	})
+	rng := rand.New(rand.NewSource(1))
+	pool := packet.NewPool()
+	fab.OnDelivered = pool.Put
+	var id packet.ID
+	inject := func() {
+		if rate == 0 {
+			return
+		}
+		for n := 0; n < topo.Nodes(); n++ {
+			if rng.Float64() < rate && fab.CanStartInjection(topology.NodeID(n)) {
+				dst := topology.NodeID(rng.Intn(topo.Nodes()))
+				if dst == topology.NodeID(n) {
+					continue
+				}
+				fab.StartInjection(pool.Get(id, topology.NodeID(n), dst, 16, fab.Now()))
+				id++
+			}
+		}
+	}
+	for i := 0; i < warmupCycles; i++ {
+		inject()
+		fab.Step()
+	}
+	return toShape(name, testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			inject()
+			fab.Step()
+		}
+	}))
+}
+
+// measureEngine times a full engine cycle (generation, throttling,
+// injection, network step, sampling) of the self-tuned configuration.
+func measureEngine(name string, rate float64) Shape {
+	cfg := sim.NewConfig()
+	cfg.Rate = rate
+	cfg.Scheme = sim.Scheme{Kind: sim.SelfTuned}
+	cfg.WarmupCycles = 1
+	cfg.MeasureCycles = 1 << 40 // the loops below pace the cycles
+	e, err := sim.New(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stcc-bench: %v\n", err)
+		os.Exit(1)
+	}
+	for i := 0; i < warmupCycles; i++ {
+		e.Step()
+	}
+	return toShape(name, testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			e.Step()
+		}
+	}))
+}
+
+// seedBaseline is the trajectory's origin: the seed engine (pre-pooling,
+// pre-arena, slice-based source queues) measured on the same shapes by
+// the PR2-era benchmarks. Engine shapes were then named idle/moderate/
+// saturated and timed Run including its ramp; fabric shapes injected
+// with packet.New and no recycling.
+func seedBaseline() []Shape {
+	return []Shape{
+		{Name: "fabric/idle", NsPerOp: 686.6, BytesPerOp: 0, AllocsPerOp: 0},
+		{Name: "fabric/low", NsPerOp: 15830, BytesPerOp: 247, AllocsPerOp: 2},
+		{Name: "fabric/saturated", NsPerOp: 149515, BytesPerOp: 796, AllocsPerOp: 8},
+		{Name: "engine/idle", NsPerOp: 4193, BytesPerOp: 18, AllocsPerOp: 0},
+		{Name: "engine/low", NsPerOp: 234150, BytesPerOp: 3601, AllocsPerOp: 34},
+		{Name: "engine/saturated", NsPerOp: 254837, BytesPerOp: 4924, AllocsPerOp: 42},
+	}
+}

@@ -17,6 +17,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -125,10 +127,49 @@ func netFlags(fs *flag.FlagSet) func() (sim.Config, error) {
 	}
 }
 
+// profileFlags registers -cpuprofile and -memprofile on fs and returns a
+// wrapper that runs a subcommand body under the requested profilers. The
+// CPU profile covers the body; the heap profile is written after a final
+// GC, so it shows live steady-state memory (the router arenas and packet
+// free lists), not transient garbage.
+func profileFlags(fs *flag.FlagSet) func(run func() error) error {
+	cpu := fs.String("cpuprofile", "", "write a CPU profile of the run to `file`")
+	mem := fs.String("memprofile", "", "write a post-run heap profile to `file`")
+	return func(run func() error) error {
+		if *cpu != "" {
+			f, err := os.Create(*cpu)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := pprof.StartCPUProfile(f); err != nil {
+				return err
+			}
+			defer pprof.StopCPUProfile()
+		}
+		if err := run(); err != nil {
+			return err
+		}
+		if *mem != "" {
+			f, err := os.Create(*mem)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
 func cmdRun(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	build := netFlags(fs)
 	asJSON := fs.Bool("json", false, "emit the full result as JSON (including time series)")
+	prof := profileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -136,17 +177,19 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return err
 	}
-	r, err := stcc.Run(cfg)
-	if err != nil {
-		return err
-	}
-	if *asJSON {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		return enc.Encode(r)
-	}
-	printResult(r)
-	return nil
+	return prof(func() error {
+		r, err := stcc.Run(cfg)
+		if err != nil {
+			return err
+		}
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			return enc.Encode(r)
+		}
+		printResult(r)
+		return nil
+	})
 }
 
 func printResult(r sim.Result) {
@@ -175,6 +218,7 @@ func cmdSweep(args []string) error {
 	rates := fs.String("rates", "0.005,0.01,0.015,0.02,0.025,0.03,0.04,0.06",
 		"comma-separated injection rates")
 	workers := fs.Int("workers", 0, "parallel simulations (0 = all CPUs)")
+	prof := profileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -190,27 +234,29 @@ func cmdSweep(args []string) error {
 		}
 		parsed = append(parsed, rate)
 	}
-	var curve experiments.Curve
-	curve.Name = fmt.Sprintf("%s/%s/%s", cfg.Scheme.Kind, cfg.Mode, cfg.Pattern)
-	curve.Points = make([]experiments.RatePoint, len(parsed))
-	run := experiments.Runner{Workers: *workers}
-	if err := run.ForEach(len(parsed), func(i int) error {
-		c := cfg
-		c.Rate = parsed[i]
-		r, err := stcc.Run(c)
-		if err != nil {
-			return fmt.Errorf("rate %g: %w", parsed[i], err)
+	return prof(func() error {
+		var curve experiments.Curve
+		curve.Name = fmt.Sprintf("%s/%s/%s", cfg.Scheme.Kind, cfg.Mode, cfg.Pattern)
+		curve.Points = make([]experiments.RatePoint, len(parsed))
+		run := experiments.Runner{Workers: *workers}
+		if err := run.ForEach(len(parsed), func(i int) error {
+			c := cfg
+			c.Rate = parsed[i]
+			r, err := stcc.Run(c)
+			if err != nil {
+				return fmt.Errorf("rate %g: %w", parsed[i], err)
+			}
+			curve.Points[i] = experiments.RatePoint{
+				Rate: parsed[i], Accepted: r.AcceptedFlits, Latency: r.AvgNetworkLatency,
+				Recov: r.Recoveries, Full: r.AvgFullBuffers,
+			}
+			return nil
+		}); err != nil {
+			return err
 		}
-		curve.Points[i] = experiments.RatePoint{
-			Rate: parsed[i], Accepted: r.AcceptedFlits, Latency: r.AvgNetworkLatency,
-			Recov: r.Recoveries, Full: r.AvgFullBuffers,
-		}
+		experiments.PrintCurves(os.Stdout, "rate sweep", []experiments.Curve{curve})
 		return nil
-	}); err != nil {
-		return err
-	}
-	experiments.PrintCurves(os.Stdout, "rate sweep", []experiments.Curve{curve})
-	return nil
+	})
 }
 
 func cmdBursty(args []string) error {
@@ -221,6 +267,7 @@ func cmdBursty(args []string) error {
 	lowInt := fs.Int64("lowint", 1500, "low-load regeneration interval")
 	highInt := fs.Int64("highint", 15, "high-load regeneration interval")
 	sample := fs.Int64("sample", 1024, "throughput sample interval (cycles)")
+	prof := profileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -243,23 +290,26 @@ func cmdBursty(args []string) error {
 	cfg.WarmupCycles = 0
 	cfg.MeasureCycles = sched.TotalDuration()
 	cfg.SampleInterval = *sample
-	r, err := stcc.Run(cfg)
-	if err != nil {
-		return err
-	}
-	printResult(r)
-	fmt.Println()
-	fmt.Printf("%12s %14s\n", "cycle", "throughput")
-	for i, v := range r.Throughput.Values {
-		fmt.Printf("%12d %14.4f\n", r.Throughput.CycleAt(i), v)
-	}
-	return nil
+	return prof(func() error {
+		r, err := stcc.Run(cfg)
+		if err != nil {
+			return err
+		}
+		printResult(r)
+		fmt.Println()
+		fmt.Printf("%12s %14s\n", "cycle", "throughput")
+		for i, v := range r.Throughput.Values {
+			fmt.Printf("%12d %14.4f\n", r.Throughput.CycleAt(i), v)
+		}
+		return nil
+	})
 }
 
 func cmdTrace(args []string) error {
 	fs := flag.NewFlagSet("trace", flag.ExitOnError)
 	build := netFlags(fs)
 	regen := fs.Int64("regen", 100, "packet regeneration interval (cycles)")
+	prof := profileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -280,15 +330,17 @@ func cmdTrace(args []string) error {
 		cfg.Scheme.Kind = sim.SelfTuned
 	}
 	cfg.Scheme.KeepTrace = true
-	r, err := stcc.Run(cfg)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("%12s %12s %14s %12s\n", "cycle", "threshold", "tput(flits)", "decision")
-	for _, tp := range r.ThresholdTrace {
-		fmt.Printf("%12d %12.1f %14.0f %12s\n", tp.Cycle, tp.Threshold, tp.Throughput, tp.Decision)
-	}
-	return nil
+	return prof(func() error {
+		r, err := stcc.Run(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%12s %12s %14s %12s\n", "cycle", "threshold", "tput(flits)", "decision")
+		for _, tp := range r.ThresholdTrace {
+			fmt.Printf("%12d %12.1f %14.0f %12s\n", tp.Cycle, tp.Threshold, tp.Throughput, tp.Decision)
+		}
+		return nil
+	})
 }
 
 func cmdCompare(args []string) error {
@@ -296,6 +348,7 @@ func cmdCompare(args []string) error {
 	build := netFlags(fs)
 	seedsFlag := fs.String("seeds", "1,2,3", "comma-separated seeds for replication")
 	workers := fs.Int("workers", 0, "parallel simulations (0 = all CPUs)")
+	prof := profileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -311,25 +364,27 @@ func cmdCompare(args []string) error {
 		}
 		seeds = append(seeds, seed)
 	}
-	schemes := []sim.Scheme{
-		{Kind: sim.Base},
-		{Kind: sim.ALO},
-		{Kind: sim.StaticGlobal, StaticThreshold: cfg.Scheme.StaticThreshold},
-		{Kind: sim.SelfTuned},
-	}
-	rows, err := analysis.CompareWith(experiments.Runner{Workers: *workers}, cfg, schemes, seeds)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("%-14s %22s %20s %14s\n", "scheme", "accepted (flits/n/cyc)", "latency (cycles)", "recoveries")
-	for _, r := range rows {
-		fmt.Printf("%-14s %12.4f +- %6.4f %12.1f +- %5.1f %9.0f +- %4.0f\n",
-			r.Name,
-			r.Rep.Accepted.Mean, r.Rep.Accepted.StdDev,
-			r.Rep.Latency.Mean, r.Rep.Latency.StdDev,
-			r.Rep.Recoveries.Mean, r.Rep.Recoveries.StdDev)
-	}
-	return nil
+	return prof(func() error {
+		schemes := []sim.Scheme{
+			{Kind: sim.Base},
+			{Kind: sim.ALO},
+			{Kind: sim.StaticGlobal, StaticThreshold: cfg.Scheme.StaticThreshold},
+			{Kind: sim.SelfTuned},
+		}
+		rows, err := analysis.CompareWith(experiments.Runner{Workers: *workers}, cfg, schemes, seeds)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-14s %22s %20s %14s\n", "scheme", "accepted (flits/n/cyc)", "latency (cycles)", "recoveries")
+		for _, r := range rows {
+			fmt.Printf("%-14s %12.4f +- %6.4f %12.1f +- %5.1f %9.0f +- %4.0f\n",
+				r.Name,
+				r.Rep.Accepted.Mean, r.Rep.Accepted.StdDev,
+				r.Rep.Latency.Mean, r.Rep.Latency.StdDev,
+				r.Rep.Recoveries.Mean, r.Rep.Recoveries.StdDev)
+		}
+		return nil
+	})
 }
 
 func cmdTable(args []string) error {

@@ -1,0 +1,133 @@
+// Determinism regression gate for the zero-allocation hot path.
+//
+// The packet free list, the arena-backed router state, and the ring-deque
+// source queues are pure memory-layout changes: they must not perturb a
+// single scheduling decision. These tests pin the simulator to golden
+// fingerprints captured from the seed engine (pre-pooling, pre-arena), so
+// any future "optimization" that changes simulated behavior — reuse-order
+// dependence, iteration-order dependence, stale state surviving a packet
+// reset — fails loudly instead of silently shifting every result.
+package stcc
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/router"
+	"repro/internal/sim"
+)
+
+// resultFingerprint hashes the full JSON encoding of a Result: every
+// statistic, series sample, and trace row contributes, so two runs agree
+// only if they agree cycle for cycle. It panics rather than taking a
+// *testing.T because it also runs on experiment-runner worker goroutines,
+// where FailNow is not allowed.
+func resultFingerprint(r sim.Result) string {
+	data, err := json.Marshal(r)
+	if err != nil {
+		panic(err)
+	}
+	h := fnv.New64a()
+	h.Write(data)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// goldenCase is one pinned configuration. The fingerprints were captured
+// from the seed engine (commit 383a7bf, before packet pooling and the
+// router arena) on a 8-ary 2-cube at rate 0.05, seed 3; the pooled engine
+// must reproduce them bit for bit.
+type goldenCase struct {
+	name string
+	want string
+	mut  func(*sim.Config)
+}
+
+func goldenCases() []goldenCase {
+	return []goldenCase{
+		// Recovery mode past the deadlock threshold: 33 Disha recoveries,
+		// so the fingerprint covers the drain path recycling packets
+		// mid-recovery.
+		{"base-recovery", "5e65aff289db3e1c",
+			func(c *sim.Config) { c.Scheme = sim.Scheme{Kind: sim.Base} }},
+		// Self-tuned with the decision trace kept: the fingerprint covers
+		// the side-band, estimator, tuner, and trace rows.
+		{"tune-recovery", "f5503dcc86d2f5b3",
+			func(c *sim.Config) { c.Scheme = sim.Scheme{Kind: sim.SelfTuned, KeepTrace: true} }},
+		// Duato avoidance: escape-lane routing, zero recoveries.
+		{"tune-avoidance", "8cbecb82ea79b2dd",
+			func(c *sim.Config) {
+				c.Mode = router.Avoidance
+				c.Scheme = sim.Scheme{Kind: sim.SelfTuned}
+			}},
+	}
+}
+
+func goldenConfig(gc goldenCase) sim.Config {
+	cfg := sim.NewConfig()
+	cfg.K, cfg.N = 8, 2
+	cfg.VCs, cfg.BufDepth = 3, 4
+	cfg.PacketLength = 8
+	cfg.DeadlockTimeout = 64
+	cfg.WarmupCycles = 400
+	cfg.MeasureCycles = 2400
+	cfg.Rate = 0.05
+	cfg.Seed = 3
+	gc.mut(&cfg)
+	return cfg
+}
+
+// TestDeterminismGoldenFingerprints checks the pooled, arena-backed
+// engine against the seed engine's fingerprints.
+func TestDeterminismGoldenFingerprints(t *testing.T) {
+	for _, gc := range goldenCases() {
+		gc := gc
+		t.Run(gc.name, func(t *testing.T) {
+			t.Parallel()
+			r, err := sim.Run(goldenConfig(gc))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := resultFingerprint(r); got != gc.want {
+				t.Errorf("fingerprint %s, want seed-engine golden %s (recoveries %d, delivered %d)",
+					got, gc.want, r.Recoveries, r.PacketsDelivered)
+			}
+		})
+	}
+}
+
+// TestDeterminismAcrossWorkerCounts runs the golden grid through the
+// experiment runner at Workers=1 and Workers=8 and requires identical
+// fingerprints: per-engine free lists must keep results independent of
+// how simulations are scheduled onto goroutines.
+func TestDeterminismAcrossWorkerCounts(t *testing.T) {
+	cases := goldenCases()
+	run := func(workers int) []string {
+		fps := make([]string, len(cases))
+		err := experiments.Runner{Workers: workers}.ForEach(len(cases), func(i int) error {
+			r, err := sim.Run(goldenConfig(cases[i]))
+			if err != nil {
+				return err
+			}
+			fps[i] = resultFingerprint(r)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fps
+	}
+	serial := run(1)
+	wide := run(8)
+	for i, gc := range cases {
+		if serial[i] != wide[i] {
+			t.Errorf("%s: Workers=1 fingerprint %s != Workers=8 fingerprint %s",
+				gc.name, serial[i], wide[i])
+		}
+		if serial[i] != gc.want {
+			t.Errorf("%s: runner fingerprint %s, want golden %s", gc.name, serial[i], gc.want)
+		}
+	}
+}

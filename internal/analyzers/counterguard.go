@@ -30,13 +30,20 @@ from any other file.`,
 	Run: runCounterGuard,
 }
 
-// guardedCounters are the field names the analyzer protects.
+// guardedCounters are the field names the analyzer protects: the
+// per-node active-set counters and their network-wide sums (the net*
+// fields the stages consult to skip a whole node scan in O(1)).
 var guardedCounters = map[string]bool{
-	"fullBuffers": true,
-	"latched":     true,
-	"ownedOuts":   true,
-	"occupiedIns": true,
-	"pendingIns":  true,
+	"fullBuffers":    true,
+	"latched":        true,
+	"ownedOuts":      true,
+	"occupiedIns":    true,
+	"pendingIns":     true,
+	"netLatched":     true,
+	"netOwnedOuts":   true,
+	"netOccupiedIns": true,
+	"netPendingIns":  true,
+	"netSrcActive":   true,
 }
 
 // counterAccessorFile is the only file allowed to mutate the guarded

@@ -138,6 +138,12 @@ type Packet struct {
 	// entered, in order (injection channel first). Managed by the router
 	// engine; deadlock recovery walks it backwards to drain the worm.
 	Trail []Location
+
+	// recycled marks a packet that has been returned to a Pool and not
+	// yet handed out again. A recycled packet must never be referenced
+	// by network state; the router's CheckInvariants reports any that
+	// is (use-after-recycle).
+	recycled bool
 }
 
 // New returns a packet of length flits from src to dst created at cycle
@@ -153,6 +159,27 @@ func New(id ID, src, dst topology.NodeID, length int, now int64) *Packet {
 		SrcRemaining: length,
 	}
 }
+
+// reset reinitializes a recycled packet in place, as New would, keeping
+// the Trail backing array so steady-state reuse does not reallocate it.
+func (p *Packet) reset(id ID, src, dst topology.NodeID, length int, now int64) {
+	if length <= 0 {
+		panic(fmt.Sprintf("packet: non-positive length %d", length))
+	}
+	trail := p.Trail[:0]
+	*p = Packet{
+		ID: id, Src: src, Dst: dst, Length: length,
+		CreatedAt: now, InjectedAt: -1, DeliveredAt: -1,
+		LastProgress: now,
+		SrcRemaining: length,
+		Trail:        trail,
+	}
+}
+
+// Recycled reports whether the packet currently sits on a Pool free
+// list. Network state holding a recycled packet is a use-after-recycle
+// bug.
+func (p *Packet) Recycled() bool { return p.recycled }
 
 // FlitTypeAt returns the type of the i-th flit (0-based).
 func (p *Packet) FlitTypeAt(i int) FlitType {

@@ -30,14 +30,17 @@ func (f flit) isTail() bool { return f.idx == f.pkt.Length-1 }
 
 // vcBuffer is one virtual channel's edge buffer: a fixed-capacity FIFO of
 // flits, plus the wormhole binding state (which output VC the packet at
-// its front has been allocated).
+// its front has been allocated). Buffers live in a per-fabric arena and
+// their flit rings are windows into a shared backing slice (see New);
+// a buffer's identity is its arena address, which is stable for the
+// fabric's lifetime.
 type vcBuffer struct {
 	fab  *Fabric
 	node topology.NodeID
 	port int // input port (physical, or the injection port)
 	vc   int
 
-	buf  []flit // ring buffer, capacity fixed at construction
+	buf  []flit // ring window into the fabric's flit arena, fixed capacity
 	head int
 	n    int
 
@@ -51,13 +54,6 @@ type vcBuffer struct {
 	boundPkt *packet.Packet
 	outPort  int
 	outVC    int
-}
-
-func newVCBuffer(fab *Fabric, node topology.NodeID, port, vc, depth int, countable bool) *vcBuffer {
-	return &vcBuffer{
-		fab: fab, node: node, port: port, vc: vc,
-		buf: make([]flit, depth), countable: countable,
-	}
 }
 
 func (b *vcBuffer) len() int   { return b.n }
@@ -75,13 +71,22 @@ func (b *vcBuffer) push(f flit) {
 	if b.full() {
 		panic(fmt.Sprintf("router: overflow of %v", b))
 	}
-	b.buf[(b.head+b.n)%len(b.buf)] = f
+	// Conditional wrap instead of %: the ring index is always already in
+	// range, and avoiding the integer division matters on a path run for
+	// every flit movement in the network.
+	i := b.head + b.n
+	if i >= len(b.buf) {
+		i -= len(b.buf)
+	}
+	b.buf[i] = f
 	b.n++
 	if b.n == 1 {
-		nd := b.fab.nodes[b.node]
+		nd := &b.fab.nodes[b.node]
 		nd.occupiedIns++
+		b.fab.netOccupiedIns++
 		if !b.bound {
 			nd.pendingIns++
+			b.fab.netPendingIns++
 		}
 	}
 	if b.countable && b.full() {
@@ -98,13 +103,18 @@ func (b *vcBuffer) pop() flit {
 	}
 	f := b.buf[b.head]
 	b.buf[b.head] = flit{}
-	b.head = (b.head + 1) % len(b.buf)
+	b.head++
+	if b.head == len(b.buf) {
+		b.head = 0
+	}
 	b.n--
 	if b.n == 0 {
-		nd := b.fab.nodes[b.node]
+		nd := &b.fab.nodes[b.node]
 		nd.occupiedIns--
+		b.fab.netOccupiedIns--
 		if !b.bound {
 			nd.pendingIns--
+			b.fab.netPendingIns--
 		}
 	}
 	return f
@@ -120,6 +130,7 @@ func (b *vcBuffer) setBinding(pkt *packet.Packet, port, vc int) {
 	b.outVC = vc
 	if b.n > 0 {
 		b.fab.nodes[b.node].pendingIns--
+		b.fab.netPendingIns--
 	}
 }
 
@@ -133,15 +144,20 @@ func (b *vcBuffer) clearBinding() {
 	b.outVC = 0
 	if b.n > 0 {
 		b.fab.nodes[b.node].pendingIns++
+		b.fab.netPendingIns++
 	}
 }
 
 // CountOf implements packet.Location.
 func (b *vcBuffer) CountOf(p *packet.Packet) int {
 	c := 0
-	for i := 0; i < b.n; i++ {
-		if b.buf[(b.head+i)%len(b.buf)].pkt == p {
+	i := b.head
+	for k := 0; k < b.n; k++ {
+		if b.buf[i].pkt == p {
 			c++
+		}
+		if i++; i == len(b.buf) {
+			i = 0
 		}
 	}
 	return c
@@ -180,6 +196,7 @@ func (l *latch) set(f flit) {
 	l.f = f
 	l.full = true
 	l.fab.nodes[l.node].latched++
+	l.fab.netLatched++
 }
 
 func (l *latch) clear() flit {
@@ -187,6 +204,7 @@ func (l *latch) clear() flit {
 	l.f = flit{}
 	l.full = false
 	l.fab.nodes[l.node].latched--
+	l.fab.netLatched--
 	return f
 }
 
@@ -213,8 +231,22 @@ func (l *latch) String() string {
 // srcSlot is the not-yet-injected remainder of the packet currently
 // streaming into a node's injection channel.
 type srcSlot struct {
+	fab  *Fabric
 	node topology.NodeID
 	pkt  *packet.Packet // nil when no packet is streaming
+}
+
+// setPacket starts streaming p; like the other accessors in this file it
+// keeps the network-wide active-source counter in lockstep.
+func (s *srcSlot) setPacket(p *packet.Packet) {
+	s.pkt = p
+	s.fab.netSrcActive++
+}
+
+// clearPacket ends the stream (tail injected, or evicted by recovery).
+func (s *srcSlot) clearPacket() {
+	s.pkt = nil
+	s.fab.netSrcActive--
 }
 
 // CountOf implements packet.Location.
@@ -233,7 +265,7 @@ func (s *srcSlot) EvictFront(p *packet.Packet) {
 	}
 	p.SrcRemaining--
 	if p.SrcRemaining == 0 {
-		s.pkt = nil
+		s.clearPacket()
 	}
 }
 
@@ -252,10 +284,12 @@ func (o *outVC) acquire(b *vcBuffer, pkt *packet.Packet) {
 	o.owner = b
 	o.ownerPkt = pkt
 	o.lat.fab.nodes[o.lat.node].ownedOuts++
+	o.lat.fab.netOwnedOuts++
 }
 
 func (o *outVC) release() {
 	o.owner = nil
 	o.ownerPkt = nil
 	o.lat.fab.nodes[o.lat.node].ownedOuts--
+	o.lat.fab.netOwnedOuts--
 }

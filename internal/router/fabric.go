@@ -164,15 +164,19 @@ func (c Config) Validate() error {
 }
 
 // node is one router: input VC buffers, output VCs with latches, and the
-// arbitration pointers.
+// arbitration pointers. Nodes are stored by value in a single slice and
+// their buffer state lives in per-fabric arenas (see New), so one
+// router's working set is contiguous in memory instead of a pointer
+// forest; hot-path code takes &f.nodes[i] and never copies a node.
 type node struct {
 	id topology.NodeID
 	// inputs[port][vc]: physical ports 0..2n-1, then the injection port
-	// (single VC).
-	inputs [][]*vcBuffer
+	// (single VC). Each inner slice is a full-capacity window into the
+	// fabric's vcBuffer arena; buffer identity is the arena address.
+	inputs [][]vcBuffer
 	// outs[port][vc]: physical ports 0..2n-1, then the delivery port
-	// (single VC).
-	outs [][]*outVC
+	// (one slot per delivery channel). Windows into the outVC arena.
+	outs [][]outVC
 
 	// Demand-slotted round-robin pointer of the central routing arbiter
 	// (flattened over input VCs).
@@ -202,7 +206,7 @@ type node struct {
 type Fabric struct {
 	cfg   Config
 	topo  *topology.Torus
-	nodes []*node
+	nodes []node
 	now   int64
 
 	injPort int // input port index of the injection channel
@@ -211,6 +215,17 @@ type Fabric struct {
 	// fullBuffers counts currently full countable VC buffers (the
 	// side-band's congestion metric).
 	fullBuffers int
+
+	// Network-wide active-set counters: sums of the per-node counters,
+	// maintained at the same buffer.go transition sites. Each per-cycle
+	// stage consults its counter to skip the whole node scan in O(1)
+	// when the network holds no work for it — on an idle fabric every
+	// stage returns immediately.
+	netLatched     int // output latches holding a flit, network-wide
+	netOwnedOuts   int // owned output VCs, network-wide
+	netOccupiedIns int // non-empty input VCs, network-wide
+	netPendingIns  int // input VCs with an unrouted header, network-wide
+	netSrcActive   int // nodes with a packet streaming into injection
 
 	// Delivery accounting.
 	deliveredFlits  int64 // all-time
@@ -237,6 +252,16 @@ type Fabric struct {
 }
 
 // New builds the fabric. The configuration must validate.
+//
+// All router state is carved out of five contiguous arenas (vcBuffers,
+// their flit rings, outVCs, the per-node port tables, and the switch
+// pointers) allocated up front: one fabric costs a fixed handful of
+// allocations regardless of size, neighboring buffers share cache
+// lines, and Step never allocates. Arena addresses are stable for the
+// fabric's lifetime, so *vcBuffer and *outVC remain valid identities
+// (packet trails and wormhole bindings hold them across cycles). The
+// windows use full slice expressions so an accidental append can never
+// bleed into the neighboring buffer's storage.
 func New(cfg Config) (*Fabric, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -252,36 +277,70 @@ func New(cfg Config) (*Fabric, error) {
 		f.tokenWait = 12 * cfg.DeadlockTimeout / 5
 	}
 	phys := cfg.Topo.PhysPorts()
-	f.nodes = make([]*node, cfg.Topo.Nodes())
-	for id := range f.nodes {
-		nd := &node{id: topology.NodeID(id)}
-		nd.inputs = make([][]*vcBuffer, phys+1)
-		for p := 0; p < phys; p++ {
-			nd.inputs[p] = make([]*vcBuffer, cfg.VCs)
-			for v := 0; v < cfg.VCs; v++ {
-				nd.inputs[p][v] = newVCBuffer(f, nd.id, p, v, cfg.BufDepth, true)
-			}
-		}
-		nd.inputs[f.injPort] = []*vcBuffer{newVCBuffer(f, nd.id, f.injPort, 0, cfg.BufDepth, false)}
+	dlv := cfg.DeliveryChannels
+	if dlv == 0 {
+		dlv = 1
+	}
+	nodes := cfg.Topo.Nodes()
+	inPerNode := phys*cfg.VCs + 1    // physical input VCs + injection channel
+	outPerNode := phys*cfg.VCs + dlv // physical output VCs + delivery channels
+	bufArena := make([]vcBuffer, nodes*inPerNode)
+	flitArena := make([]flit, nodes*inPerNode*cfg.BufDepth)
+	outArena := make([]outVC, nodes*outPerNode)
+	inPorts := make([][]vcBuffer, nodes*(phys+1))
+	outPorts := make([][]outVC, nodes*(phys+1))
+	swArena := make([]int, nodes*(phys+1))
 
-		nd.outs = make([][]*outVC, phys+1)
+	nextBuf, nextFlit, nextOut := 0, 0, 0
+	takeBuf := func(n int) []vcBuffer {
+		s := bufArena[nextBuf : nextBuf+n : nextBuf+n]
+		nextBuf += n
+		return s
+	}
+	takeFlits := func() []flit {
+		s := flitArena[nextFlit : nextFlit+cfg.BufDepth : nextFlit+cfg.BufDepth]
+		nextFlit += cfg.BufDepth
+		return s
+	}
+	takeOut := func(n int) []outVC {
+		s := outArena[nextOut : nextOut+n : nextOut+n]
+		nextOut += n
+		return s
+	}
+
+	f.nodes = make([]node, nodes)
+	for id := range f.nodes {
+		nd := &f.nodes[id]
+		nd.id = topology.NodeID(id)
+		nd.inputs = inPorts[id*(phys+1) : (id+1)*(phys+1) : (id+1)*(phys+1)]
+		nd.outs = outPorts[id*(phys+1) : (id+1)*(phys+1) : (id+1)*(phys+1)]
+		nd.swPtr = swArena[id*(phys+1) : (id+1)*(phys+1) : (id+1)*(phys+1)]
 		for p := 0; p < phys; p++ {
-			nd.outs[p] = make([]*outVC, cfg.VCs)
+			nd.inputs[p] = takeBuf(cfg.VCs)
 			for v := 0; v < cfg.VCs; v++ {
-				nd.outs[p][v] = &outVC{lat: latch{fab: f, node: nd.id, port: p, vc: v}}
+				nd.inputs[p][v] = vcBuffer{
+					fab: f, node: nd.id, port: p, vc: v,
+					buf: takeFlits(), countable: true,
+				}
 			}
 		}
-		dlv := cfg.DeliveryChannels
-		if dlv == 0 {
-			dlv = 1
+		nd.inputs[f.injPort] = takeBuf(1)
+		nd.inputs[f.injPort][0] = vcBuffer{
+			fab: f, node: nd.id, port: f.injPort,
+			buf: takeFlits(),
 		}
-		nd.outs[f.dlvPort] = make([]*outVC, dlv)
+
+		for p := 0; p < phys; p++ {
+			nd.outs[p] = takeOut(cfg.VCs)
+			for v := 0; v < cfg.VCs; v++ {
+				nd.outs[p][v] = outVC{lat: latch{fab: f, node: nd.id, port: p, vc: v}}
+			}
+		}
+		nd.outs[f.dlvPort] = takeOut(dlv)
 		for v := 0; v < dlv; v++ {
-			nd.outs[f.dlvPort][v] = &outVC{lat: latch{fab: f, node: nd.id, port: f.dlvPort, vc: v}}
+			nd.outs[f.dlvPort][v] = outVC{lat: latch{fab: f, node: nd.id, port: f.dlvPort, vc: v}}
 		}
-		nd.swPtr = make([]int, phys+1)
-		nd.src = srcSlot{node: nd.id}
-		f.nodes[id] = nd
+		nd.src = srcSlot{fab: f, node: nd.id}
 	}
 	return f, nil
 }
@@ -310,11 +369,11 @@ func (f *Fabric) FullVCBuffers() int { return f.fullBuffers }
 // analysis, not the per-cycle hot path (which uses the incremental
 // global counter).
 func (f *Fabric) FullVCBuffersAt(nodeID topology.NodeID) int {
-	nd := f.nodes[nodeID]
+	nd := &f.nodes[nodeID]
 	full := 0
 	for p := 0; p < f.topo.PhysPorts(); p++ {
-		for _, b := range nd.inputs[p] {
-			if b.full() {
+		for v := range nd.inputs[p] {
+			if nd.inputs[p][v].full() {
 				full++
 			}
 		}
@@ -353,8 +412,8 @@ func (f *Fabric) VCsPerPort() int { return f.cfg.VCs }
 func (f *Fabric) FreeVCs(nodeID topology.NodeID, port int) int {
 	outs := f.nodes[nodeID].outs[port]
 	free := 0
-	for _, o := range outs {
-		if o.free() {
+	for i := range outs {
+		if outs[i].free() {
 			free++
 		}
 	}
@@ -373,14 +432,14 @@ func (f *Fabric) CanStartInjection(nodeID topology.NodeID) bool {
 // worms. Panics if the channel is busy or the packet malformed — callers
 // must check CanStartInjection.
 func (f *Fabric) StartInjection(pkt *packet.Packet) {
-	nd := f.nodes[pkt.Src]
+	nd := &f.nodes[pkt.Src]
 	if nd.src.pkt != nil {
 		panic(fmt.Sprintf("router: injection channel of node %d busy", pkt.Src))
 	}
 	if pkt.SrcRemaining != pkt.Length {
 		panic(fmt.Sprintf("router: packet %d already partially injected", pkt.ID))
 	}
-	nd.src.pkt = pkt
+	nd.src.setPacket(pkt)
 	f.inFlight++
 }
 

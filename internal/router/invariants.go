@@ -10,18 +10,23 @@ import (
 // CheckInvariants walks the whole fabric and verifies structural
 // invariants: buffer occupancy bounds, the incremental full-buffer
 // counter, the per-node active-set counters the stages use to skip idle
-// routers, wormhole binding/ownership consistency, and per-packet flit
-// conservation (buffered + consumed + in the recovery lane == length).
+// routers, wormhole binding/ownership consistency, per-packet flit
+// conservation (buffered + consumed + in the recovery lane == length),
+// and the packet-recycling guard: no buffer, latch, or source slot may
+// reference a packet already returned to a packet.Pool.
 // It exists for tests and debugging; it is O(network size) and is never
 // called by Step.
 func (f *Fabric) CheckInvariants() error {
 	buffered := map[*packet.Packet]int{}
 	full := 0
+	var netLatched, netOwned, netOccupied, netPending, netSrc int
 
-	for _, nd := range f.nodes {
+	for ni := range f.nodes {
+		nd := &f.nodes[ni]
 		var latched, ownedOuts, occupiedIns, pendingIns int
 		for _, port := range nd.inputs {
-			for _, b := range port {
+			for bi := range port {
+				b := &port[bi]
 				if b.n < 0 || b.n > len(b.buf) {
 					return fmt.Errorf("%v occupancy %d out of range", b, b.n)
 				}
@@ -45,7 +50,7 @@ func (f *Fabric) CheckInvariants() error {
 					if b.boundPkt == nil {
 						return fmt.Errorf("%v bound without packet", b)
 					}
-					o := f.nodes[b.node].outs[b.outPort][b.outVC]
+					o := &f.nodes[b.node].outs[b.outPort][b.outVC]
 					if o.ownerPkt != b.boundPkt {
 						return fmt.Errorf("%v bound to %v but output VC owned by %v", b, b.boundPkt, o.ownerPkt)
 					}
@@ -53,7 +58,8 @@ func (f *Fabric) CheckInvariants() error {
 			}
 		}
 		for _, outs := range nd.outs {
-			for _, o := range outs {
+			for oi := range outs {
+				o := &outs[oi]
 				if o.lat.full {
 					if o.lat.f.pkt == nil {
 						return fmt.Errorf("%v holds a nil flit", &o.lat)
@@ -71,6 +77,7 @@ func (f *Fabric) CheckInvariants() error {
 		}
 		if p := nd.src.pkt; p != nil {
 			buffered[p] += p.SrcRemaining
+			netSrc++
 		}
 		if latched != nd.latched || ownedOuts != nd.ownedOuts ||
 			occupiedIns != nd.occupiedIns || pendingIns != nd.pendingIns {
@@ -78,10 +85,21 @@ func (f *Fabric) CheckInvariants() error {
 				nd.id, nd.latched, nd.ownedOuts, nd.occupiedIns, nd.pendingIns,
 				latched, ownedOuts, occupiedIns, pendingIns)
 		}
+		netLatched += latched
+		netOwned += ownedOuts
+		netOccupied += occupiedIns
+		netPending += pendingIns
 	}
 
 	if full != f.fullBuffers {
 		return fmt.Errorf("full-buffer counter %d, recount %d", f.fullBuffers, full)
+	}
+	if netLatched != f.netLatched || netOwned != f.netOwnedOuts ||
+		netOccupied != f.netOccupiedIns || netPending != f.netPendingIns ||
+		netSrc != f.netSrcActive {
+		return fmt.Errorf("network active-set counters (latched %d owned %d occupied %d pending %d src %d), recount (%d %d %d %d %d)",
+			f.netLatched, f.netOwnedOuts, f.netOccupiedIns, f.netPendingIns, f.netSrcActive,
+			netLatched, netOwned, netOccupied, netPending, netSrc)
 	}
 
 	// Walk the per-packet tallies in packet-ID order: buffered is keyed
@@ -93,6 +111,9 @@ func (f *Fabric) CheckInvariants() error {
 	}
 	sort.Slice(pkts, func(i, j int) bool { return pkts[i].ID < pkts[j].ID })
 	for _, p := range pkts {
+		if p.Recycled() {
+			return fmt.Errorf("%v recycled but still referenced by network state (use-after-recycle)", p)
+		}
 		n := buffered[p]
 		want := p.Length - p.Consumed
 		if f.rec != nil && f.rec.pkt == p {

@@ -58,23 +58,30 @@ type recoveryState struct {
 func (f *Fabric) detectDeadlock() {
 	now := f.now
 	timeout := f.cfg.DeadlockTimeout
-	for _, nd := range f.nodes {
-		if nd.occupiedIns == 0 {
-			continue // no buffered flits, so no blockable header here
-		}
-		for _, port := range nd.inputs {
-			for _, b := range port {
-				if b.len() == 0 {
-					continue
-				}
-				fl := b.front()
-				if !fl.isHead() || fl.pkt.Mode.Frozen() {
-					continue
-				}
-				if fl.pkt.BlockedFor(now) > timeout {
-					fl.pkt.Mode = packet.Suspected
-					f.suspects = append(f.suspects, suspect{buf: b, pkt: fl.pkt, at: now})
-					f.emit(trace.Suspected, fl.pkt, b.node)
+	// An empty network (netOccupiedIns == 0) holds nothing blockable, but
+	// the suspect queue below must still be serviced: re-arm timers keep
+	// running for frozen packets whose flits sit outside input buffers.
+	if f.netOccupiedIns > 0 {
+		for ni := range f.nodes {
+			nd := &f.nodes[ni]
+			if nd.occupiedIns == 0 {
+				continue // no buffered flits, so no blockable header here
+			}
+			for _, port := range nd.inputs {
+				for bi := range port {
+					b := &port[bi]
+					if b.len() == 0 {
+						continue
+					}
+					fl := b.front()
+					if !fl.isHead() || fl.pkt.Mode.Frozen() {
+						continue
+					}
+					if fl.pkt.BlockedFor(now) > timeout {
+						fl.pkt.Mode = packet.Suspected
+						f.suspects = append(f.suspects, suspect{buf: b, pkt: fl.pkt, at: now})
+						f.emit(trace.Suspected, fl.pkt, b.node)
+					}
 				}
 			}
 		}
@@ -115,7 +122,7 @@ func (f *Fabric) feedingLatch(b *vcBuffer) *outVC {
 		return nil
 	}
 	up := f.topo.Neighbor(b.node, topology.PortDim(b.port), topology.PortDir(b.port))
-	return f.nodes[up].outs[topology.OppositePort(b.port)][b.vc]
+	return &f.nodes[up].outs[topology.OppositePort(b.port)][b.vc]
 }
 
 // startRecovery freezes the worm whose header sits at the front of head
@@ -164,7 +171,7 @@ func (f *Fabric) startRecovery(head *vcBuffer) {
 // allocated at this router (whose downstream flits have already drained).
 func (f *Fabric) cleanupBuffer(b *vcBuffer, pkt *packet.Packet) {
 	if b.bound && b.boundPkt == pkt {
-		o := f.nodes[b.node].outs[b.outPort][b.outVC]
+		o := &f.nodes[b.node].outs[b.outPort][b.outVC]
 		if o.ownerPkt == pkt {
 			o.release()
 		}

@@ -14,13 +14,18 @@ import (
 // latched the flit after checking occupancy, and each buffer has exactly
 // one upstream source.
 func (f *Fabric) linkStage() {
+	if f.netLatched == 0 {
+		return // no latched flit anywhere in the network
+	}
 	now := f.now
-	for _, nd := range f.nodes {
+	for ni := range f.nodes {
+		nd := &f.nodes[ni]
 		if nd.latched == 0 {
 			continue
 		}
 		for p, outs := range nd.outs {
-			for _, o := range outs {
+			for oi := range outs {
+				o := &outs[oi]
 				if !o.lat.full || o.lat.f.pkt.Mode.Frozen() {
 					continue
 				}
@@ -36,7 +41,7 @@ func (f *Fabric) linkStage() {
 					continue
 				}
 				nb := f.topo.Neighbor(nd.id, topology.PortDim(p), topology.PortDir(p))
-				tb := f.nodes[nb].inputs[topology.OppositePort(p)][o.lat.vc]
+				tb := &f.nodes[nb].inputs[topology.OppositePort(p)][o.lat.vc]
 				if tb.full() {
 					panic(fmt.Sprintf("router: link overflow into %v at cycle %d", tb, now))
 				}
@@ -58,8 +63,12 @@ func (f *Fabric) linkStage() {
 // VC into the output latch (one cycle per flit through the crossbar).
 // Winners are chosen round-robin over the port's output VCs.
 func (f *Fabric) crossbarStage() {
+	if f.netOwnedOuts == 0 {
+		return // no packet owns an output VC anywhere
+	}
 	now := f.now
-	for _, nd := range f.nodes {
+	for ni := range f.nodes {
+		nd := &f.nodes[ni]
 		if nd.ownedOuts == 0 {
 			continue
 		}
@@ -67,8 +76,11 @@ func (f *Fabric) crossbarStage() {
 			nvc := len(outs)
 			start := nd.swPtr[p]
 			for i := 0; i < nvc; i++ {
-				vi := (start + i) % nvc
-				o := outs[vi]
+				vi := start + i
+				if vi >= nvc {
+					vi -= nvc
+				}
+				o := &outs[vi]
 				if o.ownerPkt == nil || o.lat.full || o.ownerPkt.Mode.Frozen() {
 					continue
 				}
@@ -78,7 +90,7 @@ func (f *Fabric) crossbarStage() {
 				}
 				if p != f.dlvPort {
 					nb := f.topo.Neighbor(nd.id, topology.PortDim(p), topology.PortDir(p))
-					tb := f.nodes[nb].inputs[topology.OppositePort(p)][vi]
+					tb := &f.nodes[nb].inputs[topology.OppositePort(p)][vi]
 					if tb.full() {
 						continue // no downstream credit
 					}
@@ -95,7 +107,9 @@ func (f *Fabric) crossbarStage() {
 				if p != f.dlvPort {
 					// One flit per physical output port per cycle; each
 					// delivery (consumption) channel drains independently.
-					nd.swPtr[p] = (vi + 1) % nvc
+					if nd.swPtr[p] = vi + 1; nd.swPtr[p] == nvc {
+						nd.swPtr[p] = 0
+					}
 					break
 				}
 			}
@@ -109,8 +123,11 @@ func (f *Fabric) crossbarStage() {
 // routing delay; body flits stream behind the header without consulting
 // the arbiter).
 func (f *Fabric) routingStage() {
-	for _, nd := range f.nodes {
-		f.arbitrate(nd)
+	if f.netPendingIns == 0 {
+		return // no unrouted header anywhere
+	}
+	for ni := range f.nodes {
+		f.arbitrate(&f.nodes[ni])
 	}
 }
 
@@ -120,9 +137,9 @@ func (f *Fabric) inputVCCount() int { return f.topo.PhysPorts()*f.cfg.VCs + 1 }
 func (f *Fabric) inputVCAt(nd *node, idx int) *vcBuffer {
 	phys := f.topo.PhysPorts() * f.cfg.VCs
 	if idx < phys {
-		return nd.inputs[idx/f.cfg.VCs][idx%f.cfg.VCs]
+		return &nd.inputs[idx/f.cfg.VCs][idx%f.cfg.VCs]
 	}
-	return nd.inputs[f.injPort][0]
+	return &nd.inputs[f.injPort][0]
 }
 
 func (f *Fabric) arbitrate(nd *node) {
@@ -165,7 +182,7 @@ func (f *Fabric) vcAvailable(nd *node, port, vc int, pkt *packet.Packet) bool {
 		return true
 	}
 	nb := f.topo.Neighbor(nd.id, topology.PortDim(port), topology.PortDir(port))
-	tb := f.nodes[nb].inputs[topology.OppositePort(port)][vc]
+	tb := &f.nodes[nb].inputs[topology.OppositePort(port)][vc]
 	return tb.cap()-tb.len() >= pkt.Length
 }
 
@@ -174,8 +191,8 @@ func (f *Fabric) vcAvailable(nd *node, port, vc int, pkt *packet.Packet) bool {
 // arbiter slot.
 func (f *Fabric) routeHeader(nd *node, b *vcBuffer, pkt *packet.Packet) bool {
 	if pkt.Dst == nd.id {
-		for v, o := range nd.outs[f.dlvPort] {
-			if o.free() {
+		for v := range nd.outs[f.dlvPort] {
+			if nd.outs[f.dlvPort][v].free() {
 				f.allocate(nd, b, pkt, f.dlvPort, v)
 				return true
 			}
@@ -257,7 +274,7 @@ func (f *Fabric) routeEscape(nd *node, b *vcBuffer, pkt *packet.Packet) bool {
 
 // allocate binds input VC b to output VC (port, vc) for the packet.
 func (f *Fabric) allocate(nd *node, b *vcBuffer, pkt *packet.Packet, port, vc int) {
-	o := nd.outs[port][vc]
+	o := &nd.outs[port][vc]
 	if !o.free() {
 		panic(fmt.Sprintf("router: double allocation of node %d port %d vc %d", nd.id, port, vc))
 	}
@@ -271,13 +288,17 @@ func (f *Fabric) allocate(nd *node, b *vcBuffer, pkt *packet.Packet, port, vc in
 // injectionStage streams the current packet of each node's source slot
 // into the injection channel at one flit per cycle.
 func (f *Fabric) injectionStage() {
+	if f.netSrcActive == 0 {
+		return // no source is streaming a packet
+	}
 	now := f.now
-	for _, nd := range f.nodes {
+	for ni := range f.nodes {
+		nd := &f.nodes[ni]
 		pkt := nd.src.pkt
 		if pkt == nil || pkt.Mode.Frozen() {
 			continue
 		}
-		b := nd.inputs[f.injPort][0]
+		b := &nd.inputs[f.injPort][0]
 		if b.full() {
 			continue
 		}
@@ -291,7 +312,7 @@ func (f *Fabric) injectionStage() {
 			f.emit(trace.Injected, pkt, pkt.Src)
 		}
 		if pkt.SrcRemaining == 0 {
-			nd.src.pkt = nil
+			nd.src.clearPacket()
 		}
 	}
 }

@@ -234,7 +234,11 @@ func (n *Network) Tick(now int64) {
 	}
 	for len(n.inFly) > 0 && n.inFly[0].Visible <= now {
 		s := n.inFly[0]
-		n.inFly = n.inFly[1:]
+		// Shift rather than re-slice: inFly holds at most a couple of
+		// snapshots, and keeping the backing array means the steady-state
+		// tick cycle never reallocates it.
+		copy(n.inFly, n.inFly[1:])
+		n.inFly = n.inFly[:len(n.inFly)-1]
 		n.last[0] = n.last[1]
 		n.last[1] = s
 		if n.nlast < 2 {

@@ -24,6 +24,63 @@ type pending struct {
 	dst     topology.NodeID
 }
 
+// pendingQueue is a head-indexed ring deque of pending packets. The old
+// representation (a plain slice popped with copy(q, q[1:])) shifted the
+// whole backlog on every injection — O(n) per dequeue, quadratic over a
+// saturated run — and re-grew the slice after every generation burst.
+// The ring pops in O(1) and, once at steady-state capacity, never
+// allocates: push reuses the slots pop vacates.
+type pendingQueue struct {
+	buf  []pending
+	head int
+	n    int
+}
+
+func (q *pendingQueue) len() int { return q.n }
+
+// push appends p, doubling the ring when full (amortized O(1); at
+// steady state the ring reaches a fixed size and growth stops).
+func (q *pendingQueue) push(p pending) {
+	if q.n == len(q.buf) {
+		grown := make([]pending, max(4, 2*len(q.buf)))
+		for i := 0; i < q.n; i++ {
+			grown[i] = q.at(i)
+		}
+		q.buf = grown
+		q.head = 0
+	}
+	i := q.head + q.n
+	if i >= len(q.buf) {
+		i -= len(q.buf)
+	}
+	q.buf[i] = p
+	q.n++
+}
+
+// front returns the oldest entry; the queue must be non-empty.
+func (q *pendingQueue) front() pending { return q.buf[q.head] }
+
+// pop removes and returns the oldest entry in O(1).
+func (q *pendingQueue) pop() pending {
+	p := q.buf[q.head]
+	q.buf[q.head] = pending{}
+	q.head++
+	if q.head == len(q.buf) {
+		q.head = 0
+	}
+	q.n--
+	return p
+}
+
+// at returns the i-th oldest entry (0 is the front).
+func (q *pendingQueue) at(i int) pending {
+	j := q.head + i
+	if j >= len(q.buf) {
+		j -= len(q.buf)
+	}
+	return q.buf[j]
+}
+
 // Engine runs one simulation.
 type Engine struct {
 	cfg   Config
@@ -35,7 +92,8 @@ type Engine struct {
 	sched *traffic.Schedule
 	rng   *rand.Rand
 
-	queues   [][]pending // per-node source queues
+	queues   []pendingQueue // per-node source queues
+	pool     *packet.Pool   // free list; delivered packets are recycled here
 	nextID   packet.ID
 	created  int64
 	injStart int // rotating start node of the injection scan
@@ -91,7 +149,8 @@ func New(cfg Config) (*Engine, error) {
 		side:   side,
 		sched:  sched,
 		rng:    rand.New(rand.NewSource(cfg.Seed)),
-		queues: make([][]pending, topo.Nodes()),
+		queues: make([]pendingQueue, topo.Nodes()),
+		pool:   packet.NewPool(),
 		warmup: cfg.WarmupCycles,
 		total:  cfg.TotalCycles(),
 	}
@@ -182,6 +241,11 @@ func (e *Engine) onDelivered(p *packet.Packet) {
 		e.totLatency.Add(float64(p.TotalLatency()))
 		e.hops.Add(float64(p.Hops))
 	}
+	// The fabric releases every reference to a packet before it reports
+	// delivery (trace sinks receive packet IDs, not pointers), so the
+	// struct and its Trail capacity can go straight back to the free
+	// list for the next injection.
+	e.pool.Put(p)
 }
 
 // Run executes the full simulation and returns its results. It can only
@@ -209,6 +273,24 @@ func (e *Engine) RunWithProgress(every int64, fn func(now int64)) (Result, error
 	return e.result(), nil
 }
 
+// Step advances the simulation by exactly one cycle. It is the
+// incremental alternative to Run for benchmarks and interactive
+// drivers: the caller controls the cycle loop and may inspect the
+// fabric between cycles. Statistics accumulate exactly as under Run;
+// mixing Step with a later Run is rejected by Run's already-run guard.
+func (e *Engine) Step() { e.step(e.fab.Now()) }
+
+// CheckInvariants verifies the engine's structural invariants: the
+// fabric's (buffer occupancy, counters, flit conservation, no
+// use-after-recycle) plus the packet pool's recycling discipline (no
+// double recycle). O(network size); for tests and debugging.
+func (e *Engine) CheckInvariants() error {
+	if err := e.fab.CheckInvariants(); err != nil {
+		return err
+	}
+	return e.pool.CheckInvariants()
+}
+
 func (e *Engine) step(now int64) {
 	// 1. Global information gather and controller tick.
 	e.side.Tick(now)
@@ -219,7 +301,7 @@ func (e *Engine) step(now int64) {
 	for n := 0; n < nodes; n++ {
 		if dst, ok := e.sched.Generate(now, topology.NodeID(n), e.rng); ok {
 			e.created++
-			e.queues[n] = append(e.queues[n], pending{created: now, dst: dst})
+			e.queues[n].push(pending{created: now, dst: dst})
 		}
 	}
 
@@ -239,19 +321,18 @@ func (e *Engine) step(now int64) {
 		if n >= nodes {
 			n -= nodes
 		}
-		q := e.queues[n]
-		if len(q) == 0 || !e.fab.CanStartInjection(topology.NodeID(n)) {
+		q := &e.queues[n]
+		if q.len() == 0 || !e.fab.CanStartInjection(topology.NodeID(n)) {
 			continue
 		}
-		head := q[0]
+		head := q.front()
 		if !e.thr.AllowInjection(now, topology.NodeID(n), head.dst) {
 			e.throttleDenials++
 			throttledThisCycle = true
 			continue
 		}
-		copy(q, q[1:])
-		e.queues[n] = q[:len(q)-1]
-		p := packet.New(e.nextID, topology.NodeID(n), head.dst, e.cfg.PacketLength, head.created)
+		q.pop()
+		p := e.pool.Get(e.nextID, topology.NodeID(n), head.dst, e.cfg.PacketLength, head.created)
 		e.nextID++
 		p.Progress(now)
 		e.fab.StartInjection(p)
