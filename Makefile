@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race bench bench-json lint fmt-check vet stcc-vet govulncheck fuzz-smoke
+.PHONY: all build test race bench bench-json lint fmt-check vet stcc-vet govulncheck fuzz-smoke spec-roundtrip experiments-doc
 
 all: build lint test
 
@@ -28,9 +28,18 @@ bench-json:
 	$(GO) run ./cmd/stcc-bench -label $(BENCH_LABEL) -out BENCH_$(BENCH_LABEL).json
 
 # lint is the full static gate: formatting, the standard vet suite, the
-# determinism-contract suite, and (when the tool is available)
-# govulncheck.
-lint: fmt-check vet stcc-vet govulncheck
+# determinism-contract suite, the experiment-spec round trip, and (when
+# the tool is available) govulncheck.
+lint: fmt-check vet stcc-vet spec-roundtrip govulncheck
+
+# Emit every registry experiment's spec at both scales, re-parse it, and
+# require an unchanged content fingerprint (CI runs this too).
+spec-roundtrip:
+	$(GO) run ./cmd/stcc spec-roundtrip
+
+# Regenerate the registry-derived catalog section of EXPERIMENTS.md.
+experiments-doc:
+	$(GO) run ./cmd/stcc experiments-doc
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \

@@ -4,294 +4,21 @@
 //
 //	stcc-paper -exp all -scale quick -out results/
 //	stcc-paper -exp fig3 -scale paper
+//	stcc-paper -exp all -cache results/cache
 //
 // Quick scale reproduces every figure's shape in minutes; paper scale
-// runs the published 600k-cycle methodology (hours).
+// runs the published 600k-cycle methodology (hours). With -cache,
+// finished grid points are content-addressed by configuration
+// fingerprint, so interrupted or repeated regenerations resume instead
+// of re-simulating.
 package main
 
 import (
-	"flag"
-	"fmt"
 	"os"
-	"path/filepath"
-	"strings"
-	"time"
 
-	"repro/internal/experiments"
-	"repro/internal/router"
+	"repro/internal/cli"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig1..fig7, tab1, ext1..ext12")
-	scaleName := flag.String("scale", "quick", "run length: quick or paper")
-	out := flag.String("out", "", "directory for CSV output (optional)")
-	workers := flag.Int("workers", 0, "parallel simulations per experiment (0 = all CPUs)")
-	flag.Parse()
-
-	var scale experiments.Scale
-	switch *scaleName {
-	case "quick":
-		scale = experiments.Quick
-	case "paper":
-		scale = experiments.Paper
-	default:
-		fmt.Fprintf(os.Stderr, "stcc-paper: unknown -scale %q\n", *scaleName)
-		os.Exit(2)
-	}
-	if *out != "" {
-		if err := os.MkdirAll(*out, 0o755); err != nil {
-			fmt.Fprintf(os.Stderr, "stcc-paper: %v\n", err)
-			os.Exit(1)
-		}
-	}
-
-	runner := &runner{scale: scale, out: *out, run: experiments.Runner{Workers: *workers}}
-	all := map[string]func() error{
-		"fig1": runner.fig1, "fig2": runner.fig2, "fig3": runner.fig3,
-		"fig4": runner.fig4, "fig5": runner.fig5, "fig6": runner.fig6,
-		"fig7": runner.fig7, "tab1": runner.tab1,
-		"ext1": runner.ext1, "ext2": runner.ext2, "ext3": runner.ext3, "ext4": runner.ext4,
-		"ext5": runner.ext5, "ext6": runner.ext6, "ext7": runner.ext7, "ext8": runner.ext8,
-		"ext9": runner.ext9, "ext10": runner.ext10,
-		"ext11": runner.ext11, "ext12": runner.ext12,
-	}
-	order := []string{"tab1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
-		"ext1", "ext2", "ext3", "ext4", "ext5", "ext6", "ext7", "ext8", "ext9", "ext10",
-		"ext11", "ext12"}
-
-	var names []string
-	if *exp == "all" {
-		names = order
-	} else {
-		for _, n := range strings.Split(*exp, ",") {
-			n = strings.TrimSpace(n)
-			if _, ok := all[n]; !ok {
-				fmt.Fprintf(os.Stderr, "stcc-paper: unknown experiment %q\n", n)
-				os.Exit(2)
-			}
-			names = append(names, n)
-		}
-	}
-	for _, n := range names {
-		t0 := time.Now()
-		fmt.Printf("==== %s ====\n", n)
-		if err := all[n](); err != nil {
-			fmt.Fprintf(os.Stderr, "stcc-paper: %s: %v\n", n, err)
-			os.Exit(1)
-		}
-		fmt.Printf("(%s in %s)\n\n", n, time.Since(t0).Round(time.Second))
-	}
-}
-
-type runner struct {
-	scale experiments.Scale
-	out   string
-	run   experiments.Runner // worker pool shared by every experiment
-}
-
-func (r *runner) csv(name string, write func(f *os.File) error) error {
-	if r.out == "" {
-		return nil
-	}
-	f, err := os.Create(filepath.Join(r.out, name))
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	return write(f)
-}
-
-func (r *runner) fig1() error {
-	curves, err := r.run.Fig1(r.scale, nil)
-	if err != nil {
-		return err
-	}
-	experiments.PrintCurves(os.Stdout, "fig1: saturation collapse (base, recovery)", curves)
-	return r.csv("fig1.csv", func(f *os.File) error { return experiments.WriteCurvesCSV(f, curves) })
-}
-
-func (r *runner) fig2() error {
-	pts, err := r.run.Fig2(r.scale, nil)
-	if err != nil {
-		return err
-	}
-	experiments.PrintFig2(os.Stdout, pts)
-	return r.csv("fig2.csv", func(f *os.File) error { return experiments.WriteFig2CSV(f, pts) })
-}
-
-func (r *runner) fig3() error {
-	for _, mode := range []router.DeadlockMode{router.Recovery, router.Avoidance} {
-		curves, err := r.run.Fig3Curves(r.scale, mode, nil)
-		if err != nil {
-			return err
-		}
-		experiments.PrintCurves(os.Stdout, "fig3: overall performance, "+mode.String(), curves)
-		if err := r.csv("fig3_"+mode.String()+".csv", func(f *os.File) error {
-			return experiments.WriteCurvesCSV(f, curves)
-		}); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-func (r *runner) fig4() error {
-	traces, err := r.run.Fig4(r.scale, 0)
-	if err != nil {
-		return err
-	}
-	// Print a decimated view; the CSV has every period.
-	for _, tr := range traces {
-		fmt.Printf("fig4 trace %s: %d periods, final threshold %.1f\n",
-			tr.Name, len(tr.Cycle), tr.Threshold[len(tr.Threshold)-1])
-	}
-	return r.csv("fig4.csv", func(f *os.File) error { return experiments.WriteFig4CSV(f, traces) })
-}
-
-func (r *runner) fig5() error {
-	curves, err := r.run.Fig5(r.scale, nil)
-	if err != nil {
-		return err
-	}
-	experiments.PrintCurves(os.Stdout, "fig5: static thresholds vs self-tuning (recovery)", curves)
-	return r.csv("fig5.csv", func(f *os.File) error { return experiments.WriteCurvesCSV(f, curves) })
-}
-
-func (r *runner) fig6() error {
-	rows, _, err := experiments.Fig6(r.scale)
-	if err != nil {
-		return err
-	}
-	experiments.PrintFig6(os.Stdout, rows)
-	return nil
-}
-
-func (r *runner) fig7() error {
-	for _, mode := range []router.DeadlockMode{router.Recovery, router.Avoidance} {
-		series, err := r.run.Fig7(r.scale, mode)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("fig7 (%s):\n", mode)
-		experiments.PrintFig7(os.Stdout, series)
-		if err := r.csv("fig7_"+mode.String()+".csv", func(f *os.File) error {
-			return experiments.WriteFig7CSV(f, series)
-		}); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-func (r *runner) tab1() error {
-	experiments.PrintTable1(os.Stdout, experiments.Table1())
-	return nil
-}
-
-func (r *runner) ext1() error {
-	pts, err := r.run.Ext1Estimator(r.scale, 0)
-	if err != nil {
-		return err
-	}
-	experiments.PrintAblation(os.Stdout, "ext1: estimator ablation (tune @ saturation)", pts)
-	return nil
-}
-
-func (r *runner) ext2() error {
-	pts, err := r.run.Ext2TuningPeriod(r.scale, 0)
-	if err != nil {
-		return err
-	}
-	experiments.PrintAblation(os.Stdout, "ext2: tuning period sensitivity", pts)
-	return nil
-}
-
-func (r *runner) ext3() error {
-	pts, err := r.run.Ext3Steps(r.scale, 0)
-	if err != nil {
-		return err
-	}
-	experiments.PrintAblation(os.Stdout, "ext3: increment/decrement sensitivity", pts)
-	return nil
-}
-
-func (r *runner) ext4() error {
-	pts, err := r.run.Ext4NarrowSideband(r.scale, 0)
-	if err != nil {
-		return err
-	}
-	experiments.PrintAblation(os.Stdout, "ext4: narrow side-band", pts)
-	return nil
-}
-
-func (r *runner) ext5() error {
-	pts, err := r.run.Ext5HopDelay(r.scale, 0)
-	if err != nil {
-		return err
-	}
-	experiments.PrintAblation(os.Stdout, "ext5: side-band hop delay", pts)
-	return nil
-}
-
-func (r *runner) ext6() error {
-	pts, err := r.run.Ext6ConsumptionChannels(r.scale, 0)
-	if err != nil {
-		return err
-	}
-	experiments.PrintAblation(os.Stdout, "ext6: consumption channels", pts)
-	return nil
-}
-
-func (r *runner) ext7() error {
-	pts, err := r.run.Ext7Selection(r.scale, 0)
-	if err != nil {
-		return err
-	}
-	experiments.PrintAblation(os.Stdout, "ext7: selection policy", pts)
-	return nil
-}
-
-func (r *runner) ext8() error {
-	pts, err := r.run.Ext8GatherMechanism(r.scale, 0)
-	if err != nil {
-		return err
-	}
-	experiments.PrintAblation(os.Stdout, "ext8: gather mechanism", pts)
-	return nil
-}
-
-func (r *runner) ext10() error {
-	pts, err := r.run.Ext10CutThrough(r.scale, 0)
-	if err != nil {
-		return err
-	}
-	experiments.PrintAblation(os.Stdout, "ext10: wormhole vs cut-through", pts)
-	return nil
-}
-
-func (r *runner) ext11() error {
-	pts, err := r.run.Ext11LocalBaselines(r.scale, 0)
-	if err != nil {
-		return err
-	}
-	experiments.PrintAblation(os.Stdout, "ext11: local baselines vs tune", pts)
-	return nil
-}
-
-func (r *runner) ext12() error {
-	pts, err := r.run.Ext12ThreeCube(r.scale, 0)
-	if err != nil {
-		return err
-	}
-	experiments.PrintAblation(os.Stdout, "ext12: 8-ary 3-cube", pts)
-	return nil
-}
-
-func (r *runner) ext9() error {
-	curves, err := r.run.Ext9AllPatterns(r.scale, nil)
-	if err != nil {
-		return err
-	}
-	experiments.PrintCurves(os.Stdout, "ext9: all patterns, base vs tune (recovery)", curves)
-	return r.csv("ext9.csv", func(f *os.File) error { return experiments.WriteCurvesCSV(f, curves) })
+	os.Exit(cli.PaperMain(os.Args[1:]))
 }

@@ -3,395 +3,28 @@
 //
 // Subcommands:
 //
-//	run     one simulation, printing the measurement summary
+//	run     one simulation (flags or -spec file.json), printing the summary
 //	sweep   an injection-rate sweep for one scheme (figure 1/3/5 style)
 //	bursty  the paper's bursty workload (figure 6/7)
 //	trace   the self-tuner's threshold/throughput trajectory (figure 4)
 //	table   the tuning decision table (table 1)
+//	compare all congestion control schemes on one workload, multi-seed
+//
+//	list             named experiments (tab1, fig1..fig7, ext1..ext12)
+//	describe <name>  one experiment's purpose and grid
+//	emit-spec <name> write an experiment's serialized spec (JSON) to stdout
+//	spec-roundtrip   verify every registry spec survives JSON round-tripping
+//	experiments-doc  regenerate the catalog section of EXPERIMENTS.md
 //
 // Run "stcc <subcommand> -h" for flags.
 package main
 
 import (
-	"encoding/json"
-	"flag"
-	"fmt"
 	"os"
-	"runtime"
-	"runtime/pprof"
-	"strconv"
-	"strings"
 
-	stcc "repro"
-	"repro/internal/analysis"
-	"repro/internal/experiments"
-	"repro/internal/router"
-	"repro/internal/sim"
-	"repro/internal/traffic"
+	"repro/internal/cli"
 )
 
 func main() {
-	if len(os.Args) < 2 {
-		usage()
-		os.Exit(2)
-	}
-	var err error
-	switch os.Args[1] {
-	case "run":
-		err = cmdRun(os.Args[2:])
-	case "sweep":
-		err = cmdSweep(os.Args[2:])
-	case "bursty":
-		err = cmdBursty(os.Args[2:])
-	case "trace":
-		err = cmdTrace(os.Args[2:])
-	case "table":
-		err = cmdTable(os.Args[2:])
-	case "compare":
-		err = cmdCompare(os.Args[2:])
-	case "-h", "--help", "help":
-		usage()
-	default:
-		fmt.Fprintf(os.Stderr, "stcc: unknown subcommand %q\n", os.Args[1])
-		usage()
-		os.Exit(2)
-	}
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "stcc: %v\n", err)
-		os.Exit(1)
-	}
-}
-
-func usage() {
-	fmt.Fprintln(os.Stderr, `usage: stcc <run|sweep|bursty|trace|table|compare> [flags]
-
-  run     one simulation, printing the measurement summary
-  sweep   an injection-rate sweep for one scheme
-  bursty  the paper's bursty workload
-  trace   the self-tuner's threshold trajectory
-  table   the tuning decision table
-  compare all congestion control schemes on one workload, multi-seed`)
-}
-
-// netFlags registers the flags shared by all simulation subcommands and
-// returns a builder that assembles the sim.Config.
-func netFlags(fs *flag.FlagSet) func() (sim.Config, error) {
-	k := fs.Int("k", 16, "radix (nodes per dimension)")
-	n := fs.Int("n", 2, "dimensions")
-	vcs := fs.Int("vcs", 3, "virtual channels per physical channel")
-	depth := fs.Int("depth", 8, "flits per VC buffer")
-	plen := fs.Int("plen", 16, "packet length in flits")
-	mode := fs.String("mode", "recovery", "deadlock handling: recovery or avoidance")
-	timeout := fs.Int64("timeout", 160, "deadlock detection timeout (cycles)")
-	tokenWait := fs.Int64("tokenwait", 0, "recovery token wait before re-arm (0 = 2.4x timeout)")
-	hop := fs.Int("hop", 2, "side-band hop delay (cycles)")
-	bits := fs.Int("bits", 0, "side-band width in bits (0 = full precision)")
-	pattern := fs.String("pattern", "random", "communication pattern: random, bitreversal, shuffle, butterfly, transpose, complement")
-	rate := fs.Float64("rate", 0.01, "offered load (packets/node/cycle)")
-	warmup := fs.Int64("warmup", 100_000, "warm-up cycles (ignored in statistics)")
-	measure := fs.Int64("measure", 500_000, "measured cycles")
-	seed := fs.Int64("seed", 1, "random seed")
-	scheme := fs.String("scheme", "base", "congestion control: base, alo, static, tune, tune-hillclimb")
-	threshold := fs.Float64("threshold", 250, "full-buffer threshold for -scheme static")
-	estimator := fs.String("estimator", "linear", "congestion estimator: linear or last")
-	period := fs.Int64("period", 0, "tuning period in cycles (0 = 3 gather durations)")
-
-	return func() (sim.Config, error) {
-		cfg := sim.NewConfig()
-		cfg.K, cfg.N = *k, *n
-		cfg.VCs, cfg.BufDepth = *vcs, *depth
-		cfg.PacketLength = *plen
-		switch *mode {
-		case "recovery":
-			cfg.Mode = router.Recovery
-		case "avoidance":
-			cfg.Mode = router.Avoidance
-		default:
-			return cfg, fmt.Errorf("unknown -mode %q", *mode)
-		}
-		cfg.DeadlockTimeout = *timeout
-		cfg.TokenWaitTimeout = *tokenWait
-		cfg.SidebandHopDelay = *hop
-		cfg.SidebandBits = *bits
-		cfg.Pattern = traffic.PatternKind(*pattern)
-		cfg.Rate = *rate
-		cfg.WarmupCycles, cfg.MeasureCycles = *warmup, *measure
-		cfg.Seed = *seed
-		cfg.Scheme = sim.Scheme{
-			Kind:            sim.SchemeKind(*scheme),
-			StaticThreshold: *threshold,
-			Estimator:       sim.EstimatorKind(*estimator),
-			TuningPeriod:    *period,
-		}
-		return cfg, nil
-	}
-}
-
-// profileFlags registers -cpuprofile and -memprofile on fs and returns a
-// wrapper that runs a subcommand body under the requested profilers. The
-// CPU profile covers the body; the heap profile is written after a final
-// GC, so it shows live steady-state memory (the router arenas and packet
-// free lists), not transient garbage.
-func profileFlags(fs *flag.FlagSet) func(run func() error) error {
-	cpu := fs.String("cpuprofile", "", "write a CPU profile of the run to `file`")
-	mem := fs.String("memprofile", "", "write a post-run heap profile to `file`")
-	return func(run func() error) error {
-		if *cpu != "" {
-			f, err := os.Create(*cpu)
-			if err != nil {
-				return err
-			}
-			defer f.Close()
-			if err := pprof.StartCPUProfile(f); err != nil {
-				return err
-			}
-			defer pprof.StopCPUProfile()
-		}
-		if err := run(); err != nil {
-			return err
-		}
-		if *mem != "" {
-			f, err := os.Create(*mem)
-			if err != nil {
-				return err
-			}
-			defer f.Close()
-			runtime.GC()
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-}
-
-func cmdRun(args []string) error {
-	fs := flag.NewFlagSet("run", flag.ExitOnError)
-	build := netFlags(fs)
-	asJSON := fs.Bool("json", false, "emit the full result as JSON (including time series)")
-	prof := profileFlags(fs)
-	if err := fs.Parse(args); err != nil {
-		return err
-	}
-	cfg, err := build()
-	if err != nil {
-		return err
-	}
-	return prof(func() error {
-		r, err := stcc.Run(cfg)
-		if err != nil {
-			return err
-		}
-		if *asJSON {
-			enc := json.NewEncoder(os.Stdout)
-			enc.SetIndent("", "  ")
-			return enc.Encode(r)
-		}
-		printResult(r)
-		return nil
-	})
-}
-
-func printResult(r sim.Result) {
-	fmt.Printf("scheme            %s\n", r.Scheme)
-	fmt.Printf("deadlock mode     %s\n", r.Mode)
-	fmt.Printf("pattern           %s\n", r.Pattern)
-	fmt.Printf("offered           %.5f packets/node/cycle\n", r.OfferedRate)
-	fmt.Printf("accepted          %.4f flits/node/cycle (%.5f packets/node/cycle)\n", r.AcceptedFlits, r.AcceptedPackets)
-	fmt.Printf("network latency   avg %.1f  p95 %.1f  max %.0f cycles\n",
-		r.AvgNetworkLatency, r.P95NetworkLatency, r.MaxNetworkLatency)
-	fmt.Printf("total latency     avg %.1f cycles (incl. source queueing)\n", r.AvgTotalLatency)
-	fmt.Printf("hops              avg %.2f\n", r.AvgHops)
-	fmt.Printf("packets           created %d  injected %d  delivered %d\n",
-		r.PacketsCreated, r.PacketsInjected, r.PacketsDelivered)
-	fmt.Printf("deadlocks         %d recoveries\n", r.Recoveries)
-	fmt.Printf("full buffers      avg %.1f\n", r.AvgFullBuffers)
-	if r.Scheme == sim.StaticGlobal || r.Scheme == sim.SelfTuned || r.Scheme == sim.HillClimbOnly {
-		fmt.Printf("final threshold   %.1f buffers\n", r.FinalThreshold)
-		fmt.Printf("throttled cycles  %d (%d denials)\n", r.ThrottledCycles, r.ThrottleDenials)
-	}
-}
-
-func cmdSweep(args []string) error {
-	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
-	build := netFlags(fs)
-	rates := fs.String("rates", "0.005,0.01,0.015,0.02,0.025,0.03,0.04,0.06",
-		"comma-separated injection rates")
-	workers := fs.Int("workers", 0, "parallel simulations (0 = all CPUs)")
-	prof := profileFlags(fs)
-	if err := fs.Parse(args); err != nil {
-		return err
-	}
-	cfg, err := build()
-	if err != nil {
-		return err
-	}
-	var parsed []float64
-	for _, part := range strings.Split(*rates, ",") {
-		rate, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
-		if err != nil {
-			return fmt.Errorf("bad rate %q: %w", part, err)
-		}
-		parsed = append(parsed, rate)
-	}
-	return prof(func() error {
-		var curve experiments.Curve
-		curve.Name = fmt.Sprintf("%s/%s/%s", cfg.Scheme.Kind, cfg.Mode, cfg.Pattern)
-		curve.Points = make([]experiments.RatePoint, len(parsed))
-		run := experiments.Runner{Workers: *workers}
-		if err := run.ForEach(len(parsed), func(i int) error {
-			c := cfg
-			c.Rate = parsed[i]
-			r, err := stcc.Run(c)
-			if err != nil {
-				return fmt.Errorf("rate %g: %w", parsed[i], err)
-			}
-			curve.Points[i] = experiments.RatePoint{
-				Rate: parsed[i], Accepted: r.AcceptedFlits, Latency: r.AvgNetworkLatency,
-				Recov: r.Recoveries, Full: r.AvgFullBuffers,
-			}
-			return nil
-		}); err != nil {
-			return err
-		}
-		experiments.PrintCurves(os.Stdout, "rate sweep", []experiments.Curve{curve})
-		return nil
-	})
-}
-
-func cmdBursty(args []string) error {
-	fs := flag.NewFlagSet("bursty", flag.ExitOnError)
-	build := netFlags(fs)
-	lowDur := fs.Int64("lowdur", 50_000, "low-load phase duration (cycles)")
-	highDur := fs.Int64("highdur", 75_000, "high-load burst duration (cycles)")
-	lowInt := fs.Int64("lowint", 1500, "low-load regeneration interval")
-	highInt := fs.Int64("highint", 15, "high-load regeneration interval")
-	sample := fs.Int64("sample", 1024, "throughput sample interval (cycles)")
-	prof := profileFlags(fs)
-	if err := fs.Parse(args); err != nil {
-		return err
-	}
-	cfg, err := build()
-	if err != nil {
-		return err
-	}
-	topo, err := cfg.Topology()
-	if err != nil {
-		return err
-	}
-	sched, err := stcc.PaperBurstySchedule(topo.Nodes(), stcc.BurstyOptions{
-		LowDuration: *lowDur, HighDuration: *highDur,
-		LowInterval: *lowInt, HighInterval: *highInt,
-	})
-	if err != nil {
-		return err
-	}
-	cfg.Schedule = sched
-	cfg.WarmupCycles = 0
-	cfg.MeasureCycles = sched.TotalDuration()
-	cfg.SampleInterval = *sample
-	return prof(func() error {
-		r, err := stcc.Run(cfg)
-		if err != nil {
-			return err
-		}
-		printResult(r)
-		fmt.Println()
-		fmt.Printf("%12s %14s\n", "cycle", "throughput")
-		for i, v := range r.Throughput.Values {
-			fmt.Printf("%12d %14.4f\n", r.Throughput.CycleAt(i), v)
-		}
-		return nil
-	})
-}
-
-func cmdTrace(args []string) error {
-	fs := flag.NewFlagSet("trace", flag.ExitOnError)
-	build := netFlags(fs)
-	regen := fs.Int64("regen", 100, "packet regeneration interval (cycles)")
-	prof := profileFlags(fs)
-	if err := fs.Parse(args); err != nil {
-		return err
-	}
-	cfg, err := build()
-	if err != nil {
-		return err
-	}
-	topo, err := cfg.Topology()
-	if err != nil {
-		return err
-	}
-	pat, err := stcc.NewPattern(cfg.Pattern, topo.Nodes())
-	if err != nil {
-		return err
-	}
-	cfg.Schedule = stcc.Steady(pat, stcc.Periodic{Interval: *regen})
-	if cfg.Scheme.Kind == sim.Base {
-		cfg.Scheme.Kind = sim.SelfTuned
-	}
-	cfg.Scheme.KeepTrace = true
-	return prof(func() error {
-		r, err := stcc.Run(cfg)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("%12s %12s %14s %12s\n", "cycle", "threshold", "tput(flits)", "decision")
-		for _, tp := range r.ThresholdTrace {
-			fmt.Printf("%12d %12.1f %14.0f %12s\n", tp.Cycle, tp.Threshold, tp.Throughput, tp.Decision)
-		}
-		return nil
-	})
-}
-
-func cmdCompare(args []string) error {
-	fs := flag.NewFlagSet("compare", flag.ExitOnError)
-	build := netFlags(fs)
-	seedsFlag := fs.String("seeds", "1,2,3", "comma-separated seeds for replication")
-	workers := fs.Int("workers", 0, "parallel simulations (0 = all CPUs)")
-	prof := profileFlags(fs)
-	if err := fs.Parse(args); err != nil {
-		return err
-	}
-	cfg, err := build()
-	if err != nil {
-		return err
-	}
-	var seeds []int64
-	for _, part := range strings.Split(*seedsFlag, ",") {
-		seed, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
-		if err != nil {
-			return fmt.Errorf("bad seed %q: %w", part, err)
-		}
-		seeds = append(seeds, seed)
-	}
-	return prof(func() error {
-		schemes := []sim.Scheme{
-			{Kind: sim.Base},
-			{Kind: sim.ALO},
-			{Kind: sim.StaticGlobal, StaticThreshold: cfg.Scheme.StaticThreshold},
-			{Kind: sim.SelfTuned},
-		}
-		rows, err := analysis.CompareWith(experiments.Runner{Workers: *workers}, cfg, schemes, seeds)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("%-14s %22s %20s %14s\n", "scheme", "accepted (flits/n/cyc)", "latency (cycles)", "recoveries")
-		for _, r := range rows {
-			fmt.Printf("%-14s %12.4f +- %6.4f %12.1f +- %5.1f %9.0f +- %4.0f\n",
-				r.Name,
-				r.Rep.Accepted.Mean, r.Rep.Accepted.StdDev,
-				r.Rep.Latency.Mean, r.Rep.Latency.StdDev,
-				r.Rep.Recoveries.Mean, r.Rep.Recoveries.StdDev)
-		}
-		return nil
-	})
-}
-
-func cmdTable(args []string) error {
-	fs := flag.NewFlagSet("table", flag.ExitOnError)
-	if err := fs.Parse(args); err != nil {
-		return err
-	}
-	experiments.PrintTable1(os.Stdout, experiments.Table1())
-	return nil
+	os.Exit(cli.Main(os.Args[1:]))
 }

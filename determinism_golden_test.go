@@ -16,6 +16,7 @@ import (
 	"testing"
 
 	"repro/internal/experiments"
+	"repro/internal/resultcache"
 	"repro/internal/router"
 	"repro/internal/sim"
 )
@@ -61,6 +62,20 @@ func goldenCases() []goldenCase {
 			func(c *sim.Config) {
 				c.Mode = router.Avoidance
 				c.Scheme = sim.Scheme{Kind: sim.SelfTuned}
+			}},
+		// ALO baseline: the fingerprint covers the free-VC admission test
+		// in the injection path (19 recoveries at this load).
+		{"alo-recovery", "1fd22738f97075c1",
+			func(c *sim.Config) { c.Scheme = sim.Scheme{Kind: sim.ALO} }},
+		// Busy-VC counting baseline at its default limit: covers the busy
+		// output-VC census each injection consults.
+		{"busyvc-recovery", "3a4764ea7dd2ed8e",
+			func(c *sim.Config) { c.Scheme = sim.Scheme{Kind: sim.BusyVC} }},
+		// Static global threshold at 120 full buffers: covers the
+		// side-band gather and fixed-threshold throttle without the tuner.
+		{"static-recovery", "d5d669780f9c2c24",
+			func(c *sim.Config) {
+				c.Scheme = sim.Scheme{Kind: sim.StaticGlobal, StaticThreshold: 120}
 			}},
 	}
 }
@@ -128,6 +143,38 @@ func TestDeterminismAcrossWorkerCounts(t *testing.T) {
 		}
 		if serial[i] != gc.want {
 			t.Errorf("%s: runner fingerprint %s, want golden %s", gc.name, serial[i], gc.want)
+		}
+	}
+}
+
+// TestDeterminismThroughResultCache runs the golden grid twice through a
+// cache-attached runner. The first pass populates the content-addressed
+// cache; the second is served entirely from it. Both must reproduce the
+// seed-engine fingerprints, which pins the cache's JSON round trip to
+// "bit-identical to a fresh run".
+func TestDeterminismThroughResultCache(t *testing.T) {
+	cache, err := resultcache.New(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := goldenCases()
+	spec := experiments.NewSpec("goldens", "determinism golden grid")
+	for _, gc := range cases {
+		spec.AddGroup(gc.name, experiments.Point{Label: gc.name, Config: goldenConfig(gc)})
+	}
+	runner := experiments.Runner{Cache: cache}
+	for pass, label := range []string{"fresh", "cached"} {
+		grouped, err := runner.RunSpec(spec)
+		if err != nil {
+			t.Fatalf("%s pass: %v", label, err)
+		}
+		for i, gc := range cases {
+			if got := resultFingerprint(grouped[i][0]); got != gc.want {
+				t.Errorf("%s pass: %s fingerprint %s, want golden %s", label, gc.name, got, gc.want)
+			}
+		}
+		if n, err := cache.Len(); err != nil || n != len(cases) {
+			t.Fatalf("after pass %d: cache holds %d entries (err=%v), want %d", pass, n, err, len(cases))
 		}
 	}
 }

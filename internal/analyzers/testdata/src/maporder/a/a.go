@@ -47,6 +47,22 @@ func goodSuppressed(m map[int]int) int {
 	return best
 }
 
+// goodSortedRegistry is the experiment-registry idiom: names are
+// collected from the map, sorted, and only then used for ordered work
+// (experiments.Names does exactly this), so iteration order never
+// reaches the caller.
+func goodSortedRegistry(registry map[string]func()) []string {
+	names := make([]string, 0, len(registry))
+	for name := range registry { // collect-then-sort
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		registry[name]()
+	}
+	return names
+}
+
 func goodNotAMap(xs []int) int {
 	n := 0
 	for _, x := range xs { // slices iterate in index order

@@ -1,0 +1,503 @@
+// Package cli implements the stcc and stcc-paper command lines on one
+// shared core: both binaries are thin main functions over Main and
+// PaperMain, so flag handling, the experiment registry, and the result
+// cache behave identically everywhere.
+package cli
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"strconv"
+	"strings"
+
+	stcc "repro"
+	"repro/internal/analysis"
+	"repro/internal/experiments"
+	"repro/internal/resultcache"
+	"repro/internal/router"
+	"repro/internal/sim"
+	"repro/internal/traffic"
+)
+
+// Main is the stcc entry point. It returns the process exit code.
+func Main(args []string) int {
+	if len(args) < 1 {
+		usage()
+		return 2
+	}
+	var err error
+	switch args[0] {
+	case "run":
+		err = cmdRun(args[1:])
+	case "sweep":
+		err = cmdSweep(args[1:])
+	case "bursty":
+		err = cmdBursty(args[1:])
+	case "trace":
+		err = cmdTrace(args[1:])
+	case "table":
+		err = cmdTable(args[1:])
+	case "compare":
+		err = cmdCompare(args[1:])
+	case "list":
+		err = cmdList(args[1:])
+	case "describe":
+		err = cmdDescribe(args[1:])
+	case "emit-spec":
+		err = cmdEmitSpec(args[1:])
+	case "spec-roundtrip":
+		err = cmdSpecRoundtrip(args[1:])
+	case "experiments-doc":
+		err = cmdExperimentsDoc(args[1:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "stcc: unknown subcommand %q\n", args[0])
+		usage()
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stcc: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: stcc <subcommand> [flags]
+
+simulation:
+  run     one simulation (flags or -spec file.json), printing the summary
+  sweep   an injection-rate sweep for one scheme
+  bursty  the paper's bursty workload
+  trace   the self-tuner's threshold trajectory
+  table   the tuning decision table
+  compare all congestion control schemes on one workload, multi-seed
+
+experiment registry:
+  list             named experiments (tab1, fig1..fig7, ext1..ext12)
+  describe <name>  one experiment's purpose and grid
+  emit-spec <name> write an experiment's serialized spec (JSON) to stdout
+  spec-roundtrip   verify every registry spec survives JSON round-tripping
+  experiments-doc  regenerate the catalog section of EXPERIMENTS.md`)
+}
+
+// checkWorkers rejects negative worker counts up front, before any flag
+// reaches experiments.Runner (where <= 0 silently means "all CPUs").
+func checkWorkers(workers int) error {
+	if workers < 0 {
+		return fmt.Errorf("-workers must be >= 0, got %d", workers)
+	}
+	return nil
+}
+
+// netFlags registers the flags shared by all simulation subcommands and
+// returns a builder that assembles the sim.Config.
+func netFlags(fs *flag.FlagSet) func() (sim.Config, error) {
+	k := fs.Int("k", 16, "radix (nodes per dimension)")
+	n := fs.Int("n", 2, "dimensions")
+	vcs := fs.Int("vcs", 3, "virtual channels per physical channel")
+	depth := fs.Int("depth", 8, "flits per VC buffer")
+	plen := fs.Int("plen", 16, "packet length in flits")
+	mode := fs.String("mode", "recovery", "deadlock handling: recovery or avoidance")
+	timeout := fs.Int64("timeout", 160, "deadlock detection timeout (cycles)")
+	tokenWait := fs.Int64("tokenwait", 0, "recovery token wait before re-arm (0 = 2.4x timeout)")
+	hop := fs.Int("hop", 2, "side-band hop delay (cycles)")
+	bits := fs.Int("bits", 0, "side-band width in bits (0 = full precision)")
+	pattern := fs.String("pattern", "random", "communication pattern: random, bitreversal, shuffle, butterfly, transpose, complement")
+	rate := fs.Float64("rate", 0.01, "offered load (packets/node/cycle)")
+	warmup := fs.Int64("warmup", 100_000, "warm-up cycles (ignored in statistics)")
+	measure := fs.Int64("measure", 500_000, "measured cycles")
+	seed := fs.Int64("seed", 1, "random seed")
+	scheme := fs.String("scheme", "base", "congestion control: base, alo, static, tune, tune-hillclimb")
+	threshold := fs.Float64("threshold", 250, "full-buffer threshold for -scheme static")
+	estimator := fs.String("estimator", "linear", "congestion estimator: linear or last")
+	period := fs.Int64("period", 0, "tuning period in cycles (0 = 3 gather durations)")
+
+	return func() (sim.Config, error) {
+		cfg := sim.NewConfig()
+		cfg.K, cfg.N = *k, *n
+		cfg.VCs, cfg.BufDepth = *vcs, *depth
+		cfg.PacketLength = *plen
+		switch *mode {
+		case "recovery":
+			cfg.Mode = router.Recovery
+		case "avoidance":
+			cfg.Mode = router.Avoidance
+		default:
+			return cfg, fmt.Errorf("unknown -mode %q", *mode)
+		}
+		cfg.DeadlockTimeout = *timeout
+		cfg.TokenWaitTimeout = *tokenWait
+		cfg.SidebandHopDelay = *hop
+		cfg.SidebandBits = *bits
+		cfg.Pattern = traffic.PatternKind(*pattern)
+		cfg.Rate = *rate
+		cfg.WarmupCycles, cfg.MeasureCycles = *warmup, *measure
+		cfg.Seed = *seed
+		cfg.Scheme = sim.Scheme{
+			Kind:            sim.SchemeKind(*scheme),
+			StaticThreshold: *threshold,
+			Estimator:       sim.EstimatorKind(*estimator),
+			TuningPeriod:    *period,
+		}
+		return cfg, nil
+	}
+}
+
+// profileFlags registers -cpuprofile and -memprofile on fs and returns a
+// wrapper that runs a subcommand body under the requested profilers. The
+// CPU profile covers the body; the heap profile is written after a final
+// GC, so it shows live steady-state memory (the router arenas and packet
+// free lists), not transient garbage.
+func profileFlags(fs *flag.FlagSet) func(run func() error) error {
+	cpu := fs.String("cpuprofile", "", "write a CPU profile of the run to `file`")
+	mem := fs.String("memprofile", "", "write a post-run heap profile to `file`")
+	return func(run func() error) error {
+		if *cpu != "" {
+			f, err := os.Create(*cpu)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := pprof.StartCPUProfile(f); err != nil {
+				return err
+			}
+			defer pprof.StopCPUProfile()
+		}
+		if err := run(); err != nil {
+			return err
+		}
+		if *mem != "" {
+			f, err := os.Create(*mem)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// openCache opens the content-addressed result cache named by a -cache
+// flag, or returns nil when the flag is unset.
+func openCache(dir string) (*resultcache.Cache, error) {
+	if dir == "" {
+		return nil, nil
+	}
+	return resultcache.New(dir)
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	build := netFlags(fs)
+	specPath := fs.String("spec", "", "run a serialized experiment spec (JSON `file`) instead of a flag-built config")
+	workers := fs.Int("workers", 0, "parallel simulations for -spec runs (0 = all CPUs)")
+	cacheDir := fs.String("cache", "", "content-addressed result cache `dir` (optional)")
+	asJSON := fs.Bool("json", false, "emit the full result as JSON (including time series)")
+	prof := profileFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := checkWorkers(*workers); err != nil {
+		return err
+	}
+	if *specPath != "" {
+		return prof(func() error { return runSpecFile(*specPath, *workers, *cacheDir, *asJSON) })
+	}
+	cfg, err := build()
+	if err != nil {
+		return err
+	}
+	return prof(func() error {
+		r, err := stcc.Run(cfg)
+		if err != nil {
+			return err
+		}
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			return enc.Encode(r)
+		}
+		printResult(r)
+		return nil
+	})
+}
+
+// runSpecFile executes a serialized experiment spec and prints one row
+// per point (or, with -json, the grouped results verbatim).
+func runSpecFile(path string, workers int, cacheDir string, asJSON bool) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	spec, err := experiments.ParseSpec(data)
+	if err != nil {
+		return err
+	}
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	cache, err := openCache(cacheDir)
+	if err != nil {
+		return err
+	}
+	grouped, err := experiments.Runner{Workers: workers, Cache: cache}.RunSpec(spec)
+	if err != nil {
+		return err
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(grouped)
+	}
+	printSpecResults(os.Stdout, spec, grouped)
+	return nil
+}
+
+// printSpecResults prints a generic per-point summary of a spec run.
+func printSpecResults(w io.Writer, spec *experiments.Spec, grouped [][]sim.Result) {
+	title := spec.Name
+	if spec.Title != "" {
+		title += ": " + spec.Title
+	}
+	fmt.Fprintln(w, title)
+	for gi, g := range spec.Groups {
+		if g.Name != "" {
+			fmt.Fprintf(w, "-- %s\n", g.Name)
+		}
+		fmt.Fprintf(w, "%-32s %14s %12s %12s\n", "point", "accepted", "latency", "recoveries")
+		for pi, p := range g.Points {
+			r := grouped[gi][pi]
+			fmt.Fprintf(w, "%-32s %14.4f %12.1f %12d\n",
+				p.Label, r.AcceptedFlits, r.AvgNetworkLatency, r.Recoveries)
+		}
+	}
+}
+
+func printResult(r sim.Result) {
+	fmt.Printf("scheme            %s\n", r.Scheme)
+	fmt.Printf("deadlock mode     %s\n", r.Mode)
+	fmt.Printf("pattern           %s\n", r.Pattern)
+	fmt.Printf("offered           %.5f packets/node/cycle\n", r.OfferedRate)
+	fmt.Printf("accepted          %.4f flits/node/cycle (%.5f packets/node/cycle)\n", r.AcceptedFlits, r.AcceptedPackets)
+	fmt.Printf("network latency   avg %.1f  p95 %.1f  max %.0f cycles\n",
+		r.AvgNetworkLatency, r.P95NetworkLatency, r.MaxNetworkLatency)
+	fmt.Printf("total latency     avg %.1f cycles (incl. source queueing)\n", r.AvgTotalLatency)
+	fmt.Printf("hops              avg %.2f\n", r.AvgHops)
+	fmt.Printf("packets           created %d  injected %d  delivered %d\n",
+		r.PacketsCreated, r.PacketsInjected, r.PacketsDelivered)
+	fmt.Printf("deadlocks         %d recoveries\n", r.Recoveries)
+	fmt.Printf("full buffers      avg %.1f\n", r.AvgFullBuffers)
+	if r.Scheme == sim.StaticGlobal || r.Scheme == sim.SelfTuned || r.Scheme == sim.HillClimbOnly {
+		fmt.Printf("final threshold   %.1f buffers\n", r.FinalThreshold)
+		fmt.Printf("throttled cycles  %d (%d denials)\n", r.ThrottledCycles, r.ThrottleDenials)
+	}
+}
+
+func cmdSweep(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	build := netFlags(fs)
+	rates := fs.String("rates", "0.005,0.01,0.015,0.02,0.025,0.03,0.04,0.06",
+		"comma-separated injection rates")
+	workers := fs.Int("workers", 0, "parallel simulations (0 = all CPUs)")
+	cacheDir := fs.String("cache", "", "content-addressed result cache `dir` (optional)")
+	prof := profileFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := checkWorkers(*workers); err != nil {
+		return err
+	}
+	cfg, err := build()
+	if err != nil {
+		return err
+	}
+	var parsed []float64
+	for _, part := range strings.Split(*rates, ",") {
+		rate, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return fmt.Errorf("bad rate %q: %w", part, err)
+		}
+		parsed = append(parsed, rate)
+	}
+	cache, err := openCache(*cacheDir)
+	if err != nil {
+		return err
+	}
+	return prof(func() error {
+		// The sweep is a one-group spec, so it shares the generic
+		// runner and result cache with the registry experiments.
+		name := fmt.Sprintf("%s/%s/%s", cfg.Scheme.Kind, cfg.Mode, cfg.Pattern)
+		spec := experiments.NewSpec("sweep", name)
+		g := experiments.Group{Name: name}
+		for _, rate := range parsed {
+			c := cfg
+			c.Rate = rate
+			g.Points = append(g.Points, experiments.Point{Label: fmt.Sprintf("rate %g", rate), Config: c})
+		}
+		spec.Groups = append(spec.Groups, g)
+		grouped, err := experiments.Runner{Workers: *workers, Cache: cache}.RunSpec(spec)
+		if err != nil {
+			return err
+		}
+		curve := experiments.Curve{Name: name, Points: make([]experiments.RatePoint, len(parsed))}
+		for i, r := range grouped[0] {
+			curve.Points[i] = experiments.RatePoint{
+				Rate: parsed[i], Accepted: r.AcceptedFlits, Latency: r.AvgNetworkLatency,
+				Recov: r.Recoveries, Full: r.AvgFullBuffers,
+			}
+		}
+		experiments.PrintCurves(os.Stdout, "rate sweep", []experiments.Curve{curve})
+		return nil
+	})
+}
+
+func cmdBursty(args []string) error {
+	fs := flag.NewFlagSet("bursty", flag.ExitOnError)
+	build := netFlags(fs)
+	lowDur := fs.Int64("lowdur", 50_000, "low-load phase duration (cycles)")
+	highDur := fs.Int64("highdur", 75_000, "high-load burst duration (cycles)")
+	lowInt := fs.Int64("lowint", 1500, "low-load regeneration interval")
+	highInt := fs.Int64("highint", 15, "high-load regeneration interval")
+	sample := fs.Int64("sample", 1024, "throughput sample interval (cycles)")
+	prof := profileFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg, err := build()
+	if err != nil {
+		return err
+	}
+	topo, err := cfg.Topology()
+	if err != nil {
+		return err
+	}
+	sched, err := stcc.PaperBurstySchedule(topo.Nodes(), stcc.BurstyOptions{
+		LowDuration: *lowDur, HighDuration: *highDur,
+		LowInterval: *lowInt, HighInterval: *highInt,
+	})
+	if err != nil {
+		return err
+	}
+	cfg.Schedule = sched
+	cfg.WarmupCycles = 0
+	cfg.MeasureCycles = sched.TotalDuration()
+	cfg.SampleInterval = *sample
+	return prof(func() error {
+		r, err := stcc.Run(cfg)
+		if err != nil {
+			return err
+		}
+		printResult(r)
+		fmt.Println()
+		fmt.Printf("%12s %14s\n", "cycle", "throughput")
+		for i, v := range r.Throughput.Values {
+			fmt.Printf("%12d %14.4f\n", r.Throughput.CycleAt(i), v)
+		}
+		return nil
+	})
+}
+
+func cmdTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	build := netFlags(fs)
+	regen := fs.Int64("regen", 100, "packet regeneration interval (cycles)")
+	prof := profileFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg, err := build()
+	if err != nil {
+		return err
+	}
+	topo, err := cfg.Topology()
+	if err != nil {
+		return err
+	}
+	pat, err := stcc.NewPattern(cfg.Pattern, topo.Nodes())
+	if err != nil {
+		return err
+	}
+	cfg.Schedule = stcc.Steady(pat, stcc.Periodic{Interval: *regen})
+	if cfg.Scheme.Kind == sim.Base {
+		cfg.Scheme.Kind = sim.SelfTuned
+	}
+	cfg.Scheme.KeepTrace = true
+	return prof(func() error {
+		r, err := stcc.Run(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%12s %12s %14s %12s\n", "cycle", "threshold", "tput(flits)", "decision")
+		for _, tp := range r.ThresholdTrace {
+			fmt.Printf("%12d %12.1f %14.0f %12s\n", tp.Cycle, tp.Threshold, tp.Throughput, tp.Decision)
+		}
+		return nil
+	})
+}
+
+func cmdCompare(args []string) error {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	build := netFlags(fs)
+	seedsFlag := fs.String("seeds", "1,2,3", "comma-separated seeds for replication")
+	workers := fs.Int("workers", 0, "parallel simulations (0 = all CPUs)")
+	prof := profileFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := checkWorkers(*workers); err != nil {
+		return err
+	}
+	cfg, err := build()
+	if err != nil {
+		return err
+	}
+	var seeds []int64
+	for _, part := range strings.Split(*seedsFlag, ",") {
+		seed, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad seed %q: %w", part, err)
+		}
+		seeds = append(seeds, seed)
+	}
+	return prof(func() error {
+		schemes := []sim.Scheme{
+			{Kind: sim.Base},
+			{Kind: sim.ALO},
+			{Kind: sim.StaticGlobal, StaticThreshold: cfg.Scheme.StaticThreshold},
+			{Kind: sim.SelfTuned},
+		}
+		rows, err := analysis.CompareWith(experiments.Runner{Workers: *workers}, cfg, schemes, seeds)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-14s %22s %20s %14s\n", "scheme", "accepted (flits/n/cyc)", "latency (cycles)", "recoveries")
+		for _, r := range rows {
+			fmt.Printf("%-14s %12.4f +- %6.4f %12.1f +- %5.1f %9.0f +- %4.0f\n",
+				r.Name,
+				r.Rep.Accepted.Mean, r.Rep.Accepted.StdDev,
+				r.Rep.Latency.Mean, r.Rep.Latency.StdDev,
+				r.Rep.Recoveries.Mean, r.Rep.Recoveries.StdDev)
+		}
+		return nil
+	})
+}
+
+func cmdTable(args []string) error {
+	fs := flag.NewFlagSet("table", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	experiments.PrintTable1(os.Stdout, experiments.Table1())
+	return nil
+}

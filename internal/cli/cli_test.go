@@ -1,0 +1,325 @@
+package cli
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// small returns flags for a tiny, fast run.
+func small(extra ...string) []string {
+	base := []string{"-k", "4", "-warmup", "200", "-measure", "1500", "-rate", "0.005"}
+	return append(base, extra...)
+}
+
+func TestCmdRunSchemes(t *testing.T) {
+	for _, scheme := range []string{"base", "alo", "tune", "tune-hillclimb"} {
+		if err := cmdRun(small("-scheme", scheme)); err != nil {
+			t.Errorf("run -scheme %s: %v", scheme, err)
+		}
+	}
+	if err := cmdRun(small("-scheme", "static", "-threshold", "50")); err != nil {
+		t.Errorf("run -scheme static: %v", err)
+	}
+}
+
+func TestCmdRunJSON(t *testing.T) {
+	if err := cmdRun(small("-json")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdRunAvoidance(t *testing.T) {
+	if err := cmdRun(small("-mode", "avoidance")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdRunRejectsBadMode(t *testing.T) {
+	if err := cmdRun(small("-mode", "nope")); err == nil {
+		t.Fatal("bad mode accepted")
+	}
+}
+
+func TestCmdRunRejectsBadScheme(t *testing.T) {
+	if err := cmdRun(small("-scheme", "nope")); err == nil {
+		t.Fatal("bad scheme accepted")
+	}
+}
+
+func TestCmdSweep(t *testing.T) {
+	if err := cmdSweep(small("-rates", "0.002,0.005")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdSweepRejectsBadRates(t *testing.T) {
+	if err := cmdSweep(small("-rates", "a,b")); err == nil {
+		t.Fatal("bad rates accepted")
+	}
+}
+
+func TestCmdSweepWithCache(t *testing.T) {
+	dir := t.TempDir()
+	args := small("-rates", "0.002,0.005", "-cache", dir)
+	if err := cmdSweep(args); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("cache holds %d entries after 2-rate sweep, want 2", len(entries))
+	}
+	// Second run is served from the cache and must still succeed.
+	if err := cmdSweep(args); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdBursty(t *testing.T) {
+	err := cmdBursty(small("-lowdur", "300", "-highdur", "400",
+		"-lowint", "200", "-highint", "40", "-sample", "256"))
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdTrace(t *testing.T) {
+	if err := cmdTrace(small("-regen", "120")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdTable(t *testing.T) {
+	if err := cmdTable(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNetFlagsDefaults(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	build := netFlags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.K != 16 || cfg.VCs != 3 || cfg.DeadlockTimeout != 160 {
+		t.Errorf("defaults: %+v", cfg)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("default flags invalid: %v", err)
+	}
+}
+
+func TestCmdCompare(t *testing.T) {
+	if err := cmdCompare(small("-seeds", "1,2")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdCompareRejectsBadSeeds(t *testing.T) {
+	if err := cmdCompare(small("-seeds", "x")); err == nil {
+		t.Fatal("bad seeds accepted")
+	}
+}
+
+// Both CLIs must reject a negative worker count with a clear error
+// instead of silently treating it as "all CPUs".
+func TestNegativeWorkersRejected(t *testing.T) {
+	for name, run := range map[string]func() error{
+		"sweep":   func() error { return cmdSweep(small("-workers", "-1")) },
+		"compare": func() error { return cmdCompare(small("-workers", "-2")) },
+		"run":     func() error { return cmdRun(small("-workers", "-3")) },
+	} {
+		err := run()
+		if err == nil {
+			t.Errorf("%s accepted negative -workers", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), "-workers") {
+			t.Errorf("%s: error %q does not mention -workers", name, err)
+		}
+	}
+	if code := PaperMain([]string{"-exp", "tab1", "-workers", "-1"}); code != 2 {
+		t.Errorf("stcc-paper -workers -1 exited %d, want 2", code)
+	}
+}
+
+func TestCmdList(t *testing.T) {
+	if err := cmdList(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdDescribe(t *testing.T) {
+	for _, name := range []string{"fig3", "tab1"} {
+		if err := cmdDescribe([]string{name}); err != nil {
+			t.Errorf("describe %s: %v", name, err)
+		}
+	}
+	if err := cmdDescribe([]string{"nope"}); err == nil {
+		t.Error("describe accepted unknown experiment")
+	}
+	if err := cmdDescribe(nil); err == nil {
+		t.Error("describe accepted missing name")
+	}
+}
+
+func TestCmdEmitSpec(t *testing.T) {
+	if err := cmdEmitSpec([]string{"fig1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdEmitSpec([]string{"nope"}); err == nil {
+		t.Error("emit-spec accepted unknown experiment")
+	}
+	if err := cmdEmitSpec([]string{"-scale", "nope", "fig1"}); err == nil {
+		t.Error("emit-spec accepted unknown scale")
+	}
+}
+
+func TestCmdSpecRoundtrip(t *testing.T) {
+	if err := cmdSpecRoundtrip(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// "stcc run -spec" must execute an emitted spec: emit one, shrink it to
+// a single fast point, and run it from the file.
+func TestCmdRunSpecFile(t *testing.T) {
+	e, ok := experiments.Lookup("fig1")
+	if !ok {
+		t.Fatal("fig1 not registered")
+	}
+	spec := e.Spec(experiments.Scale{Warmup: 100, Measure: 400, BurstLow: 100, BurstHigh: 100})
+	spec.Groups = spec.Groups[:1]
+	spec.Groups[0].Points = spec.Groups[0].Points[:1]
+	spec.Groups[0].Points[0].Config.K = 4
+	data, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "spec.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdRun([]string{"-spec", path}); err != nil {
+		t.Fatalf("run -spec: %v", err)
+	}
+	// Cached re-run through the same file.
+	cache := t.TempDir()
+	if err := cmdRun([]string{"-spec", path, "-cache", cache}); err != nil {
+		t.Fatalf("run -spec -cache: %v", err)
+	}
+	if err := cmdRun([]string{"-spec", path, "-cache", cache, "-json"}); err != nil {
+		t.Fatalf("cached run -spec -json: %v", err)
+	}
+}
+
+func TestCmdRunSpecFileRejectsBadInput(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"version":1,"bogus":true}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdRun([]string{"-spec", bad}); err == nil {
+		t.Error("run -spec accepted a spec with unknown fields")
+	}
+	if err := cmdRun([]string{"-spec", filepath.Join(dir, "missing.json")}); err == nil {
+		t.Error("run -spec accepted a missing file")
+	}
+}
+
+func TestCmdExperimentsDoc(t *testing.T) {
+	doc := "# Experiments\n\npreamble\n\n" + catalogBegin + "\nOLD-CATALOG-SENTINEL\n" + catalogEnd + "\n\ntrailer\n"
+	path := filepath.Join(t.TempDir(), "EXPERIMENTS.md")
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdExperimentsDoc([]string{"-file", path}); err != nil {
+		t.Fatal(err)
+	}
+	updated, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(updated)
+	if strings.Contains(got, "OLD-CATALOG-SENTINEL") {
+		t.Error("stale catalog content survived regeneration")
+	}
+	for _, want := range []string{"preamble", "trailer", "| fig3 |", "**ext12**", catalogBegin, catalogEnd} {
+		if !strings.Contains(got, want) {
+			t.Errorf("regenerated doc missing %q", want)
+		}
+	}
+	// Idempotent: a second run must leave the file unchanged.
+	if err := cmdExperimentsDoc([]string{"-file", path}); err != nil {
+		t.Fatal(err)
+	}
+	again, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again) != got {
+		t.Error("experiments-doc is not idempotent")
+	}
+}
+
+// The committed EXPERIMENTS.md catalog must match the registry; run
+// "make experiments-doc" after changing registry.go.
+func TestExperimentsDocUpToDate(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", "EXPERIMENTS.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	updated, err := RenderCatalog(string(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if updated != string(data) {
+		t.Error("EXPERIMENTS.md catalog section is stale; run \"make experiments-doc\"")
+	}
+}
+
+func TestCmdExperimentsDocMissingMarkers(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "EXPERIMENTS.md")
+	if err := os.WriteFile(path, []byte("no markers here\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdExperimentsDoc([]string{"-file", path}); err == nil {
+		t.Error("experiments-doc accepted a document without markers")
+	}
+}
+
+func TestMainExitCodes(t *testing.T) {
+	if code := Main(nil); code != 2 {
+		t.Errorf("no args: exit %d, want 2", code)
+	}
+	if code := Main([]string{"bogus"}); code != 2 {
+		t.Errorf("unknown subcommand: exit %d, want 2", code)
+	}
+	if code := Main([]string{"help"}); code != 0 {
+		t.Errorf("help: exit %d, want 0", code)
+	}
+	if code := Main([]string{"list"}); code != 0 {
+		t.Errorf("list: exit %d, want 0", code)
+	}
+	if code := PaperMain([]string{"-scale", "nope"}); code != 2 {
+		t.Errorf("stcc-paper bad scale: exit %d, want 2", code)
+	}
+	if code := PaperMain([]string{"-exp", "nope"}); code != 2 {
+		t.Errorf("stcc-paper unknown experiment: exit %d, want 2", code)
+	}
+	if code := PaperMain([]string{"-exp", "tab1"}); code != 0 {
+		t.Errorf("stcc-paper tab1: exit %d, want 0", code)
+	}
+}

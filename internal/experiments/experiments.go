@@ -3,6 +3,13 @@
 // benchmark harness and the stcc-paper command print or write as CSV.
 // Drivers are deterministic for a given Scale and seed, regardless of
 // how many Runner workers execute the grid.
+//
+// Every driver is built from a declarative Spec — a serializable grid
+// of (label, sim.Config) points — so the same grid can be executed in
+// process (Runner.RunSpec), emitted as JSON ("stcc emit-spec"), and
+// content-addressed for the result cache. The registry in registry.go
+// names each driver so figures run as "stcc-paper -exp fig3" or
+// through "stcc list / describe / emit-spec".
 package experiments
 
 import (
@@ -66,37 +73,40 @@ type Curve struct {
 	Points []RatePoint
 }
 
-// gridJob pairs a simulation configuration with the label used both for
-// its result row and for contextualizing its error.
-type gridJob struct {
-	name string
-	cfg  sim.Config
-}
-
-// runJobs executes every job on the runner's pool and returns results in
-// job order, wrapping a failure as "<prefix> <job name>: <cause>".
-func (r Runner) runJobs(prefix string, jobs []gridJob) ([]sim.Result, error) {
-	cfgs := make([]sim.Config, len(jobs))
-	for i, j := range jobs {
-		cfgs[i] = j.cfg
+// rateGroup builds one curve's worth of spec points: the same config at
+// every rate, labeled "<label prefix>rate <rate>".
+func rateGroup(name, labelPrefix string, rates []float64, cfg func(rate float64) sim.Config) Group {
+	g := Group{Name: name}
+	for _, rate := range rates {
+		g.Points = append(g.Points, Point{
+			Label:  fmt.Sprintf("%srate %g", labelPrefix, rate),
+			Config: cfg(rate),
+		})
 	}
-	return r.runGrid(cfgs, func(i int, err error) error {
-		return fmt.Errorf("%s %s: %w", prefix, jobs[i].name, err)
-	})
+	return g
 }
 
-// curveGrid assembles rate-sweep results into curves: jobs are laid out
-// as len(names) consecutive blocks of len(rates) points each.
-func curveGrid(names []string, rates []float64, results []sim.Result) []Curve {
-	curves := make([]Curve, 0, len(names))
-	for ci, name := range names {
-		c := Curve{Name: name}
+// specCurves maps grouped results back to curves: one group per curve,
+// one point per rate.
+func specCurves(spec *Spec, rates []float64, grouped [][]sim.Result) []Curve {
+	curves := make([]Curve, 0, len(spec.Groups))
+	for gi, g := range spec.Groups {
+		c := Curve{Name: g.Name}
 		for ri, rate := range rates {
-			c.Points = append(c.Points, point(results[ci*len(rates)+ri], rate))
+			c.Points = append(c.Points, point(grouped[gi][ri], rate))
 		}
 		curves = append(curves, c)
 	}
 	return curves
+}
+
+// runCurves executes a curve-shaped spec and assembles the curves.
+func (r Runner) runCurves(spec *Spec, rates []float64) ([]Curve, error) {
+	grouped, err := r.RunSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	return specCurves(spec, rates, grouped), nil
 }
 
 // Fig1 reproduces Figure 1: performance breakdown at network saturation.
@@ -105,28 +115,31 @@ func curveGrid(names []string, rates []float64, results []sim.Result) []Curve {
 // collapses past the (pattern-dependent) saturation point.
 func Fig1(s Scale, rates []float64) ([]Curve, error) { return Runner{}.Fig1(s, rates) }
 
+// Fig1Spec is Figure 1's declarative grid.
+func Fig1Spec(s Scale, rates []float64) *Spec {
+	if rates == nil {
+		rates = DefaultRates
+	}
+	spec := NewSpec("fig1", "saturation collapse (base, recovery)")
+	for _, pat := range []traffic.PatternKind{traffic.UniformRandom, traffic.Butterfly} {
+		pat := pat
+		spec.Groups = append(spec.Groups, rateGroup(string(pat), string(pat)+" ", rates,
+			func(rate float64) sim.Config {
+				cfg := baseConfig(s)
+				cfg.Pattern = pat
+				cfg.Rate = rate
+				return cfg
+			}))
+	}
+	return spec
+}
+
 // Fig1 runs the Figure 1 grid on this runner's worker pool.
 func (r Runner) Fig1(s Scale, rates []float64) ([]Curve, error) {
 	if rates == nil {
 		rates = DefaultRates
 	}
-	patterns := []traffic.PatternKind{traffic.UniformRandom, traffic.Butterfly}
-	var jobs []gridJob
-	names := make([]string, 0, len(patterns))
-	for _, pat := range patterns {
-		names = append(names, string(pat))
-		for _, rate := range rates {
-			cfg := baseConfig(s)
-			cfg.Pattern = pat
-			cfg.Rate = rate
-			jobs = append(jobs, gridJob{fmt.Sprintf("%s rate %g", pat, rate), cfg})
-		}
-	}
-	results, err := r.runJobs("fig1", jobs)
-	if err != nil {
-		return nil, err
-	}
-	return curveGrid(names, rates, results), nil
+	return r.runCurves(Fig1Spec(s, rates), rates)
 }
 
 // Fig2Point is one (full buffers, throughput) sample of the Figure 2
@@ -144,23 +157,31 @@ type Fig2Point struct {
 // configuration and recording where each run settles.
 func Fig2(s Scale, rates []float64) ([]Fig2Point, error) { return Runner{}.Fig2(s, rates) }
 
+// Fig2Spec is Figure 2's declarative grid.
+func Fig2Spec(s Scale, rates []float64) *Spec {
+	if rates == nil {
+		rates = DefaultRates
+	}
+	spec := NewSpec("fig2", "throughput vs full buffers (base, recovery)")
+	spec.Groups = append(spec.Groups, rateGroup("", "", rates, func(rate float64) sim.Config {
+		cfg := baseConfig(s)
+		cfg.Rate = rate
+		return cfg
+	}))
+	return spec
+}
+
 // Fig2 runs the Figure 2 sweep on this runner's worker pool.
 func (r Runner) Fig2(s Scale, rates []float64) ([]Fig2Point, error) {
 	if rates == nil {
 		rates = DefaultRates
 	}
-	jobs := make([]gridJob, 0, len(rates))
-	for _, rate := range rates {
-		cfg := baseConfig(s)
-		cfg.Rate = rate
-		jobs = append(jobs, gridJob{fmt.Sprintf("rate %g", rate), cfg})
-	}
-	results, err := r.runJobs("fig2", jobs)
+	grouped, err := r.RunSpec(Fig2Spec(s, rates))
 	if err != nil {
 		return nil, err
 	}
 	pts := make([]Fig2Point, len(rates))
-	for i, res := range results {
+	for i, res := range grouped[0] {
 		pts[i] = Fig2Point{Rate: rates[i], FullBuffers: res.AvgFullBuffers, Throughput: res.AcceptedFlits}
 	}
 	return pts, nil
@@ -174,29 +195,33 @@ func Fig3Curves(s Scale, mode router.DeadlockMode, rates []float64) ([]Curve, er
 	return Runner{}.Fig3Curves(s, mode, rates)
 }
 
+// Fig3Spec is Figure 3's declarative grid for one deadlock mode.
+func Fig3Spec(s Scale, mode router.DeadlockMode, rates []float64) *Spec {
+	if rates == nil {
+		rates = DefaultRates
+	}
+	spec := NewSpec("fig3", "overall performance, "+mode.String())
+	for _, sch := range []sim.Scheme{{Kind: sim.Base}, {Kind: sim.ALO}, {Kind: sim.SelfTuned}} {
+		sch := sch
+		spec.Groups = append(spec.Groups, rateGroup(string(sch.Kind),
+			fmt.Sprintf("%s/%v ", sch.Kind, mode), rates,
+			func(rate float64) sim.Config {
+				cfg := baseConfig(s)
+				cfg.Mode = mode
+				cfg.Rate = rate
+				cfg.Scheme = sch
+				return cfg
+			}))
+	}
+	return spec
+}
+
 // Fig3Curves runs the Figure 3 grid on this runner's worker pool.
 func (r Runner) Fig3Curves(s Scale, mode router.DeadlockMode, rates []float64) ([]Curve, error) {
 	if rates == nil {
 		rates = DefaultRates
 	}
-	schemes := []sim.Scheme{{Kind: sim.Base}, {Kind: sim.ALO}, {Kind: sim.SelfTuned}}
-	var jobs []gridJob
-	names := make([]string, 0, len(schemes))
-	for _, sch := range schemes {
-		names = append(names, string(sch.Kind))
-		for _, rate := range rates {
-			cfg := baseConfig(s)
-			cfg.Mode = mode
-			cfg.Rate = rate
-			cfg.Scheme = sch
-			jobs = append(jobs, gridJob{fmt.Sprintf("%s/%v rate %g", sch.Kind, mode, rate), cfg})
-		}
-	}
-	results, err := r.runJobs("fig3", jobs)
-	if err != nil {
-		return nil, err
-	}
-	return curveGrid(names, rates, results), nil
+	return r.runCurves(Fig3Spec(s, mode, rates), rates)
 }
 
 // Fig4Trace is one self-tuning run's threshold/throughput trajectory.
@@ -218,42 +243,47 @@ type Fig4Trace struct {
 // operating point.
 func Fig4(s Scale, regenInterval int64) ([]Fig4Trace, error) { return Runner{}.Fig4(s, regenInterval) }
 
-// Fig4 runs both Figure 4 configurations on this runner's worker pool.
-func (r Runner) Fig4(s Scale, regenInterval int64) ([]Fig4Trace, error) {
+// Fig4Spec is Figure 4's declarative grid. The fixed-interval workload
+// is carried as a ScheduleSpec, so the grid serializes.
+func Fig4Spec(s Scale, regenInterval int64) *Spec {
 	if regenInterval <= 0 {
 		regenInterval = 50
 	}
-	kinds := []sim.SchemeKind{sim.HillClimbOnly, sim.SelfTuned}
-	jobs := make([]gridJob, 0, len(kinds))
-	var nodes float64
-	for _, kind := range kinds {
+	spec := NewSpec("fig4", "self-tuning operation (avoidance, periodic regeneration)")
+	g := Group{}
+	for _, kind := range []sim.SchemeKind{sim.HillClimbOnly, sim.SelfTuned} {
 		cfg := baseConfig(s)
 		cfg.Mode = router.Avoidance
-		topo, err := cfg.Topology()
-		if err != nil {
-			return nil, err
-		}
-		nodes = float64(topo.Nodes())
-		pat, err := traffic.NewPattern(traffic.UniformRandom, topo.Nodes())
-		if err != nil {
-			return nil, err
-		}
-		cfg.Schedule = traffic.Steady(pat, traffic.Periodic{Interval: regenInterval})
+		cfg.ScheduleSpec = traffic.SteadySpec(traffic.UniformRandom,
+			traffic.ProcessSpec{Kind: traffic.PeriodicProcess, Interval: regenInterval})
 		cfg.Scheme = sim.Scheme{Kind: kind, KeepTrace: true}
-		jobs = append(jobs, gridJob{string(kind), cfg})
+		g.Points = append(g.Points, Point{Label: string(kind), Config: cfg})
 	}
-	results, err := r.runJobs("fig4", jobs)
+	spec.Groups = append(spec.Groups, g)
+	return spec
+}
+
+// Fig4 runs both Figure 4 configurations on this runner's worker pool.
+func (r Runner) Fig4(s Scale, regenInterval int64) ([]Fig4Trace, error) {
+	spec := Fig4Spec(s, regenInterval)
+	grouped, err := r.RunSpec(spec)
 	if err != nil {
 		return nil, err
 	}
-	traces := make([]Fig4Trace, 0, len(kinds))
-	for i, kind := range kinds {
-		tr := Fig4Trace{Name: string(kind)}
-		period := float64(jobs[i].cfg.Scheme.TuningPeriod)
-		if period == 0 {
-			period = float64(3 * jobs[i].cfg.GatherDuration())
+	points := spec.Groups[0].Points
+	traces := make([]Fig4Trace, 0, len(points))
+	for i, p := range points {
+		topo, err := p.Config.Topology()
+		if err != nil {
+			return nil, err
 		}
-		for _, tp := range results[i].ThresholdTrace {
+		nodes := float64(topo.Nodes())
+		tr := Fig4Trace{Name: p.Label}
+		period := float64(p.Config.Scheme.TuningPeriod)
+		if period == 0 {
+			period = float64(3 * p.Config.GatherDuration())
+		}
+		for _, tp := range grouped[0][i].ThresholdTrace {
 			tr.Cycle = append(tr.Cycle, tp.Cycle)
 			tr.Threshold = append(tr.Threshold, tp.Threshold)
 			tr.Throughput = append(tr.Throughput, tp.Throughput/nodes/period)
@@ -275,8 +305,8 @@ func (r Runner) Fig4(s Scale, regenInterval int64) ([]Fig4Trace, error) {
 // original numbers remain visible.
 func Fig5(s Scale, rates []float64) ([]Curve, error) { return Runner{}.Fig5(s, rates) }
 
-// Fig5 runs the Figure 5 grid on this runner's worker pool.
-func (r Runner) Fig5(s Scale, rates []float64) ([]Curve, error) {
+// Fig5Spec is Figure 5's declarative grid.
+func Fig5Spec(s Scale, rates []float64) *Spec {
 	if rates == nil {
 		rates = DefaultRates
 	}
@@ -289,26 +319,30 @@ func (r Runner) Fig5(s Scale, rates []float64) ([]Curve, error) {
 		{"static50", sim.Scheme{Kind: sim.StaticGlobal, StaticThreshold: 50}},
 		{"tune", sim.Scheme{Kind: sim.SelfTuned}},
 	}
-	var jobs []gridJob
-	var names []string
+	spec := NewSpec("fig5", "static thresholds vs self-tuning (recovery)")
 	for _, pat := range []traffic.PatternKind{traffic.UniformRandom, traffic.Butterfly} {
 		for _, sc := range schemes {
+			pat, sc := pat, sc
 			name := string(pat) + "/" + sc.name
-			names = append(names, name)
-			for _, rate := range rates {
-				cfg := baseConfig(s)
-				cfg.Pattern = pat
-				cfg.Rate = rate
-				cfg.Scheme = sc.sch
-				jobs = append(jobs, gridJob{name, cfg})
-			}
+			spec.Groups = append(spec.Groups, rateGroup(name, name+" ", rates,
+				func(rate float64) sim.Config {
+					cfg := baseConfig(s)
+					cfg.Pattern = pat
+					cfg.Rate = rate
+					cfg.Scheme = sc.sch
+					return cfg
+				}))
 		}
 	}
-	results, err := r.runJobs("fig5", jobs)
-	if err != nil {
-		return nil, err
+	return spec
+}
+
+// Fig5 runs the Figure 5 grid on this runner's worker pool.
+func (r Runner) Fig5(s Scale, rates []float64) ([]Curve, error) {
+	if rates == nil {
+		rates = DefaultRates
 	}
-	return curveGrid(names, rates, results), nil
+	return r.runCurves(Fig5Spec(s, rates), rates)
 }
 
 // Fig6Row describes one phase of the bursty workload of Figure 6.
@@ -319,13 +353,19 @@ type Fig6Row struct {
 	Rate       float64 // packets/node/cycle
 }
 
-// Fig6 returns the offered bursty load schedule: alternating low-load
-// uniform-random phases and high-load bursts whose pattern changes each
-// burst (random, bit reversal, perfect shuffle, butterfly).
-func Fig6(s Scale) ([]Fig6Row, *traffic.Schedule, error) {
-	sched, err := traffic.PaperBurstySchedule(256, traffic.PaperBurstyOptions{
+// Fig6ScheduleSpec is the declarative bursty workload of Figure 6 at the
+// given scale: alternating low-load uniform-random phases and high-load
+// bursts whose pattern changes each burst.
+func Fig6ScheduleSpec(s Scale) *traffic.ScheduleSpec {
+	return traffic.PaperBurstySpec(traffic.PaperBurstyOptions{
 		LowDuration: s.BurstLow, HighDuration: s.BurstHigh,
 	})
+}
+
+// Fig6 returns the offered bursty load schedule, both as printable rows
+// and as the live schedule the Figure 7 runs consume.
+func Fig6(s Scale) ([]Fig6Row, *traffic.Schedule, error) {
+	sched, err := Fig6ScheduleSpec(s).Build(256)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -356,34 +396,40 @@ type Fig7Series struct {
 // for Base, ALO and Tune in the given deadlock mode.
 func Fig7(s Scale, mode router.DeadlockMode) ([]Fig7Series, error) { return Runner{}.Fig7(s, mode) }
 
-// Fig7 runs the three bursty-load schemes on this runner's worker pool.
-// The schemes share one traffic schedule; schedules are stateless during
-// generation, so concurrent engines can read it safely.
-func (r Runner) Fig7(s Scale, mode router.DeadlockMode) ([]Fig7Series, error) {
-	_, sched, err := Fig6(s)
-	if err != nil {
-		return nil, err
-	}
-	schemes := []sim.Scheme{{Kind: sim.Base}, {Kind: sim.ALO}, {Kind: sim.SelfTuned}}
-	jobs := make([]gridJob, 0, len(schemes))
-	for _, sch := range schemes {
+// Fig7Spec is Figure 7's declarative grid: each point carries the
+// Figure 6 workload as a ScheduleSpec, so the grid serializes and every
+// engine compiles an identical schedule.
+func Fig7Spec(s Scale, mode router.DeadlockMode) *Spec {
+	sched := Fig6ScheduleSpec(s)
+	spec := NewSpec("fig7", "performance under bursty load, "+mode.String())
+	g := Group{}
+	for _, sch := range []sim.Scheme{{Kind: sim.Base}, {Kind: sim.ALO}, {Kind: sim.SelfTuned}} {
 		cfg := baseConfig(s)
 		cfg.Mode = mode
-		cfg.Schedule = sched
+		cfg.ScheduleSpec = sched
 		cfg.WarmupCycles = 0
 		cfg.MeasureCycles = sched.TotalDuration()
 		cfg.SampleInterval = 1024
 		cfg.Scheme = sch
-		jobs = append(jobs, gridJob{fmt.Sprintf("%s/%v", sch.Kind, mode), cfg})
+		g.Points = append(g.Points, Point{Label: fmt.Sprintf("%s/%v", sch.Kind, mode), Config: cfg})
 	}
-	results, err := r.runJobs("fig7", jobs)
+	spec.Groups = append(spec.Groups, g)
+	return spec
+}
+
+// Fig7 runs the three bursty-load schemes on this runner's worker pool.
+func (r Runner) Fig7(s Scale, mode router.DeadlockMode) ([]Fig7Series, error) {
+	spec := Fig7Spec(s, mode)
+	grouped, err := r.RunSpec(spec)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]Fig7Series, 0, len(schemes))
-	for i, sch := range schemes {
-		res := results[i]
-		fs := Fig7Series{Scheme: string(sch.Kind), AvgLatency: res.AvgNetworkLatency, AvgTotal: res.AvgTotalLatency}
+	points := spec.Groups[0].Points
+	out := make([]Fig7Series, 0, len(points))
+	for i, p := range points {
+		res := grouped[0][i]
+		fs := Fig7Series{Scheme: string(p.Config.Scheme.Kind),
+			AvgLatency: res.AvgNetworkLatency, AvgTotal: res.AvgTotalLatency}
 		for j, v := range res.Throughput.Values {
 			fs.Cycle = append(fs.Cycle, res.Throughput.CycleAt(j))
 			fs.Throughput = append(fs.Throughput, v)

@@ -44,18 +44,32 @@ type AblationPoint struct {
 	Latency  float64
 }
 
-// ablation runs each job on the runner's pool and maps the results to
-// named (throughput, latency) points — the shape every Ext* sweep shares.
-func (r Runner) ablation(prefix string, jobs []gridJob) ([]AblationPoint, error) {
-	results, err := r.runJobs(prefix, jobs)
+// runAblation executes a single-group spec and maps the results to
+// named (throughput, latency) points — the shape every Ext* sweep
+// shares. Point labels become the row names.
+func (r Runner) runAblation(spec *Spec) ([]AblationPoint, error) {
+	grouped, err := r.RunSpec(spec)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]AblationPoint, len(jobs))
-	for i, res := range results {
-		out[i] = AblationPoint{Name: jobs[i].name, Accepted: res.AcceptedFlits, Latency: res.AvgNetworkLatency}
+	points := spec.Points()
+	out := make([]AblationPoint, len(points))
+	at := 0
+	for _, group := range grouped {
+		for _, res := range group {
+			out[at] = AblationPoint{Name: points[at].Label,
+				Accepted: res.AcceptedFlits, Latency: res.AvgNetworkLatency}
+			at++
+		}
 	}
 	return out, nil
+}
+
+// ablationSpec assembles a one-group spec from (label, config) pairs.
+func ablationSpec(name, title string, points ...Point) *Spec {
+	spec := NewSpec(name, title)
+	spec.Groups = append(spec.Groups, Group{Points: points})
+	return spec
 }
 
 // Ext1Estimator compares linear extrapolation against last-value
@@ -65,19 +79,24 @@ func Ext1Estimator(s Scale, rate float64) ([]AblationPoint, error) {
 	return Runner{}.Ext1Estimator(s, rate)
 }
 
-// Ext1Estimator runs the estimator ablation on this runner's pool.
-func (r Runner) Ext1Estimator(s Scale, rate float64) ([]AblationPoint, error) {
+// Ext1Spec is the estimator ablation's declarative grid.
+func Ext1Spec(s Scale, rate float64) *Spec {
 	if rate == 0 {
 		rate = 0.03
 	}
-	var jobs []gridJob
+	var points []Point
 	for _, est := range []sim.EstimatorKind{sim.LinearEstimator, sim.LastValueEstimator} {
 		cfg := baseConfig(s)
 		cfg.Rate = rate
 		cfg.Scheme = sim.Scheme{Kind: sim.SelfTuned, Estimator: est}
-		jobs = append(jobs, gridJob{string(est), cfg})
+		points = append(points, Point{Label: string(est), Config: cfg})
 	}
-	return r.ablation("ext1", jobs)
+	return ablationSpec("ext1", "estimator ablation (tune @ saturation)", points...)
+}
+
+// Ext1Estimator runs the estimator ablation on this runner's pool.
+func (r Runner) Ext1Estimator(s Scale, rate float64) ([]AblationPoint, error) {
+	return r.runAblation(Ext1Spec(s, rate))
 }
 
 // Ext2TuningPeriod sweeps the tuning period (the paper found 32-192
@@ -86,19 +105,24 @@ func Ext2TuningPeriod(s Scale, rate float64) ([]AblationPoint, error) {
 	return Runner{}.Ext2TuningPeriod(s, rate)
 }
 
-// Ext2TuningPeriod runs the tuning-period sweep on this runner's pool.
-func (r Runner) Ext2TuningPeriod(s Scale, rate float64) ([]AblationPoint, error) {
+// Ext2Spec is the tuning-period sweep's declarative grid.
+func Ext2Spec(s Scale, rate float64) *Spec {
 	if rate == 0 {
 		rate = 0.03
 	}
-	var jobs []gridJob
+	var points []Point
 	for _, period := range []int64{32, 64, 96, 160, 192} {
 		cfg := baseConfig(s)
 		cfg.Rate = rate
 		cfg.Scheme = sim.Scheme{Kind: sim.SelfTuned, TuningPeriod: period}
-		jobs = append(jobs, gridJob{fmt.Sprintf("period=%d", period), cfg})
+		points = append(points, Point{Label: fmt.Sprintf("period=%d", period), Config: cfg})
 	}
-	return r.ablation("ext2", jobs)
+	return ablationSpec("ext2", "tuning period sensitivity", points...)
+}
+
+// Ext2TuningPeriod runs the tuning-period sweep on this runner's pool.
+func (r Runner) Ext2TuningPeriod(s Scale, rate float64) ([]AblationPoint, error) {
+	return r.runAblation(Ext2Spec(s, rate))
 }
 
 // Ext3Steps sweeps the tuner's increment/decrement step sizes (the paper
@@ -108,15 +132,15 @@ func Ext3Steps(s Scale, rate float64) ([]AblationPoint, error) {
 	return Runner{}.Ext3Steps(s, rate)
 }
 
-// Ext3Steps runs the step-size sweep on this runner's pool.
-func (r Runner) Ext3Steps(s Scale, rate float64) ([]AblationPoint, error) {
+// Ext3Spec is the step-size sweep's declarative grid.
+func Ext3Spec(s Scale, rate float64) *Spec {
 	if rate == 0 {
 		rate = 0.03
 	}
 	steps := []struct{ inc, dec float64 }{
 		{0.01, 0.01}, {0.01, 0.04}, {0.04, 0.01}, {0.04, 0.04}, {0.02, 0.02},
 	}
-	var jobs []gridJob
+	var points []Point
 	for _, st := range steps {
 		cfg := baseConfig(s)
 		cfg.Rate = rate
@@ -124,9 +148,14 @@ func (r Runner) Ext3Steps(s Scale, rate float64) ([]AblationPoint, error) {
 		tc.IncrementFraction = st.inc
 		tc.DecrementFraction = st.dec
 		cfg.Scheme = sim.Scheme{Kind: sim.SelfTuned, Tuner: &tc}
-		jobs = append(jobs, gridJob{fmt.Sprintf("inc=%g%%,dec=%g%%", st.inc*100, st.dec*100), cfg})
+		points = append(points, Point{Label: fmt.Sprintf("inc=%g%%,dec=%g%%", st.inc*100, st.dec*100), Config: cfg})
 	}
-	return r.ablation("ext3", jobs)
+	return ablationSpec("ext3", "increment/decrement sensitivity", points...)
+}
+
+// Ext3Steps runs the step-size sweep on this runner's pool.
+func (r Runner) Ext3Steps(s Scale, rate float64) ([]AblationPoint, error) {
+	return r.runAblation(Ext3Spec(s, rate))
 }
 
 // Ext4NarrowSideband compares the full-precision side-band against the
@@ -136,13 +165,12 @@ func Ext4NarrowSideband(s Scale, rate float64) ([]AblationPoint, error) {
 	return Runner{}.Ext4NarrowSideband(s, rate)
 }
 
-// Ext4NarrowSideband runs the side-band-width ablation on this runner's
-// pool.
-func (r Runner) Ext4NarrowSideband(s Scale, rate float64) ([]AblationPoint, error) {
+// Ext4Spec is the side-band-width ablation's declarative grid.
+func Ext4Spec(s Scale, rate float64) *Spec {
 	if rate == 0 {
 		rate = 0.03
 	}
-	var jobs []gridJob
+	var points []Point
 	for _, bits := range []int{0, 9} {
 		cfg := baseConfig(s)
 		cfg.Rate = rate
@@ -152,7 +180,13 @@ func (r Runner) Ext4NarrowSideband(s Scale, rate float64) ([]AblationPoint, erro
 		if bits > 0 {
 			name = fmt.Sprintf("%d-bit", bits)
 		}
-		jobs = append(jobs, gridJob{name, cfg})
+		points = append(points, Point{Label: name, Config: cfg})
 	}
-	return r.ablation("ext4", jobs)
+	return ablationSpec("ext4", "narrow side-band", points...)
+}
+
+// Ext4NarrowSideband runs the side-band-width ablation on this runner's
+// pool.
+func (r Runner) Ext4NarrowSideband(s Scale, rate float64) ([]AblationPoint, error) {
+	return r.runAblation(Ext4Spec(s, rate))
 }

@@ -17,20 +17,25 @@ func Ext5HopDelay(s Scale, rate float64) ([]AblationPoint, error) {
 	return Runner{}.Ext5HopDelay(s, rate)
 }
 
-// Ext5HopDelay runs the hop-delay sweep on this runner's pool.
-func (r Runner) Ext5HopDelay(s Scale, rate float64) ([]AblationPoint, error) {
+// Ext5Spec is the hop-delay sweep's declarative grid.
+func Ext5Spec(s Scale, rate float64) *Spec {
 	if rate == 0 {
 		rate = 0.03
 	}
-	var jobs []gridJob
+	var points []Point
 	for _, h := range []int{1, 2, 4, 8} {
 		cfg := baseConfig(s)
 		cfg.Rate = rate
 		cfg.SidebandHopDelay = h
 		cfg.Scheme = sim.Scheme{Kind: sim.SelfTuned}
-		jobs = append(jobs, gridJob{fmt.Sprintf("h=%d (g=%d)", h, cfg.GatherDuration()), cfg})
+		points = append(points, Point{Label: fmt.Sprintf("h=%d (g=%d)", h, cfg.GatherDuration()), Config: cfg})
 	}
-	return r.ablation("ext5", jobs)
+	return ablationSpec("ext5", "side-band hop delay", points...)
+}
+
+// Ext5HopDelay runs the hop-delay sweep on this runner's pool.
+func (r Runner) Ext5HopDelay(s Scale, rate float64) ([]AblationPoint, error) {
+	return r.runAblation(Ext5Spec(s, rate))
 }
 
 // Ext6ConsumptionChannels sweeps the number of delivery (consumption)
@@ -41,20 +46,25 @@ func Ext6ConsumptionChannels(s Scale, rate float64) ([]AblationPoint, error) {
 	return Runner{}.Ext6ConsumptionChannels(s, rate)
 }
 
-// Ext6ConsumptionChannels runs the consumption-channel sweep on this
-// runner's pool.
-func (r Runner) Ext6ConsumptionChannels(s Scale, rate float64) ([]AblationPoint, error) {
+// Ext6Spec is the consumption-channel sweep's declarative grid.
+func Ext6Spec(s Scale, rate float64) *Spec {
 	if rate == 0 {
 		rate = 0.03
 	}
-	var jobs []gridJob
+	var points []Point
 	for _, c := range []int{1, 2, 4} {
 		cfg := baseConfig(s)
 		cfg.Rate = rate
 		cfg.DeliveryChannels = c
-		jobs = append(jobs, gridJob{fmt.Sprintf("consumption=%d", c), cfg})
+		points = append(points, Point{Label: fmt.Sprintf("consumption=%d", c), Config: cfg})
 	}
-	return r.ablation("ext6", jobs)
+	return ablationSpec("ext6", "consumption channels", points...)
+}
+
+// Ext6ConsumptionChannels runs the consumption-channel sweep on this
+// runner's pool.
+func (r Runner) Ext6ConsumptionChannels(s Scale, rate float64) ([]AblationPoint, error) {
+	return r.runAblation(Ext6Spec(s, rate))
 }
 
 // Ext7Selection compares adaptive-routing port selection policies on the
@@ -63,20 +73,25 @@ func Ext7Selection(s Scale, rate float64) ([]AblationPoint, error) {
 	return Runner{}.Ext7Selection(s, rate)
 }
 
-// Ext7Selection runs the selection-policy comparison on this runner's
-// pool.
-func (r Runner) Ext7Selection(s Scale, rate float64) ([]AblationPoint, error) {
+// Ext7Spec is the selection-policy comparison's declarative grid.
+func Ext7Spec(s Scale, rate float64) *Spec {
 	if rate == 0 {
 		rate = 0.02
 	}
-	var jobs []gridJob
+	var points []Point
 	for _, pol := range []router.SelectionPolicy{router.RotatePorts, router.FirstPort, router.MostFreeVCs} {
 		cfg := baseConfig(s)
 		cfg.Rate = rate
 		cfg.Selection = pol
-		jobs = append(jobs, gridJob{"selection=" + pol.String(), cfg})
+		points = append(points, Point{Label: "selection=" + pol.String(), Config: cfg})
 	}
-	return r.ablation("ext7", jobs)
+	return ablationSpec("ext7", "selection policy", points...)
+}
+
+// Ext7Selection runs the selection-policy comparison on this runner's
+// pool.
+func (r Runner) Ext7Selection(s Scale, rate float64) ([]AblationPoint, error) {
+	return r.runAblation(Ext7Spec(s, rate))
 }
 
 // Ext8GatherMechanism compares the three information distribution
@@ -87,21 +102,26 @@ func Ext8GatherMechanism(s Scale, rate float64) ([]AblationPoint, error) {
 	return Runner{}.Ext8GatherMechanism(s, rate)
 }
 
-// Ext8GatherMechanism runs the gather-mechanism comparison on this
-// runner's pool.
-func (r Runner) Ext8GatherMechanism(s Scale, rate float64) ([]AblationPoint, error) {
+// Ext8Spec is the gather-mechanism comparison's declarative grid.
+func Ext8Spec(s Scale, rate float64) *Spec {
 	if rate == 0 {
 		rate = 0.03
 	}
-	var jobs []gridJob
+	var points []Point
 	for _, m := range []sideband.Mechanism{sideband.Dedicated, sideband.MetaPacket, sideband.Piggyback} {
 		cfg := baseConfig(s)
 		cfg.Rate = rate
 		cfg.SidebandMechanism = m
 		cfg.Scheme = sim.Scheme{Kind: sim.SelfTuned}
-		jobs = append(jobs, gridJob{"gather=" + m.String(), cfg})
+		points = append(points, Point{Label: "gather=" + m.String(), Config: cfg})
 	}
-	return r.ablation("ext8", jobs)
+	return ablationSpec("ext8", "gather mechanism", points...)
+}
+
+// Ext8GatherMechanism runs the gather-mechanism comparison on this
+// runner's pool.
+func (r Runner) Ext8GatherMechanism(s Scale, rate float64) ([]AblationPoint, error) {
+	return r.runAblation(Ext8Spec(s, rate))
 }
 
 // Ext9AllPatterns produces base-vs-tune rate curves for all four of the
@@ -111,34 +131,38 @@ func Ext9AllPatterns(s Scale, rates []float64) ([]Curve, error) {
 	return Runner{}.Ext9AllPatterns(s, rates)
 }
 
-// Ext9AllPatterns runs the pattern/scheme grid on this runner's pool.
-func (r Runner) Ext9AllPatterns(s Scale, rates []float64) ([]Curve, error) {
+// Ext9Spec is the pattern/scheme grid's declarative form.
+func Ext9Spec(s Scale, rates []float64) *Spec {
 	if rates == nil {
 		rates = DefaultRates
 	}
 	patterns := []traffic.PatternKind{
 		traffic.UniformRandom, traffic.BitReversal, traffic.PerfectShuffle, traffic.Butterfly,
 	}
-	var jobs []gridJob
-	var names []string
+	spec := NewSpec("ext9", "all patterns, base vs tune (recovery)")
 	for _, pat := range patterns {
 		for _, sch := range []sim.Scheme{{Kind: sim.Base}, {Kind: sim.SelfTuned}} {
+			pat, sch := pat, sch
 			name := string(pat) + "/" + string(sch.Kind)
-			names = append(names, name)
-			for _, rate := range rates {
-				cfg := baseConfig(s)
-				cfg.Pattern = pat
-				cfg.Rate = rate
-				cfg.Scheme = sch
-				jobs = append(jobs, gridJob{name, cfg})
-			}
+			spec.Groups = append(spec.Groups, rateGroup(name, name+" ", rates,
+				func(rate float64) sim.Config {
+					cfg := baseConfig(s)
+					cfg.Pattern = pat
+					cfg.Rate = rate
+					cfg.Scheme = sch
+					return cfg
+				}))
 		}
 	}
-	results, err := r.runJobs("ext9", jobs)
-	if err != nil {
-		return nil, err
+	return spec
+}
+
+// Ext9AllPatterns runs the pattern/scheme grid on this runner's pool.
+func (r Runner) Ext9AllPatterns(s Scale, rates []float64) ([]Curve, error) {
+	if rates == nil {
+		rates = DefaultRates
 	}
-	return curveGrid(names, rates, results), nil
+	return r.runCurves(Ext9Spec(s, rates), rates)
 }
 
 // Ext10CutThrough compares wormhole against virtual cut-through
@@ -151,8 +175,8 @@ func Ext10CutThrough(s Scale, rate float64) ([]AblationPoint, error) {
 	return Runner{}.Ext10CutThrough(s, rate)
 }
 
-// Ext10CutThrough runs the switching-mode grid on this runner's pool.
-func (r Runner) Ext10CutThrough(s Scale, rate float64) ([]AblationPoint, error) {
+// Ext10Spec is the switching-mode grid's declarative form.
+func Ext10Spec(s Scale, rate float64) *Spec {
 	if rate == 0 {
 		rate = 0.04
 	}
@@ -166,7 +190,7 @@ func (r Runner) Ext10CutThrough(s Scale, rate float64) ([]AblationPoint, error) 
 		{"cutthrough/base", router.CutThrough, sim.Scheme{Kind: sim.Base}},
 		{"cutthrough/tune", router.CutThrough, sim.Scheme{Kind: sim.SelfTuned}},
 	}
-	var jobs []gridJob
+	var points []Point
 	for _, c := range cases {
 		cfg := baseConfig(s)
 		cfg.Rate = rate
@@ -175,9 +199,14 @@ func (r Runner) Ext10CutThrough(s Scale, rate float64) ([]AblationPoint, error) 
 		if c.switching == router.CutThrough {
 			cfg.BufDepth = cfg.PacketLength // whole-packet buffers
 		}
-		jobs = append(jobs, gridJob{c.name, cfg})
+		points = append(points, Point{Label: c.name, Config: cfg})
 	}
-	return r.ablation("ext10", jobs)
+	return ablationSpec("ext10", "wormhole vs cut-through", points...)
+}
+
+// Ext10CutThrough runs the switching-mode grid on this runner's pool.
+func (r Runner) Ext10CutThrough(s Scale, rate float64) ([]AblationPoint, error) {
+	return r.runAblation(Ext10Spec(s, rate))
 }
 
 // Ext11LocalBaselines compares the paper's scheme against both local
@@ -187,9 +216,8 @@ func Ext11LocalBaselines(s Scale, rate float64) ([]AblationPoint, error) {
 	return Runner{}.Ext11LocalBaselines(s, rate)
 }
 
-// Ext11LocalBaselines runs the local-baseline comparison on this
-// runner's pool.
-func (r Runner) Ext11LocalBaselines(s Scale, rate float64) ([]AblationPoint, error) {
+// Ext11Spec is the local-baseline comparison's declarative grid.
+func Ext11Spec(s Scale, rate float64) *Spec {
 	if rate == 0 {
 		rate = 0.04
 	}
@@ -199,14 +227,20 @@ func (r Runner) Ext11LocalBaselines(s Scale, rate float64) ([]AblationPoint, err
 		{Kind: sim.ALO},
 		{Kind: sim.SelfTuned},
 	}
-	var jobs []gridJob
+	var points []Point
 	for _, sch := range schemes {
 		cfg := baseConfig(s)
 		cfg.Rate = rate
 		cfg.Scheme = sch
-		jobs = append(jobs, gridJob{string(sch.Kind), cfg})
+		points = append(points, Point{Label: string(sch.Kind), Config: cfg})
 	}
-	return r.ablation("ext11", jobs)
+	return ablationSpec("ext11", "local baselines vs tune", points...)
+}
+
+// Ext11LocalBaselines runs the local-baseline comparison on this
+// runner's pool.
+func (r Runner) Ext11LocalBaselines(s Scale, rate float64) ([]AblationPoint, error) {
+	return r.runAblation(Ext11Spec(s, rate))
 }
 
 // Ext12ThreeCube runs base vs tune on an 8-ary 3-cube (512 nodes),
@@ -217,18 +251,23 @@ func Ext12ThreeCube(s Scale, rate float64) ([]AblationPoint, error) {
 	return Runner{}.Ext12ThreeCube(s, rate)
 }
 
-// Ext12ThreeCube runs the 3-cube comparison on this runner's pool.
-func (r Runner) Ext12ThreeCube(s Scale, rate float64) ([]AblationPoint, error) {
+// Ext12Spec is the 3-cube comparison's declarative grid.
+func Ext12Spec(s Scale, rate float64) *Spec {
 	if rate == 0 {
 		rate = 0.05
 	}
-	var jobs []gridJob
+	var points []Point
 	for _, sch := range []sim.Scheme{{Kind: sim.Base}, {Kind: sim.SelfTuned}} {
 		cfg := baseConfig(s)
 		cfg.K, cfg.N = 8, 3
 		cfg.Rate = rate
 		cfg.Scheme = sch
-		jobs = append(jobs, gridJob{"8-ary 3-cube/" + string(sch.Kind), cfg})
+		points = append(points, Point{Label: "8-ary 3-cube/" + string(sch.Kind), Config: cfg})
 	}
-	return r.ablation("ext12", jobs)
+	return ablationSpec("ext12", "8-ary 3-cube", points...)
+}
+
+// Ext12ThreeCube runs the 3-cube comparison on this runner's pool.
+func (r Runner) Ext12ThreeCube(s Scale, rate float64) ([]AblationPoint, error) {
+	return r.runAblation(Ext12Spec(s, rate))
 }

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/resultcache"
 	"repro/internal/sim"
 )
 
@@ -21,6 +22,12 @@ type Runner struct {
 	// Zero or negative selects runtime.GOMAXPROCS(0); 1 runs the whole
 	// grid serially on the calling goroutine.
 	Workers int
+	// Cache, when non-nil, short-circuits grid points whose
+	// configuration fingerprint is already stored and files every fresh
+	// result. The engine is deterministic, so a hit is bit-identical to
+	// re-running; configurations with no fingerprint (live schedules,
+	// custom throttlers) always run.
+	Cache *resultcache.Cache
 }
 
 // workerCount resolves the effective pool size for n jobs.
@@ -101,7 +108,7 @@ func (r Runner) ForEach(n int, fn func(i int) error) error {
 func (r Runner) runGrid(cfgs []sim.Config, wrapErr func(i int, err error) error) ([]sim.Result, error) {
 	out := make([]sim.Result, len(cfgs))
 	err := r.ForEach(len(cfgs), func(i int) error {
-		res, err := sim.Run(cfgs[i])
+		res, err := r.runPoint(cfgs[i])
 		if err != nil {
 			return wrapErr(i, err)
 		}
@@ -112,4 +119,31 @@ func (r Runner) runGrid(cfgs []sim.Config, wrapErr func(i int, err error) error)
 		return nil, err
 	}
 	return out, nil
+}
+
+// runPoint runs one configuration through the result cache when one is
+// attached. Unserializable configurations (no fingerprint) bypass the
+// cache; a cache read or write failure is a real error so corruption
+// and full disks surface instead of silently degrading.
+func (r Runner) runPoint(cfg sim.Config) (sim.Result, error) {
+	if r.Cache == nil {
+		return sim.Run(cfg)
+	}
+	fp, err := cfg.Fingerprint()
+	if err != nil {
+		return sim.Run(cfg) // in-process-only config: always run
+	}
+	if res, ok, err := r.Cache.Get(fp); err != nil {
+		return sim.Result{}, err
+	} else if ok {
+		return res, nil
+	}
+	res, err := sim.Run(cfg)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	if err := r.Cache.Put(fp, res); err != nil {
+		return sim.Result{}, err
+	}
+	return res, nil
 }

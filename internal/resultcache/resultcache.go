@@ -1,0 +1,126 @@
+// Package resultcache is a content-addressed store for simulation
+// results: each sim.Result is filed under its configuration's
+// fingerprint (the hex SHA-256 of the config's canonical JSON, see
+// sim.Config.Fingerprint). Because a fingerprint covers every input of
+// a run — topology, scheme, workload, seed, durations — and the engine
+// is deterministic, a cached result is bit-identical to re-running the
+// configuration, so partially completed grids resume for free and
+// repeated experiments skip finished points.
+//
+// Results are stored one JSON file per fingerprint. Writes go through a
+// temp file and an atomic rename, so a crashed or concurrent run never
+// leaves a half-written entry; concurrent writers of the same
+// fingerprint write identical bytes, so last-rename-wins is harmless.
+package resultcache
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"repro/internal/sim"
+)
+
+// Cache is a directory of fingerprint-addressed results. The zero value
+// is not usable; construct with New.
+type Cache struct {
+	dir string
+}
+
+// New opens (creating if needed) a cache rooted at dir.
+func New(dir string) (*Cache, error) {
+	if dir == "" {
+		return nil, errors.New("resultcache: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("resultcache: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache's root directory.
+func (c *Cache) Dir() string { return c.dir }
+
+// path maps a fingerprint to its file, refusing anything that is not a
+// 64-character lowercase hex string (the SHA-256 fingerprint alphabet),
+// so a malformed key cannot escape the cache directory.
+func (c *Cache) path(fingerprint string) (string, error) {
+	if len(fingerprint) != 64 {
+		return "", fmt.Errorf("resultcache: fingerprint %q is not hex sha-256", fingerprint)
+	}
+	for _, ch := range fingerprint {
+		if (ch < '0' || ch > '9') && (ch < 'a' || ch > 'f') {
+			return "", fmt.Errorf("resultcache: fingerprint %q is not hex sha-256", fingerprint)
+		}
+	}
+	return filepath.Join(c.dir, fingerprint+".json"), nil
+}
+
+// Get loads the result stored under the fingerprint. The second return
+// is false on a clean miss; an unreadable or unparsable entry is an
+// error, not a miss, so corruption surfaces instead of silently forcing
+// re-runs.
+func (c *Cache) Get(fingerprint string) (sim.Result, bool, error) {
+	p, err := c.path(fingerprint)
+	if err != nil {
+		return sim.Result{}, false, err
+	}
+	data, err := os.ReadFile(p)
+	if errors.Is(err, fs.ErrNotExist) {
+		return sim.Result{}, false, nil
+	}
+	if err != nil {
+		return sim.Result{}, false, fmt.Errorf("resultcache: %w", err)
+	}
+	var r sim.Result
+	if err := json.Unmarshal(data, &r); err != nil {
+		return sim.Result{}, false, fmt.Errorf("resultcache: corrupt entry %s: %w", fingerprint, err)
+	}
+	return r, true, nil
+}
+
+// Put stores the result under the fingerprint, atomically.
+func (c *Cache) Put(fingerprint string, r sim.Result) error {
+	p, err := c.path(fingerprint)
+	if err != nil {
+		return err
+	}
+	data, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("resultcache: %w", err)
+	}
+	tmp, err := os.CreateTemp(c.dir, "put-*.tmp")
+	if err != nil {
+		return fmt.Errorf("resultcache: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("resultcache: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("resultcache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		return fmt.Errorf("resultcache: %w", err)
+	}
+	return nil
+}
+
+// Len counts stored entries (for tests and "stcc-paper -cache" status).
+func (c *Cache) Len() (int, error) {
+	entries, err := os.ReadDir(c.dir)
+	if err != nil {
+		return 0, fmt.Errorf("resultcache: %w", err)
+	}
+	n := 0
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".json" {
+			n++
+		}
+	}
+	return n, nil
+}

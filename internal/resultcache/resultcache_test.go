@@ -1,0 +1,113 @@
+package resultcache
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// tinyConfig is a fast-running serializable configuration.
+func tinyConfig() sim.Config {
+	cfg := sim.NewConfig()
+	cfg.K = 4
+	cfg.WarmupCycles = 100
+	cfg.MeasureCycles = 400
+	cfg.Rate = 0.005
+	return cfg
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	c, err := New(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := tinyConfig()
+	fp, err := cfg.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := c.Get(fp); err != nil || ok {
+		t.Fatalf("empty cache Get = (ok=%v, err=%v), want clean miss", ok, err)
+	}
+
+	fresh, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(fp, fresh); err != nil {
+		t.Fatal(err)
+	}
+	cached, ok, err := c.Get(fp)
+	if err != nil || !ok {
+		t.Fatalf("Get after Put = (ok=%v, err=%v)", ok, err)
+	}
+
+	// The cached result must be bit-identical to the fresh run: same
+	// JSON encoding, hence the same determinism-golden fingerprint.
+	wantJSON, err := json.Marshal(fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotJSON, err := json.Marshal(cached)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotJSON, wantJSON) {
+		t.Errorf("cached result JSON differs from fresh run:\n got %s\nwant %s", gotJSON, wantJSON)
+	}
+
+	if n, err := c.Len(); err != nil || n != 1 {
+		t.Errorf("Len = (%d, %v), want 1", n, err)
+	}
+}
+
+func TestRejectsMalformedFingerprints(t *testing.T) {
+	c, err := New(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []string{
+		"",
+		"short",
+		"../../../../etc/passwd0000000000000000000000000000000000000000000000",
+		"ABCDEF0123456789ABCDEF0123456789ABCDEF0123456789ABCDEF0123456789", // uppercase
+		"zzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzz",
+	}
+	for _, fp := range bad {
+		if _, _, err := c.Get(fp); err == nil {
+			t.Errorf("Get(%q) accepted malformed fingerprint", fp)
+		}
+		if err := c.Put(fp, sim.Result{}); err == nil {
+			t.Errorf("Put(%q) accepted malformed fingerprint", fp)
+		}
+	}
+}
+
+func TestCorruptEntryIsErrorNotMiss(t *testing.T) {
+	dir := t.TempDir()
+	c, err := New(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := tinyConfig()
+	fp, err := cfg.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, fp+".json"), []byte("{truncated"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := c.Get(fp); err == nil {
+		t.Fatalf("corrupt entry returned (ok=%v) without error", ok)
+	}
+}
+
+func TestNewRejectsEmptyDir(t *testing.T) {
+	if _, err := New(""); err == nil {
+		t.Fatal("New(\"\") succeeded")
+	}
+}

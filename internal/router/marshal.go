@@ -1,0 +1,103 @@
+package router
+
+import "fmt"
+
+// The router enums cross the serialization boundary of sim.Config's
+// JSON form, where they must read as the same names String() prints —
+// "recovery", "mostfree", "cutthrough" — rather than as opaque integers
+// that would silently renumber if a constant were ever inserted. The
+// TextMarshaler/TextUnmarshaler pairs below are exhaustive and strict:
+// an unknown name (or an out-of-range value) is an error, never a zero
+// value, so a typo in a spec file fails at parse time.
+
+// ParseDeadlockMode returns the DeadlockMode named by String().
+func ParseDeadlockMode(s string) (DeadlockMode, error) {
+	switch s {
+	case Avoidance.String():
+		return Avoidance, nil
+	case Recovery.String():
+		return Recovery, nil
+	}
+	return 0, fmt.Errorf("router: unknown deadlock mode %q (want avoidance or recovery)", s)
+}
+
+// MarshalText implements encoding.TextMarshaler.
+func (m DeadlockMode) MarshalText() ([]byte, error) {
+	switch m {
+	case Avoidance, Recovery:
+		return []byte(m.String()), nil
+	}
+	return nil, fmt.Errorf("router: cannot marshal invalid deadlock mode %d", uint8(m))
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (m *DeadlockMode) UnmarshalText(text []byte) error {
+	v, err := ParseDeadlockMode(string(text))
+	if err != nil {
+		return err
+	}
+	*m = v
+	return nil
+}
+
+// ParseSelectionPolicy returns the SelectionPolicy named by String().
+func ParseSelectionPolicy(s string) (SelectionPolicy, error) {
+	switch s {
+	case RotatePorts.String():
+		return RotatePorts, nil
+	case FirstPort.String():
+		return FirstPort, nil
+	case MostFreeVCs.String():
+		return MostFreeVCs, nil
+	}
+	return 0, fmt.Errorf("router: unknown selection policy %q (want rotate, first or mostfree)", s)
+}
+
+// MarshalText implements encoding.TextMarshaler.
+func (p SelectionPolicy) MarshalText() ([]byte, error) {
+	switch p {
+	case RotatePorts, FirstPort, MostFreeVCs:
+		return []byte(p.String()), nil
+	}
+	return nil, fmt.Errorf("router: cannot marshal invalid selection policy %d", uint8(p))
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (p *SelectionPolicy) UnmarshalText(text []byte) error {
+	v, err := ParseSelectionPolicy(string(text))
+	if err != nil {
+		return err
+	}
+	*p = v
+	return nil
+}
+
+// ParseSwitching returns the Switching discipline named by String().
+func ParseSwitching(s string) (Switching, error) {
+	switch s {
+	case Wormhole.String():
+		return Wormhole, nil
+	case CutThrough.String():
+		return CutThrough, nil
+	}
+	return 0, fmt.Errorf("router: unknown switching discipline %q (want wormhole or cutthrough)", s)
+}
+
+// MarshalText implements encoding.TextMarshaler.
+func (s Switching) MarshalText() ([]byte, error) {
+	switch s {
+	case Wormhole, CutThrough:
+		return []byte(s.String()), nil
+	}
+	return nil, fmt.Errorf("router: cannot marshal invalid switching discipline %d", uint8(s))
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (s *Switching) UnmarshalText(text []byte) error {
+	v, err := ParseSwitching(string(text))
+	if err != nil {
+		return err
+	}
+	*s = v
+	return nil
+}

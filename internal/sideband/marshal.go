@@ -1,0 +1,40 @@
+package sideband
+
+import "fmt"
+
+// Mechanism crosses the serialization boundary of sim.Config's JSON
+// form; it marshals as the String() names ("sideband", "metapacket",
+// "piggyback") and rejects unknown names rather than defaulting.
+
+// ParseMechanism returns the Mechanism named by String().
+func ParseMechanism(s string) (Mechanism, error) {
+	switch s {
+	case Dedicated.String():
+		return Dedicated, nil
+	case MetaPacket.String():
+		return MetaPacket, nil
+	case Piggyback.String():
+		return Piggyback, nil
+	}
+	return 0, fmt.Errorf("sideband: unknown mechanism %q (want %s, %s or %s)",
+		s, Dedicated, MetaPacket, Piggyback)
+}
+
+// MarshalText implements encoding.TextMarshaler.
+func (m Mechanism) MarshalText() ([]byte, error) {
+	switch m {
+	case Dedicated, MetaPacket, Piggyback:
+		return []byte(m.String()), nil
+	}
+	return nil, fmt.Errorf("sideband: cannot marshal invalid mechanism %d", uint8(m))
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (m *Mechanism) UnmarshalText(text []byte) error {
+	v, err := ParseMechanism(string(text))
+	if err != nil {
+		return err
+	}
+	*m = v
+	return nil
+}

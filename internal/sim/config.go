@@ -112,11 +112,14 @@ type Config struct {
 	Selection        router.SelectionPolicy // adaptive port selection
 	Switching        router.Switching       // wormhole (default) or cut-through
 
-	// Workload: either a full Schedule, or Pattern+Rate for a steady
-	// Bernoulli load (Schedule wins when both are set).
-	Schedule *traffic.Schedule
-	Pattern  traffic.PatternKind
-	Rate     float64 // packets/node/cycle
+	// Workload, by precedence: a live Schedule (in-process callers
+	// only; not serializable), a declarative ScheduleSpec (the form
+	// experiment specs and JSON configs carry), or Pattern+Rate for a
+	// steady Bernoulli load.
+	Schedule     *traffic.Schedule
+	ScheduleSpec *traffic.ScheduleSpec
+	Pattern      traffic.PatternKind
+	Rate         float64 // packets/node/cycle
 
 	Scheme Scheme
 
@@ -196,7 +199,13 @@ func (c Config) Validate() error {
 		return fmt.Errorf("sim: cut-through needs BufDepth >= PacketLength (%d < %d)",
 			c.BufDepth, c.PacketLength)
 	}
-	if c.Schedule == nil {
+	switch {
+	case c.Schedule != nil:
+	case c.ScheduleSpec != nil:
+		if err := c.ScheduleSpec.Validate(); err != nil {
+			return err
+		}
+	default:
 		if _, err := traffic.NewPattern(c.Pattern, topo.Nodes()); err != nil {
 			return err
 		}
@@ -232,8 +241,34 @@ func (c Config) Validate() error {
 	default:
 		return fmt.Errorf("sim: unknown estimator %q", c.Scheme.Estimator)
 	}
-	if tp := c.Scheme.TuningPeriod; tp != 0 && tp%c.GatherDuration() != 0 {
+	if tp := c.Scheme.TuningPeriod; tp < 0 {
+		return fmt.Errorf("sim: negative tuning period %d", tp)
+	} else if tp != 0 && tp%c.GatherDuration() != 0 {
 		return fmt.Errorf("sim: tuning period %d not a multiple of gather duration %d", tp, c.GatherDuration())
+	}
+	if c.Scheme.StaticThreshold < 0 {
+		return fmt.Errorf("sim: negative static threshold %g", c.Scheme.StaticThreshold)
+	}
+	if tc := c.Scheme.Tuner; tc != nil {
+		if tc.TotalBuffers <= 0 {
+			return fmt.Errorf("sim: tuner config needs positive TotalBuffers, got %d", tc.TotalBuffers)
+		}
+		if tc.InitialFraction < 0 || tc.InitialFraction > 1 {
+			return fmt.Errorf("sim: tuner initial fraction %g out of [0,1]", tc.InitialFraction)
+		}
+		if tc.IncrementFraction <= 0 || tc.DecrementFraction <= 0 {
+			return fmt.Errorf("sim: tuner steps must be positive (inc %g, dec %g)",
+				tc.IncrementFraction, tc.DecrementFraction)
+		}
+		if tc.DropFraction <= 0 || tc.DropFraction >= 1 {
+			return fmt.Errorf("sim: tuner drop fraction %g out of (0,1)", tc.DropFraction)
+		}
+		if tc.RecoverFraction <= 0 || tc.RecoverFraction >= 1 {
+			return fmt.Errorf("sim: tuner recover fraction %g out of (0,1)", tc.RecoverFraction)
+		}
+		if tc.ResetPeriods < 1 {
+			return fmt.Errorf("sim: tuner reset periods must be >= 1, got %d", tc.ResetPeriods)
+		}
 	}
 	return nil
 }
@@ -250,10 +285,15 @@ func (c Config) sidebandConfig(topo *topology.Torus) sideband.Config {
 	}
 }
 
-// schedule resolves the workload schedule.
+// schedule resolves the workload schedule: a live Schedule wins, then a
+// declarative ScheduleSpec compiled for this topology, then the steady
+// Pattern+Rate load.
 func (c Config) schedule(topo *topology.Torus) (*traffic.Schedule, error) {
 	if c.Schedule != nil {
 		return c.Schedule, nil
+	}
+	if c.ScheduleSpec != nil {
+		return c.ScheduleSpec.Build(topo.Nodes())
 	}
 	pat, err := traffic.NewPattern(c.Pattern, topo.Nodes())
 	if err != nil {

@@ -79,7 +79,7 @@ func (e *Engine) result() Result {
 		Throughput:  e.tputSeries,
 		FullBuffers: e.fullSeries,
 	}
-	if e.cfg.Schedule != nil {
+	if e.cfg.Schedule != nil || e.cfg.ScheduleSpec != nil {
 		r.Pattern = "schedule"
 	}
 	// Accepted traffic over the measurement window, from the series.

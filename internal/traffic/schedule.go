@@ -116,10 +116,8 @@ type PaperBurstyOptions struct {
 	Bursts []BurstSpec
 }
 
-// PaperBurstySchedule builds the alternating low/high load of the paper's
-// Figure 6: low-load uniform-random phases separated by high-load bursts
-// whose communication pattern changes each burst.
-func PaperBurstySchedule(nodes int, opt PaperBurstyOptions) (*Schedule, error) {
+// withDefaults fills zero option values with the paper's parameters.
+func (opt PaperBurstyOptions) withDefaults() PaperBurstyOptions {
 	if opt.LowInterval == 0 {
 		opt.LowInterval = 1500
 	}
@@ -140,27 +138,13 @@ func PaperBurstySchedule(nodes int, opt PaperBurstyOptions) (*Schedule, error) {
 			{Pattern: Butterfly},
 		}
 	}
-	random, err := NewPattern(UniformRandom, nodes)
-	if err != nil {
-		return nil, err
-	}
-	low := Phase{
-		Duration: opt.LowDuration,
-		Pattern:  random,
-		Process:  Periodic{Interval: opt.LowInterval},
-	}
-	var phases []Phase
-	for _, b := range opt.Bursts {
-		p, err := NewPattern(b.Pattern, nodes)
-		if err != nil {
-			return nil, err
-		}
-		phases = append(phases, low, Phase{
-			Duration: opt.HighDuration,
-			Pattern:  p,
-			Process:  Periodic{Interval: opt.HighInterval},
-		})
-	}
-	phases = append(phases, low)
-	return NewSchedule(phases, false)
+	return opt
+}
+
+// PaperBurstySchedule builds the alternating low/high load of the paper's
+// Figure 6: low-load uniform-random phases separated by high-load bursts
+// whose communication pattern changes each burst. It is PaperBurstySpec
+// compiled for the given node count.
+func PaperBurstySchedule(nodes int, opt PaperBurstyOptions) (*Schedule, error) {
+	return PaperBurstySpec(opt).Build(nodes)
 }
