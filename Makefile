@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race bench bench-json lint fmt-check vet stcc-vet govulncheck fuzz-smoke spec-roundtrip experiments-doc
+.PHONY: all build test race bench bench-json lint fmt-check vet stcc-vet govulncheck fuzz-smoke spec-roundtrip experiments-doc serve serve-smoke
 
 all: build lint test
 
@@ -40,6 +40,18 @@ spec-roundtrip:
 # Regenerate the registry-derived catalog section of EXPERIMENTS.md.
 experiments-doc:
 	$(GO) run ./cmd/stcc experiments-doc
+
+# Run the experiment service daemon locally; see README.md ("Running as
+# a service") for the API walkthrough.
+SERVE_ADDR ?= 127.0.0.1:8080
+SERVE_CACHE ?= results/cache
+serve:
+	$(GO) run ./cmd/stcc-serve -addr $(SERVE_ADDR) -cache $(SERVE_CACHE)
+
+# Boot stcc-serve, drive every endpoint plus one tiny job, and drain it
+# (CI runs this after the unit tests).
+serve-smoke:
+	bash scripts/serve_smoke.sh
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \

@@ -7,17 +7,27 @@
 // any future "optimization" that changes simulated behavior — reuse-order
 // dependence, iteration-order dependence, stale state surviving a packet
 // reset — fails loudly instead of silently shifting every result.
-package stcc
+// The tests live in the external test package: they drive the engine
+// only through importable API (sim, experiments, server), and the
+// server import would otherwise cycle through internal/cli back into
+// this package's facade.
+package stcc_test
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
+	"net/http"
+	"net/http/httptest"
 	"testing"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/resultcache"
 	"repro/internal/router"
+	"repro/internal/server"
 	"repro/internal/sim"
 )
 
@@ -175,6 +185,97 @@ func TestDeterminismThroughResultCache(t *testing.T) {
 		}
 		if n, err := cache.Len(); err != nil || n != len(cases) {
 			t.Fatalf("after pass %d: cache holds %d entries (err=%v), want %d", pass, n, err, len(cases))
+		}
+	}
+}
+
+// TestDeterminismThroughServer submits the golden grid to stcc-serve
+// over HTTP and requires the results that come back through the job
+// manager, the JSON result payload, and a second, cache-served
+// submission to reproduce the seed-engine fingerprints bit for bit:
+// the service path must be indistinguishable from a local run.
+func TestDeterminismThroughServer(t *testing.T) {
+	cache, err := resultcache.New(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(server.Config{Cache: cache})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+
+	cases := goldenCases()
+	spec := experiments.NewSpec("goldens", "determinism golden grid")
+	for _, gc := range cases {
+		spec.AddGroup(gc.name, experiments.Point{Label: gc.name, Config: goldenConfig(gc)})
+	}
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	runJob := func() server.JobStatus {
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sub struct {
+			ID string `json:"id"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		deadline := time.Now().Add(60 * time.Second)
+		for {
+			sresp, err := http.Get(ts.URL + "/v1/jobs/" + sub.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var st server.JobStatus
+			if err := json.NewDecoder(sresp.Body).Decode(&st); err != nil {
+				t.Fatal(err)
+			}
+			sresp.Body.Close()
+			if st.State == server.StateDone {
+				return st
+			}
+			if st.State == server.StateFailed || st.State == server.StateCanceled {
+				t.Fatalf("job %s ended %s: %s", sub.ID, st.State, st.Error)
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("job %s stuck in %s", sub.ID, st.State)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	fresh := runJob()
+	cached := runJob()
+	if !cached.CacheHit {
+		t.Errorf("second submission cacheHit = false, want fully cache-served")
+	}
+	if !bytes.Equal(fresh.Result, cached.Result) {
+		t.Errorf("cached submission's result JSON differs from the fresh run")
+	}
+	for pass, st := range []server.JobStatus{fresh, cached} {
+		var res server.JobResult
+		if err := json.Unmarshal(st.Result, &res); err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Groups) != len(cases) {
+			t.Fatalf("pass %d: %d result groups, want %d", pass, len(res.Groups), len(cases))
+		}
+		for i, gc := range cases {
+			if got := resultFingerprint(res.Groups[i][0]); got != gc.want {
+				t.Errorf("pass %d: %s fingerprint %s, want golden %s", pass, gc.name, got, gc.want)
+			}
 		}
 	}
 }

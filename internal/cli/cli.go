@@ -5,15 +5,18 @@
 package cli
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
-	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"syscall"
 
 	stcc "repro"
 	"repro/internal/analysis"
@@ -22,20 +25,27 @@ import (
 	"repro/internal/router"
 	"repro/internal/sim"
 	"repro/internal/traffic"
+	"repro/internal/version"
 )
 
 // Main is the stcc entry point. It returns the process exit code.
+// Simulation subcommands run under a signal-aware context: Ctrl-C (or
+// SIGTERM) cancels the grid between points and stops in-flight engines
+// between cycles, so an interrupted sweep exits promptly instead of
+// abandoning worker goroutines.
 func Main(args []string) int {
 	if len(args) < 1 {
 		usage()
 		return 2
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	var err error
 	switch args[0] {
 	case "run":
-		err = cmdRun(args[1:])
+		err = cmdRun(ctx, args[1:])
 	case "sweep":
-		err = cmdSweep(args[1:])
+		err = cmdSweep(ctx, args[1:])
 	case "bursty":
 		err = cmdBursty(args[1:])
 	case "trace":
@@ -54,12 +64,18 @@ func Main(args []string) int {
 		err = cmdSpecRoundtrip(args[1:])
 	case "experiments-doc":
 		err = cmdExperimentsDoc(args[1:])
+	case "version":
+		fmt.Println(version.Get())
 	case "-h", "--help", "help":
 		usage()
 	default:
 		fmt.Fprintf(os.Stderr, "stcc: unknown subcommand %q\n", args[0])
 		usage()
 		return 2
+	}
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "stcc: interrupted")
+		return 130
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "stcc: %v\n", err)
@@ -84,7 +100,12 @@ experiment registry:
   describe <name>  one experiment's purpose and grid
   emit-spec <name> write an experiment's serialized spec (JSON) to stdout
   spec-roundtrip   verify every registry spec survives JSON round-tripping
-  experiments-doc  regenerate the catalog section of EXPERIMENTS.md`)
+  experiments-doc  regenerate the catalog section of EXPERIMENTS.md
+
+  version          print build provenance (module, commit, Go version)
+
+serving: the stcc-serve binary exposes the registry and spec execution
+over HTTP; see README.md ("Running as a service").`)
 }
 
 // checkWorkers rejects negative worker counts up front, before any flag
@@ -197,10 +218,10 @@ func openCache(dir string) (*resultcache.Cache, error) {
 	return resultcache.New(dir)
 }
 
-func cmdRun(args []string) error {
+func cmdRun(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	build := netFlags(fs)
-	specPath := fs.String("spec", "", "run a serialized experiment spec (JSON `file`) instead of a flag-built config")
+	specPath := fs.String("spec", "", "run a serialized submission (JSON `file`: spec, config, or registry reference) instead of a flag-built config")
 	workers := fs.Int("workers", 0, "parallel simulations for -spec runs (0 = all CPUs)")
 	cacheDir := fs.String("cache", "", "content-addressed result cache `dir` (optional)")
 	asJSON := fs.Bool("json", false, "emit the full result as JSON (including time series)")
@@ -212,14 +233,14 @@ func cmdRun(args []string) error {
 		return err
 	}
 	if *specPath != "" {
-		return prof(func() error { return runSpecFile(*specPath, *workers, *cacheDir, *asJSON) })
+		return prof(func() error { return runSpecFile(ctx, *specPath, *workers, *cacheDir, *asJSON) })
 	}
 	cfg, err := build()
 	if err != nil {
 		return err
 	}
 	return prof(func() error {
-		r, err := stcc.Run(cfg)
+		r, err := stcc.RunContext(ctx, cfg)
 		if err != nil {
 			return err
 		}
@@ -233,25 +254,31 @@ func cmdRun(args []string) error {
 	})
 }
 
-// runSpecFile executes a serialized experiment spec and prints one row
-// per point (or, with -json, the grouped results verbatim).
-func runSpecFile(path string, workers int, cacheDir string, asJSON bool) error {
+// runSpecFile executes a serialized submission — an experiment spec, a
+// bare config, or a registry reference like {"name":"fig3"} — and
+// prints one row per point (or, with -json, the grouped results
+// verbatim). The same parser backs the stcc-serve POST /v1/jobs body.
+func runSpecFile(ctx context.Context, path string, workers int, cacheDir string, asJSON bool) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
 	}
-	spec, err := experiments.ParseSpec(data)
+	sub, err := ParseSubmission(data)
 	if err != nil {
-		return err
-	}
-	if err := spec.Validate(); err != nil {
 		return err
 	}
 	cache, err := openCache(cacheDir)
 	if err != nil {
 		return err
 	}
-	grouped, err := experiments.Runner{Workers: workers, Cache: cache}.RunSpec(spec)
+	runner := experiments.Runner{Workers: workers, Cache: cache, Ctx: ctx}
+	if sub.Name != "" {
+		// Registry reference: run the entry's own driver so analytic
+		// entries (tab1, fig6) and figure-shaped reports work too.
+		e, _ := experiments.Lookup(sub.Name)
+		return e.Run(experiments.RunContext{Runner: runner, Scale: sub.Scale, Out: os.Stdout})
+	}
+	grouped, err := runner.RunSpec(sub.Spec)
 	if err != nil {
 		return err
 	}
@@ -260,28 +287,8 @@ func runSpecFile(path string, workers int, cacheDir string, asJSON bool) error {
 		enc.SetIndent("", "  ")
 		return enc.Encode(grouped)
 	}
-	printSpecResults(os.Stdout, spec, grouped)
+	experiments.PrintSpecResults(os.Stdout, sub.Spec, grouped)
 	return nil
-}
-
-// printSpecResults prints a generic per-point summary of a spec run.
-func printSpecResults(w io.Writer, spec *experiments.Spec, grouped [][]sim.Result) {
-	title := spec.Name
-	if spec.Title != "" {
-		title += ": " + spec.Title
-	}
-	fmt.Fprintln(w, title)
-	for gi, g := range spec.Groups {
-		if g.Name != "" {
-			fmt.Fprintf(w, "-- %s\n", g.Name)
-		}
-		fmt.Fprintf(w, "%-32s %14s %12s %12s\n", "point", "accepted", "latency", "recoveries")
-		for pi, p := range g.Points {
-			r := grouped[gi][pi]
-			fmt.Fprintf(w, "%-32s %14.4f %12.1f %12d\n",
-				p.Label, r.AcceptedFlits, r.AvgNetworkLatency, r.Recoveries)
-		}
-	}
 }
 
 func printResult(r sim.Result) {
@@ -304,7 +311,7 @@ func printResult(r sim.Result) {
 	}
 }
 
-func cmdSweep(args []string) error {
+func cmdSweep(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
 	build := netFlags(fs)
 	rates := fs.String("rates", "0.005,0.01,0.015,0.02,0.025,0.03,0.04,0.06",
@@ -346,7 +353,7 @@ func cmdSweep(args []string) error {
 			g.Points = append(g.Points, experiments.Point{Label: fmt.Sprintf("rate %g", rate), Config: c})
 		}
 		spec.Groups = append(spec.Groups, g)
-		grouped, err := experiments.Runner{Workers: *workers, Cache: cache}.RunSpec(spec)
+		grouped, err := experiments.Runner{Workers: *workers, Cache: cache, Ctx: ctx}.RunSpec(spec)
 		if err != nil {
 			return err
 		}

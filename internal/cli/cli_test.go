@@ -1,6 +1,7 @@
 package cli
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"os"
@@ -19,47 +20,47 @@ func small(extra ...string) []string {
 
 func TestCmdRunSchemes(t *testing.T) {
 	for _, scheme := range []string{"base", "alo", "tune", "tune-hillclimb"} {
-		if err := cmdRun(small("-scheme", scheme)); err != nil {
+		if err := cmdRun(context.Background(), small("-scheme", scheme)); err != nil {
 			t.Errorf("run -scheme %s: %v", scheme, err)
 		}
 	}
-	if err := cmdRun(small("-scheme", "static", "-threshold", "50")); err != nil {
+	if err := cmdRun(context.Background(), small("-scheme", "static", "-threshold", "50")); err != nil {
 		t.Errorf("run -scheme static: %v", err)
 	}
 }
 
 func TestCmdRunJSON(t *testing.T) {
-	if err := cmdRun(small("-json")); err != nil {
+	if err := cmdRun(context.Background(), small("-json")); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestCmdRunAvoidance(t *testing.T) {
-	if err := cmdRun(small("-mode", "avoidance")); err != nil {
+	if err := cmdRun(context.Background(), small("-mode", "avoidance")); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestCmdRunRejectsBadMode(t *testing.T) {
-	if err := cmdRun(small("-mode", "nope")); err == nil {
+	if err := cmdRun(context.Background(), small("-mode", "nope")); err == nil {
 		t.Fatal("bad mode accepted")
 	}
 }
 
 func TestCmdRunRejectsBadScheme(t *testing.T) {
-	if err := cmdRun(small("-scheme", "nope")); err == nil {
+	if err := cmdRun(context.Background(), small("-scheme", "nope")); err == nil {
 		t.Fatal("bad scheme accepted")
 	}
 }
 
 func TestCmdSweep(t *testing.T) {
-	if err := cmdSweep(small("-rates", "0.002,0.005")); err != nil {
+	if err := cmdSweep(context.Background(), small("-rates", "0.002,0.005")); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestCmdSweepRejectsBadRates(t *testing.T) {
-	if err := cmdSweep(small("-rates", "a,b")); err == nil {
+	if err := cmdSweep(context.Background(), small("-rates", "a,b")); err == nil {
 		t.Fatal("bad rates accepted")
 	}
 }
@@ -67,7 +68,7 @@ func TestCmdSweepRejectsBadRates(t *testing.T) {
 func TestCmdSweepWithCache(t *testing.T) {
 	dir := t.TempDir()
 	args := small("-rates", "0.002,0.005", "-cache", dir)
-	if err := cmdSweep(args); err != nil {
+	if err := cmdSweep(context.Background(), args); err != nil {
 		t.Fatal(err)
 	}
 	entries, err := os.ReadDir(dir)
@@ -78,7 +79,7 @@ func TestCmdSweepWithCache(t *testing.T) {
 		t.Fatalf("cache holds %d entries after 2-rate sweep, want 2", len(entries))
 	}
 	// Second run is served from the cache and must still succeed.
-	if err := cmdSweep(args); err != nil {
+	if err := cmdSweep(context.Background(), args); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -137,9 +138,9 @@ func TestCmdCompareRejectsBadSeeds(t *testing.T) {
 // instead of silently treating it as "all CPUs".
 func TestNegativeWorkersRejected(t *testing.T) {
 	for name, run := range map[string]func() error{
-		"sweep":   func() error { return cmdSweep(small("-workers", "-1")) },
+		"sweep":   func() error { return cmdSweep(context.Background(), small("-workers", "-1")) },
 		"compare": func() error { return cmdCompare(small("-workers", "-2")) },
-		"run":     func() error { return cmdRun(small("-workers", "-3")) },
+		"run":     func() error { return cmdRun(context.Background(), small("-workers", "-3")) },
 	} {
 		err := run()
 		if err == nil {
@@ -212,15 +213,15 @@ func TestCmdRunSpecFile(t *testing.T) {
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := cmdRun([]string{"-spec", path}); err != nil {
+	if err := cmdRun(context.Background(), []string{"-spec", path}); err != nil {
 		t.Fatalf("run -spec: %v", err)
 	}
 	// Cached re-run through the same file.
 	cache := t.TempDir()
-	if err := cmdRun([]string{"-spec", path, "-cache", cache}); err != nil {
+	if err := cmdRun(context.Background(), []string{"-spec", path, "-cache", cache}); err != nil {
 		t.Fatalf("run -spec -cache: %v", err)
 	}
-	if err := cmdRun([]string{"-spec", path, "-cache", cache, "-json"}); err != nil {
+	if err := cmdRun(context.Background(), []string{"-spec", path, "-cache", cache, "-json"}); err != nil {
 		t.Fatalf("cached run -spec -json: %v", err)
 	}
 }
@@ -231,10 +232,10 @@ func TestCmdRunSpecFileRejectsBadInput(t *testing.T) {
 	if err := os.WriteFile(bad, []byte(`{"version":1,"bogus":true}`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := cmdRun([]string{"-spec", bad}); err == nil {
+	if err := cmdRun(context.Background(), []string{"-spec", bad}); err == nil {
 		t.Error("run -spec accepted a spec with unknown fields")
 	}
-	if err := cmdRun([]string{"-spec", filepath.Join(dir, "missing.json")}); err == nil {
+	if err := cmdRun(context.Background(), []string{"-spec", filepath.Join(dir, "missing.json")}); err == nil {
 		t.Error("run -spec accepted a missing file")
 	}
 }

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// Flight deduplicates concurrent executions of the same configuration
+// fingerprint: the first caller (the leader) runs the simulation, every
+// concurrent caller with the same key (a follower) waits and adopts the
+// leader's result. The engine is deterministic, so an adopted result is
+// bit-identical to re-running — this is the in-flight complement to the
+// result cache, which only dedups *completed* points.
+//
+// Cancellation is per-caller: a follower whose own context is canceled
+// stops waiting immediately, and a leader that is canceled does not
+// poison its followers — they observe the cancellation, re-enter, and
+// one of them becomes the new leader.
+type Flight struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{} // closed when res/hit/err are final
+	res  sim.Result
+	hit  bool // the leader's execution was a result-cache hit
+	err  error
+}
+
+// NewFlight returns an empty in-flight dedup group.
+func NewFlight() *Flight {
+	return &Flight{calls: make(map[string]*flightCall)}
+}
+
+// do executes fn under the key, or adopts the result of an execution
+// already in flight. The returns are (result, cacheHit, shared, err):
+// cacheHit reports that the executing call was served by the result
+// cache, shared that this caller adopted a concurrent execution's
+// result rather than running fn itself.
+func (f *Flight) do(ctx context.Context, key string, fn func() (sim.Result, bool, error)) (sim.Result, bool, bool, error) {
+	for {
+		f.mu.Lock()
+		if c, ok := f.calls[key]; ok {
+			f.mu.Unlock()
+			select {
+			case <-c.done:
+				if errors.Is(c.err, context.Canceled) || errors.Is(c.err, context.DeadlineExceeded) {
+					// The leader's job was canceled, not ours: retry,
+					// unless we are canceled too.
+					if err := ctx.Err(); err != nil {
+						return sim.Result{}, false, false, err
+					}
+					continue
+				}
+				return c.res, c.hit, true, c.err
+			case <-ctx.Done():
+				return sim.Result{}, false, false, ctx.Err()
+			}
+		}
+		c := &flightCall{done: make(chan struct{})}
+		f.calls[key] = c
+		f.mu.Unlock()
+
+		c.res, c.hit, c.err = fn()
+		f.mu.Lock()
+		delete(f.calls, key)
+		f.mu.Unlock()
+		close(c.done)
+		return c.res, c.hit, false, c.err
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+
+	"repro/internal/sim"
 )
 
 // PrintCurves writes rate-sweep curves as an aligned text table, one row
@@ -156,6 +158,30 @@ func WriteFig7CSV(w io.Writer, series []Fig7Series) error {
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// PrintSpecResults writes a generic per-point summary of a spec run:
+// the report form for grids that arrive as serialized specs rather than
+// through a figure driver. Shared by "stcc run -spec" and the
+// stcc-serve job reports, so the CLI and the service render identical
+// bytes for the same grid.
+func PrintSpecResults(w io.Writer, spec *Spec, grouped [][]sim.Result) {
+	title := spec.Name
+	if spec.Title != "" {
+		title += ": " + spec.Title
+	}
+	fmt.Fprintln(w, title)
+	for gi, g := range spec.Groups {
+		if g.Name != "" {
+			fmt.Fprintf(w, "-- %s\n", g.Name)
+		}
+		fmt.Fprintf(w, "%-32s %14s %12s %12s\n", "point", "accepted", "latency", "recoveries")
+		for pi, p := range g.Points {
+			r := grouped[gi][pi]
+			fmt.Fprintf(w, "%-32s %14.4f %12.1f %12d\n",
+				p.Label, r.AcceptedFlits, r.AvgNetworkLatency, r.Recoveries)
+		}
+	}
 }
 
 // PrintAblation writes an ablation comparison.

@@ -28,6 +28,48 @@ type Runner struct {
 	// re-running; configurations with no fingerprint (live schedules,
 	// custom throttlers) always run.
 	Cache *resultcache.Cache
+	// Flight, when non-nil, deduplicates concurrent executions of the
+	// same configuration fingerprint across every runner sharing the
+	// Flight: followers wait for the leader's result instead of
+	// re-simulating. The stcc-serve job manager shares one Flight across
+	// all jobs so identical submissions racing past the result cache
+	// still run once.
+	Flight *Flight
+	// Ctx, when non-nil, cancels grid execution: no new points are
+	// dispatched after cancellation and in-flight simulations stop
+	// between cycles, so the grid returns ctx's error promptly instead
+	// of abandoning goroutines. A nil Ctx means run to completion.
+	Ctx context.Context
+	// OnPoint, when non-nil, observes every completed grid point. It is
+	// called from worker goroutines — possibly concurrently — so
+	// implementations must be safe for concurrent use. Points of a
+	// failed grid may be observed before the grid's error is returned.
+	OnPoint func(PointEvent)
+}
+
+// PointEvent describes one completed grid point for progress reporting
+// (the stcc-serve SSE stream is built from these).
+type PointEvent struct {
+	// Index and Total locate the point in the flattened grid; events
+	// arrive in completion order, not index order.
+	Index int `json:"index"`
+	Total int `json:"total"`
+	// Label is the point's spec label ("random rate 0.02"); empty for
+	// grids run through ForEach directly.
+	Label string `json:"label,omitempty"`
+	// CacheHit reports that the result came from the result cache.
+	CacheHit bool `json:"cacheHit"`
+	// Shared reports that the result was adopted from a concurrent
+	// in-flight execution of the same fingerprint (singleflight).
+	Shared bool `json:"shared"`
+}
+
+// ctx resolves the runner's base context.
+func (r Runner) ctx() context.Context {
+	if r.Ctx != nil {
+		return r.Ctx
+	}
+	return context.Background()
 }
 
 // workerCount resolves the effective pool size for n jobs.
@@ -47,27 +89,51 @@ func (r Runner) workerCount(n int) int {
 // result at its index; distinct indices never race. The first error
 // cancels the dispatch of not-yet-started jobs via context, and the
 // returned error is the one with the lowest index among jobs that ran —
-// so the reported error does not depend on the worker count.
+// so the reported error does not depend on the worker count. A canceled
+// Runner.Ctx stops dispatch the same way and surfaces ctx's error.
 func (r Runner) ForEach(n int, fn func(i int) error) error {
+	return r.forEach(n, nil, fn)
+}
+
+// forEach is ForEach with the derived, cancel-on-error context passed to
+// each job, so jobs (runPoint) can abort in-flight simulations when a
+// sibling fails or the runner's own context is canceled. Exactly one of
+// ctxFn/fn is used: fn when non-nil (the exported ForEach path keeps its
+// context-free signature), ctxFn otherwise.
+func (r Runner) forEach(n int, ctxFn func(ctx context.Context, i int) error, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
+	call := ctxFn
+	if fn != nil {
+		call = func(_ context.Context, i int) error { return fn(i) }
+	}
 	workers := r.workerCount(n)
+	base := r.ctx()
 	if workers == 1 {
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			if err := base.Err(); err != nil {
+				return err
+			}
+			if err := call(base, i); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
 
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := context.WithCancel(base)
 	defer cancel()
 	indices := make(chan int)
 	go func() {
 		defer close(indices)
 		for i := 0; i < n; i++ {
+			// Checked before the select: when both cases are ready the
+			// select picks randomly, which would dispatch work under an
+			// already-canceled context.
+			if ctx.Err() != nil {
+				return
+			}
 			select {
 			case indices <- i:
 			case <-ctx.Done():
@@ -83,7 +149,7 @@ func (r Runner) ForEach(n int, fn func(i int) error) error {
 		go func() {
 			defer wg.Done()
 			for i := range indices {
-				if err := fn(i); err != nil {
+				if err := call(ctx, i); err != nil {
 					errs[i] = err
 					cancel()
 				}
@@ -99,51 +165,76 @@ func (r Runner) ForEach(n int, fn func(i int) error) error {
 			return err
 		}
 	}
-	return nil
+	// Every dispatched job succeeded; if dispatch stopped early it was
+	// the base context, not a job error.
+	return base.Err()
 }
 
 // runGrid executes one simulation per configuration and returns results
-// in input order. wrapErr contextualizes a point's failure ("fig3 tune
-// rate 0.02: ...") for the aggregated error.
-func (r Runner) runGrid(cfgs []sim.Config, wrapErr func(i int, err error) error) ([]sim.Result, error) {
+// in input order. label names point i for progress events (may be nil);
+// wrapErr contextualizes a point's failure ("fig3 tune rate 0.02: ...")
+// for the aggregated error.
+func (r Runner) runGrid(cfgs []sim.Config, label func(i int) string, wrapErr func(i int, err error) error) ([]sim.Result, error) {
 	out := make([]sim.Result, len(cfgs))
-	err := r.ForEach(len(cfgs), func(i int) error {
-		res, err := r.runPoint(cfgs[i])
+	err := r.forEach(len(cfgs), func(ctx context.Context, i int) error {
+		res, ev, err := r.runPoint(ctx, cfgs[i])
 		if err != nil {
 			return wrapErr(i, err)
 		}
 		out[i] = res
+		if r.OnPoint != nil {
+			ev.Index, ev.Total = i, len(cfgs)
+			if label != nil {
+				ev.Label = label(i)
+			}
+			r.OnPoint(ev)
+		}
 		return nil
-	})
+	}, nil)
 	if err != nil {
 		return nil, err
 	}
 	return out, nil
 }
 
-// runPoint runs one configuration through the result cache when one is
-// attached. Unserializable configurations (no fingerprint) bypass the
-// cache; a cache read or write failure is a real error so corruption
-// and full disks surface instead of silently degrading.
-func (r Runner) runPoint(cfg sim.Config) (sim.Result, error) {
-	if r.Cache == nil {
-		return sim.Run(cfg)
+// runPoint runs one configuration through the in-flight dedup layer and
+// the result cache when they are attached. Unserializable configurations
+// (no fingerprint) bypass both; a cache read or write failure is a real
+// error so full disks surface instead of silently degrading (corrupt
+// entries are quarantined by the cache itself and re-run as misses).
+func (r Runner) runPoint(ctx context.Context, cfg sim.Config) (sim.Result, PointEvent, error) {
+	if r.Cache == nil && r.Flight == nil {
+		res, err := sim.RunContext(ctx, cfg)
+		return res, PointEvent{}, err
 	}
 	fp, err := cfg.Fingerprint()
 	if err != nil {
-		return sim.Run(cfg) // in-process-only config: always run
+		res, err := sim.RunContext(ctx, cfg) // in-process-only config: always run
+		return res, PointEvent{}, err
 	}
-	if res, ok, err := r.Cache.Get(fp); err != nil {
-		return sim.Result{}, err
-	} else if ok {
-		return res, nil
+	exec := func() (sim.Result, bool, error) {
+		if r.Cache != nil {
+			if res, ok, err := r.Cache.Get(fp); err != nil {
+				return sim.Result{}, false, err
+			} else if ok {
+				return res, true, nil
+			}
+		}
+		res, err := sim.RunContext(ctx, cfg)
+		if err != nil {
+			return sim.Result{}, false, err
+		}
+		if r.Cache != nil {
+			if err := r.Cache.Put(fp, res); err != nil {
+				return sim.Result{}, false, err
+			}
+		}
+		return res, false, nil
 	}
-	res, err := sim.Run(cfg)
-	if err != nil {
-		return sim.Result{}, err
+	if r.Flight == nil {
+		res, hit, err := exec()
+		return res, PointEvent{CacheHit: hit}, err
 	}
-	if err := r.Cache.Put(fp, res); err != nil {
-		return sim.Result{}, err
-	}
-	return res, nil
+	res, hit, shared, err := r.Flight.do(ctx, fp, exec)
+	return res, PointEvent{CacheHit: hit, Shared: shared}, err
 }

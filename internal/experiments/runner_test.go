@@ -1,11 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"reflect"
-	"sync"
 	"sync/atomic"
 	"testing"
 )
@@ -59,22 +59,22 @@ func TestForEachReturnsLowestIndexError(t *testing.T) {
 
 // TestForEachCancelsAfterError checks that a failure stops dispatching
 // not-yet-started jobs: with one extra worker, a long tail of jobs after
-// an early error should be mostly skipped.
+// an early error should be mostly skipped. Jobs park on the shared
+// context, so dispatch is provably cancelled rather than drained — and
+// unlike parking on a test-owned channel, the park always ends. (The
+// previous version of this test parked on a channel only closed after
+// ForEach returned, which deadlocked whenever the second worker dequeued
+// a job before the cancellation landed.)
 func TestForEachCancelsAfterError(t *testing.T) {
 	var started int32
-	release := make(chan struct{})
-	var once sync.Once
-	err := Runner{Workers: 2}.ForEach(1000, func(i int) error {
+	err := Runner{Workers: 2}.forEach(1000, func(ctx context.Context, i int) error {
 		atomic.AddInt32(&started, 1)
 		if i == 0 {
 			return errors.New("boom")
 		}
-		// Park the other worker until the failure lands so dispatch is
-		// provably cancelled rather than drained.
-		once.Do(func() { <-release })
+		<-ctx.Done()
 		return nil
-	})
-	close(release)
+	}, nil)
 	if err == nil || err.Error() != "boom" {
 		t.Fatalf("err = %v", err)
 	}

@@ -148,7 +148,9 @@ func (r Runner) runSpecFlat(spec *Spec) ([]sim.Result, error) {
 	for i, p := range points {
 		cfgs[i] = p.Config
 	}
-	return r.runGrid(cfgs, func(i int, err error) error {
-		return fmt.Errorf("%s %s: %w", spec.Name, points[i].Label, err)
-	})
+	return r.runGrid(cfgs,
+		func(i int) string { return points[i].Label },
+		func(i int, err error) error {
+			return fmt.Errorf("%s %s: %w", spec.Name, points[i].Label, err)
+		})
 }

@@ -10,7 +10,19 @@
 // Results are stored one JSON file per fingerprint. Writes go through a
 // temp file and an atomic rename, so a crashed or concurrent run never
 // leaves a half-written entry; concurrent writers of the same
-// fingerprint write identical bytes, so last-rename-wins is harmless.
+// fingerprint write identical bytes (the engine is deterministic), so
+// last-rename-wins is harmless. The cache is therefore safe for any mix
+// of concurrent readers and writers — goroutines of one process or
+// separate processes sharing the directory — which is what the
+// stcc-serve job manager relies on when jobs race past its in-flight
+// dedup layer.
+//
+// An entry that fails to parse (a partial file from a kill -9 on a
+// filesystem without atomic rename, or external corruption) is
+// quarantined, not trusted and not fatal: Get renames it aside to
+// <fingerprint>.json.corrupt and reports a miss, so the point re-runs
+// and overwrites the entry while the corrupt bytes stay on disk for
+// inspection.
 package resultcache
 
 import (
@@ -60,9 +72,11 @@ func (c *Cache) path(fingerprint string) (string, error) {
 }
 
 // Get loads the result stored under the fingerprint. The second return
-// is false on a clean miss; an unreadable or unparsable entry is an
-// error, not a miss, so corruption surfaces instead of silently forcing
-// re-runs.
+// is false on a clean miss. An entry that does not parse is quarantined
+// (renamed aside to <fingerprint>.json.corrupt, preserving the bytes)
+// and reported as a miss, so one corrupt file re-runs one point instead
+// of erroring the whole grid; an unreadable file (permissions, I/O) is
+// still an error.
 func (c *Cache) Get(fingerprint string) (sim.Result, bool, error) {
 	p, err := c.path(fingerprint)
 	if err != nil {
@@ -77,9 +91,24 @@ func (c *Cache) Get(fingerprint string) (sim.Result, bool, error) {
 	}
 	var r sim.Result
 	if err := json.Unmarshal(data, &r); err != nil {
-		return sim.Result{}, false, fmt.Errorf("resultcache: corrupt entry %s: %w", fingerprint, err)
+		if qerr := c.quarantine(p); qerr != nil {
+			return sim.Result{}, false, fmt.Errorf("resultcache: corrupt entry %s (quarantine failed: %v): %w",
+				fingerprint, qerr, err)
+		}
+		return sim.Result{}, false, nil
 	}
 	return r, true, nil
+}
+
+// quarantine moves a corrupt entry aside. A concurrent Get may have
+// already quarantined (or a concurrent Put replaced) the file; a
+// vanished source is success, not an error.
+func (c *Cache) quarantine(p string) error {
+	err := os.Rename(p, p+".corrupt")
+	if err == nil || errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	return err
 }
 
 // Put stores the result under the fingerprint, atomically.

@@ -3,8 +3,10 @@ package resultcache
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 
 	"repro/internal/sim"
@@ -87,7 +89,10 @@ func TestRejectsMalformedFingerprints(t *testing.T) {
 	}
 }
 
-func TestCorruptEntryIsErrorNotMiss(t *testing.T) {
+// A corrupt entry must be quarantined — renamed aside, bytes preserved
+// — and served as a miss, so the point re-runs instead of erroring the
+// whole grid.
+func TestCorruptEntryQuarantinedAsMiss(t *testing.T) {
 	dir := t.TempDir()
 	c, err := New(dir)
 	if err != nil {
@@ -98,11 +103,130 @@ func TestCorruptEntryIsErrorNotMiss(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile(filepath.Join(dir, fp+".json"), []byte("{truncated"), 0o644); err != nil {
+	corrupt := []byte("{truncated")
+	if err := os.WriteFile(filepath.Join(dir, fp+".json"), corrupt, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok, err := c.Get(fp); err == nil {
-		t.Fatalf("corrupt entry returned (ok=%v) without error", ok)
+	if _, ok, err := c.Get(fp); err != nil || ok {
+		t.Fatalf("corrupt entry Get = (ok=%v, err=%v), want quarantined miss", ok, err)
+	}
+	moved, err := os.ReadFile(filepath.Join(dir, fp+".json.corrupt"))
+	if err != nil {
+		t.Fatalf("quarantined bytes not preserved: %v", err)
+	}
+	if !bytes.Equal(moved, corrupt) {
+		t.Errorf("quarantine altered the corrupt bytes: %q", moved)
+	}
+	if n, err := c.Len(); err != nil || n != 0 {
+		t.Errorf("Len counts quarantined entry: (%d, %v), want 0", n, err)
+	}
+
+	// The slot is reusable: a fresh Put/Get round trip heals the entry.
+	fresh, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(fp, fresh); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := c.Get(fp); err != nil || !ok {
+		t.Fatalf("Get after healing Put = (ok=%v, err=%v)", ok, err)
+	}
+}
+
+// Concurrent writers and readers of the same and different fingerprints
+// must never observe a torn entry: every Get either misses cleanly or
+// parses a complete result, and no quarantine files appear. Run with
+// -race, this also pins the Cache's "safe for concurrent use" claim.
+func TestConcurrentPutGetStress(t *testing.T) {
+	dir := t.TempDir()
+	c, err := New(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A handful of distinct entries, each hammered by several writers
+	// writing identical bytes (the deterministic-engine contract) and
+	// several readers polling mid-write.
+	const entries, writers, readers, rounds = 4, 3, 3, 20
+	results := make([]sim.Result, entries)
+	fps := make([]string, entries)
+	for i := range results {
+		cfg := tinyConfig()
+		cfg.Seed = int64(i + 1)
+		fp, err := cfg.Fingerprint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := sim.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fps[i], results[i] = fp, r
+	}
+
+	var wg sync.WaitGroup
+	errc := make(chan error, entries*(writers+readers))
+	for i := 0; i < entries; i++ {
+		i := i
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for r := 0; r < rounds; r++ {
+					if err := c.Put(fps[i], results[i]); err != nil {
+						errc <- err
+						return
+					}
+				}
+			}()
+		}
+		for rd := 0; rd < readers; rd++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				want, err := json.Marshal(results[i])
+				if err != nil {
+					errc <- err
+					return
+				}
+				for r := 0; r < rounds; r++ {
+					got, ok, err := c.Get(fps[i])
+					if err != nil {
+						errc <- err
+						return
+					}
+					if !ok {
+						continue // clean miss before the first rename lands
+					}
+					gotJSON, err := json.Marshal(got)
+					if err != nil {
+						errc <- err
+						return
+					}
+					if !bytes.Equal(gotJSON, want) {
+						errc <- fmt.Errorf("entry %d: torn read: %s", i, gotJSON)
+						return
+					}
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+
+	matches, err := filepath.Glob(filepath.Join(dir, "*.corrupt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 0 {
+		t.Errorf("stress run quarantined entries: %v", matches)
+	}
+	if n, err := c.Len(); err != nil || n != entries {
+		t.Errorf("Len = (%d, %v), want %d", n, err, entries)
 	}
 }
 

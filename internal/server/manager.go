@@ -1,0 +1,452 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/cli"
+	"repro/internal/experiments"
+	"repro/internal/sim"
+)
+
+// Submission errors the handlers map to HTTP status codes.
+var (
+	// ErrQueueFull rejects a submission when the bounded queue is at
+	// capacity (backpressure: the client should retry later).
+	ErrQueueFull = errors.New("server: job queue full")
+	// ErrClosed rejects submissions after Shutdown has begun.
+	ErrClosed = errors.New("server: shutting down")
+)
+
+// Job states.
+const (
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateFailed   = "failed"
+	StateCanceled = "canceled"
+)
+
+// terminal reports whether a state is final.
+func terminal(state string) bool {
+	return state == StateDone || state == StateFailed || state == StateCanceled
+}
+
+// Event is one entry of a job's progress log, streamed over SSE. Every
+// event of a job is retained, so a subscriber that connects late
+// replays the full history before going live.
+type Event struct {
+	// Type is queued, started, point, done, failed, or canceled.
+	Type string `json:"type"`
+	// Points is the grid size (queued and started events).
+	Points int `json:"points,omitempty"`
+	// Point is the completed point (point events). Its Index/Total are
+	// relative to the grid that ran it; registry entries that execute
+	// several grids (fig3 runs one per deadlock mode) emit per-grid
+	// indices while PointsDone counts across the whole job.
+	Point *experiments.PointEvent `json:"point,omitempty"`
+	// PointsDone is the job-wide completion count after this event.
+	PointsDone int `json:"points_done,omitempty"`
+	// Error carries the failure (failed events).
+	Error string `json:"error,omitempty"`
+	// CacheHit on a terminal done event reports that no fresh
+	// simulation ran: every point came from the result cache or an
+	// in-flight twin.
+	CacheHit bool `json:"cacheHit,omitempty"`
+}
+
+// JobResult is the deterministic payload of a finished job: the text
+// report the equivalent CLI invocation prints and, for spec and config
+// submissions, the grouped results. It deliberately carries no
+// timestamps or cache statistics, so resubmitting the same work yields
+// byte-identical result JSON regardless of how it was served.
+type JobResult struct {
+	// Experiment is the registry name, for by-name submissions.
+	Experiment string `json:"experiment,omitempty"`
+	// Spec is the spec name, for spec and config submissions.
+	Spec string `json:"spec,omitempty"`
+	// Report is the human-readable rendering (what the CLI prints).
+	Report string `json:"report"`
+	// Groups are the raw results, grouped like the submitted spec.
+	Groups [][]sim.Result `json:"groups,omitempty"`
+}
+
+// JobStatus is the GET /v1/jobs/{id} body.
+type JobStatus struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	// Name is the experiment or spec name; Scale is set for registry
+	// submissions.
+	Name  string `json:"name"`
+	Scale string `json:"scale,omitempty"`
+	// Fingerprint is the submitted grid's content address (empty when
+	// the grid has no serializable form).
+	Fingerprint  string `json:"fingerprint,omitempty"`
+	Points       int    `json:"points"`
+	PointsDone   int    `json:"points_done"`
+	CacheHits    int    `json:"cache_hits"`
+	SharedPoints int    `json:"shared_points"`
+	// CacheHit reports that the finished job ran zero fresh
+	// simulations: every point was served by the result cache or
+	// adopted from a concurrent in-flight run.
+	CacheHit bool            `json:"cacheHit"`
+	Error    string          `json:"error,omitempty"`
+	Result   json.RawMessage `json:"result,omitempty"`
+}
+
+// Job is one submission moving through the queue. All mutable state is
+// guarded by mu; the submission fields are immutable after Submit.
+type Job struct {
+	id     string
+	sub    *cli.Submission
+	name   string
+	fp     string
+	points int
+
+	mu        sync.Mutex
+	state     string
+	canceled  bool               // cancel requested
+	cancel    context.CancelFunc // set while running
+	done      int
+	cacheHits int
+	shared    int
+	err       error
+	result    json.RawMessage
+	events    []Event
+	notify    chan struct{} // closed and replaced on every append
+}
+
+// ID returns the job's identifier.
+func (j *Job) ID() string { return j.id }
+
+// appendEvent records an event and wakes every events-stream reader.
+// Callers must hold j.mu.
+func (j *Job) appendEventLocked(ev Event) {
+	j.events = append(j.events, ev)
+	close(j.notify)
+	j.notify = make(chan struct{})
+}
+
+// eventsSince returns the events from index i on, a channel that closes
+// when more arrive, and whether the returned slice ends the stream.
+func (j *Job) eventsSince(i int) ([]Event, <-chan struct{}, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	evs := j.events[i:]
+	return evs, j.notify, terminal(j.state) && i+len(evs) == len(j.events)
+}
+
+// recordPoint folds one completed grid point into the job's counters
+// and event log. Called from runner worker goroutines.
+func (j *Job) recordPoint(ev experiments.PointEvent) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.done++
+	if ev.CacheHit {
+		j.cacheHits++
+	}
+	if ev.Shared {
+		j.shared++
+	}
+	j.appendEventLocked(Event{Type: "point", Point: &ev, PointsDone: j.done})
+}
+
+// Status snapshots the job.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:           j.id,
+		State:        j.state,
+		Name:         j.name,
+		Scale:        j.sub.ScaleName,
+		Fingerprint:  j.fp,
+		Points:       j.points,
+		PointsDone:   j.done,
+		CacheHits:    j.cacheHits,
+		SharedPoints: j.shared,
+		CacheHit:     j.state == StateDone && j.done == j.cacheHits+j.shared,
+		Result:       j.result,
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	return st
+}
+
+// Manager owns the bounded queue, the job workers, and the in-flight
+// dedup layer every job's runner shares.
+type Manager struct {
+	cfg    Config
+	flight *experiments.Flight
+	met    *metrics
+
+	baseCtx    context.Context // canceled to abort all running jobs
+	baseCancel context.CancelFunc
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	seq    int
+	closed bool
+
+	queue chan *Job
+	wg    sync.WaitGroup
+}
+
+func newManager(cfg Config) *Manager {
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 16
+	}
+	workers := cfg.JobWorkers
+	if workers == 0 {
+		workers = 2
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		cfg:        cfg,
+		flight:     experiments.NewFlight(),
+		met:        newMetrics(),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		jobs:       make(map[string]*Job),
+		queue:      make(chan *Job, cfg.QueueDepth),
+	}
+	for w := 0; w < workers; w++ {
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			for j := range m.queue {
+				m.runJob(j)
+			}
+		}()
+	}
+	return m
+}
+
+func (m *Manager) logf(format string, args ...any) {
+	if m.cfg.Logf != nil {
+		m.cfg.Logf(format, args...)
+	}
+}
+
+// Submit parses nothing: it takes an already-parsed submission (the
+// handlers run cli.ParseSubmission), registers a job, and enqueues it.
+// A full queue rejects with ErrQueueFull rather than blocking the
+// caller — backpressure belongs at the edge.
+func (m *Manager) Submit(sub *cli.Submission) (*Job, error) {
+	name := sub.Name
+	if name == "" {
+		name = sub.Spec.Name
+	}
+	j := &Job{
+		sub:    sub,
+		name:   name,
+		state:  StateQueued,
+		points: sub.Spec.NumPoints(),
+		notify: make(chan struct{}),
+	}
+	if fp, err := sub.Spec.Fingerprint(); err == nil {
+		j.fp = fp
+	}
+
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, ErrClosed
+	}
+	m.seq++
+	j.id = fmt.Sprintf("job-%06d", m.seq)
+	j.mu.Lock()
+	j.appendEventLocked(Event{Type: StateQueued, Points: j.points})
+	j.mu.Unlock()
+	m.jobs[j.id] = j
+	select {
+	case m.queue <- j:
+	default:
+		delete(m.jobs, j.id)
+		m.seq--
+		m.mu.Unlock()
+		m.met.rejected.Add(1)
+		return nil, ErrQueueFull
+	}
+	m.mu.Unlock()
+	m.met.submitted.Add(1)
+	m.logf("job %s queued: %s (%d points)", j.id, j.name, j.points)
+	return j, nil
+}
+
+// Lookup returns a job by id.
+func (m *Manager) Lookup(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// Jobs returns every job's status, oldest first (ids are sequential and
+// zero-padded, so lexicographic order is submission order).
+func (m *Manager) Jobs() []JobStatus {
+	m.mu.Lock()
+	jobs := make([]*Job, 0, len(m.jobs))
+	for _, j := range m.jobs { // sorted below; order restored by id
+		jobs = append(jobs, j)
+	}
+	m.mu.Unlock()
+	sort.Slice(jobs, func(a, b int) bool { return jobs[a].id < jobs[b].id })
+	out := make([]JobStatus, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Status()
+	}
+	return out
+}
+
+// Cancel cancels a job: a queued job goes terminal immediately, a
+// running one has its context canceled and goes terminal when the
+// runner unwinds. Returns false when the id is unknown; canceling an
+// already-terminal job is a no-op reporting true.
+func (m *Manager) Cancel(id string) bool {
+	j, ok := m.Lookup(id)
+	if !ok {
+		return false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.state {
+	case StateQueued:
+		j.canceled = true
+		j.state = StateCanceled
+		j.appendEventLocked(Event{Type: StateCanceled})
+		m.met.canceled.Add(1)
+		m.logf("job %s canceled while queued", j.id)
+	case StateRunning:
+		j.canceled = true
+		j.cancel() // runJob observes context.Canceled and finishes the job
+		m.logf("job %s cancellation requested", j.id)
+	}
+	return true
+}
+
+// QueueDepth reports the number of jobs waiting for a worker.
+func (m *Manager) QueueDepth() int { return len(m.queue) }
+
+// runJob executes one dequeued job on this worker goroutine.
+func (m *Manager) runJob(j *Job) {
+	j.mu.Lock()
+	if j.state != StateQueued { // canceled while waiting
+		j.mu.Unlock()
+		return
+	}
+	ctx, cancel := context.WithCancel(m.baseCtx)
+	defer cancel()
+	j.state = StateRunning
+	j.cancel = cancel
+	j.appendEventLocked(Event{Type: "started", Points: j.points})
+	j.mu.Unlock()
+	m.met.running.Add(1)
+	m.logf("job %s running", j.id)
+
+	runner := experiments.Runner{
+		Workers: m.cfg.PointWorkers,
+		Cache:   m.cfg.Cache,
+		Flight:  m.flight,
+		Ctx:     ctx,
+		OnPoint: func(ev experiments.PointEvent) {
+			j.recordPoint(ev)
+			m.met.pointDone(ev)
+		},
+	}
+
+	var payload JobResult
+	var err error
+	if j.sub.Name != "" {
+		// Registry reference: the entry's own driver renders the same
+		// report stcc-paper prints (and covers analytic entries that
+		// run no simulations at all).
+		e, ok := experiments.Lookup(j.sub.Name)
+		if !ok {
+			err = fmt.Errorf("unknown experiment %q", j.sub.Name)
+		} else {
+			var buf bytes.Buffer
+			err = e.Run(experiments.RunContext{Runner: runner, Scale: j.sub.Scale, Out: &buf})
+			payload = JobResult{Experiment: j.sub.Name, Report: buf.String()}
+		}
+	} else {
+		var grouped [][]sim.Result
+		grouped, err = runner.RunSpec(j.sub.Spec)
+		if err == nil {
+			var buf bytes.Buffer
+			experiments.PrintSpecResults(&buf, j.sub.Spec, grouped)
+			payload = JobResult{Spec: j.sub.Spec.Name, Report: buf.String(), Groups: grouped}
+		}
+	}
+	m.met.running.Add(-1)
+	m.finish(j, payload, err)
+}
+
+// finish moves a job to its terminal state and publishes the result.
+func (m *Manager) finish(j *Job, payload JobResult, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch {
+	case err == nil:
+		raw, merr := json.Marshal(payload)
+		if merr != nil {
+			j.state = StateFailed
+			j.err = merr
+			j.appendEventLocked(Event{Type: StateFailed, Error: merr.Error()})
+			m.met.failed.Add(1)
+			break
+		}
+		j.state = StateDone
+		j.result = raw
+		j.appendEventLocked(Event{
+			Type:       StateDone,
+			PointsDone: j.done,
+			CacheHit:   j.done == j.cacheHits+j.shared,
+		})
+		m.met.done.Add(1)
+	case errors.Is(err, context.Canceled) || j.canceled:
+		j.state = StateCanceled
+		j.err = context.Canceled
+		j.appendEventLocked(Event{Type: StateCanceled})
+		m.met.canceled.Add(1)
+	default:
+		j.state = StateFailed
+		j.err = err
+		j.appendEventLocked(Event{Type: StateFailed, Error: err.Error()})
+		m.met.failed.Add(1)
+	}
+	m.logf("job %s %s", j.id, j.state)
+}
+
+// Shutdown drains the manager: no new submissions are accepted, queued
+// and running jobs are given until ctx expires to finish, then every
+// in-flight job is canceled and the workers are joined. It is the
+// SIGTERM path of cmd/stcc-serve.
+func (m *Manager) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	if !m.closed {
+		m.closed = true
+		close(m.queue)
+	}
+	m.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		m.baseCancel()
+		<-drained
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,96 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// metrics is the server's counter set. Plain atomics rather than the
+// expvar package: expvar registers into a process-global map and
+// panics on duplicate names, which would forbid constructing two
+// servers in one test binary.
+type metrics struct {
+	submitted atomic.Int64 // jobs accepted into the queue
+	rejected  atomic.Int64 // jobs refused with 429
+	done      atomic.Int64 // jobs finished successfully
+	failed    atomic.Int64 // jobs finished in error
+	canceled  atomic.Int64 // jobs canceled (queued or running)
+	running   atomic.Int64 // jobs executing right now
+
+	points    atomic.Int64 // grid points completed (any source)
+	cacheHits atomic.Int64 // points served by the result cache
+	shared    atomic.Int64 // points adopted from an in-flight twin
+	simulated atomic.Int64 // points that ran a fresh simulation
+}
+
+func newMetrics() *metrics { return &metrics{} }
+
+// pointDone classifies one completed point.
+func (m *metrics) pointDone(ev experiments.PointEvent) {
+	m.points.Add(1)
+	switch {
+	case ev.CacheHit:
+		m.cacheHits.Add(1)
+	case ev.Shared:
+		m.shared.Add(1)
+	default:
+		m.simulated.Add(1)
+	}
+}
+
+// Metrics is the GET /metrics body.
+type Metrics struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	QueueDepth    int     `json:"queue_depth"`
+
+	JobsSubmitted int64 `json:"jobs_submitted"`
+	JobsRejected  int64 `json:"jobs_rejected"`
+	JobsDone      int64 `json:"jobs_done"`
+	JobsFailed    int64 `json:"jobs_failed"`
+	JobsCanceled  int64 `json:"jobs_canceled"`
+	JobsRunning   int64 `json:"jobs_running"`
+
+	Points       int64 `json:"points"`
+	CacheHits    int64 `json:"cache_hits"`
+	SharedPoints int64 `json:"shared_points"`
+	Simulated    int64 `json:"simulated"`
+	// PointsPerSec is completed points over process uptime — a coarse
+	// throughput gauge, not a moving average.
+	PointsPerSec float64 `json:"points_per_sec"`
+}
+
+// snapshot assembles the exported counter view.
+func (s *Server) snapshot() Metrics {
+	m := s.manager.met
+	up := time.Since(s.start).Seconds()
+	points := m.points.Load()
+	out := Metrics{
+		UptimeSeconds: up,
+		QueueDepth:    s.manager.QueueDepth(),
+		JobsSubmitted: m.submitted.Load(),
+		JobsRejected:  m.rejected.Load(),
+		JobsDone:      m.done.Load(),
+		JobsFailed:    m.failed.Load(),
+		JobsCanceled:  m.canceled.Load(),
+		JobsRunning:   m.running.Load(),
+		Points:        points,
+		CacheHits:     m.cacheHits.Load(),
+		SharedPoints:  m.shared.Load(),
+		Simulated:     m.simulated.Load(),
+	}
+	if up > 0 {
+		out.PointsPerSec = float64(points) / up
+	}
+	return out
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.snapshot())
+}

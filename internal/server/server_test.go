@@ -1,0 +1,494 @@
+package server_test
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/resultcache"
+	"repro/internal/server"
+	"repro/internal/sim"
+)
+
+// newTestServer starts a server on an httptest listener and tears both
+// down (draining jobs) when the test ends.
+func newTestServer(t *testing.T, cfg server.Config) (*server.Server, *httptest.Server) {
+	t.Helper()
+	s := server.New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	return s, ts
+}
+
+// tinyConfig is a sub-second serializable configuration.
+func tinyConfig(seed int64) sim.Config {
+	cfg := sim.NewConfig()
+	cfg.K = 4
+	cfg.WarmupCycles = 100
+	cfg.MeasureCycles = 400
+	cfg.Rate = 0.005
+	cfg.Seed = seed
+	return cfg
+}
+
+// tinySpecJSON is a two-point spec submission body.
+func tinySpecJSON(t *testing.T) []byte {
+	t.Helper()
+	spec := experiments.NewSpec("tiny", "two-point test grid")
+	spec.AddGroup("g",
+		experiments.Point{Label: "seed 1", Config: tinyConfig(1)},
+		experiments.Point{Label: "seed 2", Config: tinyConfig(2)})
+	data, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// submit POSTs a body to /v1/jobs and decodes the 202 response.
+func submit(t *testing.T, ts *httptest.Server, body []byte) string {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /v1/jobs = %d: %s", resp.StatusCode, raw)
+	}
+	var sr struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(raw, &sr); err != nil {
+		t.Fatalf("submit response %q: %v", raw, err)
+	}
+	if sr.ID == "" {
+		t.Fatalf("submit response has no id: %s", raw)
+	}
+	return sr.ID
+}
+
+// getStatus fetches one job's status.
+func getStatus(t *testing.T, ts *httptest.Server, id string) server.JobStatus {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/jobs/%s = %d: %s", id, resp.StatusCode, raw)
+	}
+	var st server.JobStatus
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatalf("status %q: %v", raw, err)
+	}
+	return st
+}
+
+// waitTerminal polls a job until it leaves the queued/running states.
+func waitTerminal(t *testing.T, ts *httptest.Server, id string) server.JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		st := getStatus(t, ts, id)
+		switch st.State {
+		case server.StateDone, server.StateFailed, server.StateCanceled:
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in state %q", id, st.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestEndpointsTable drives every read-only endpoint and the submission
+// error paths through the real mux.
+func TestEndpointsTable(t *testing.T) {
+	// No workers: submissions stay queued, so responses are predictable.
+	_, ts := newTestServer(t, server.Config{JobWorkers: -1, QueueDepth: 1})
+
+	cases := []struct {
+		name       string
+		method     string
+		path       string
+		body       string
+		wantStatus int
+		wantSubstr string
+	}{
+		{"healthz", "GET", "/healthz", "", http.StatusOK, `"status": "ok"`},
+		{"version", "GET", "/v1/version", "", http.StatusOK, `"go_version"`},
+		{"metrics", "GET", "/metrics", "", http.StatusOK, `"queue_depth"`},
+		{"registry", "GET", "/v1/registry", "", http.StatusOK, `"fig4"`},
+		{"registry has analytic entries", "GET", "/v1/registry", "", http.StatusOK, `"tab1"`},
+		{"jobs list empty", "GET", "/v1/jobs", "", http.StatusOK, `"jobs": []`},
+		{"status of unknown job", "GET", "/v1/jobs/job-999999", "", http.StatusNotFound, "no job"},
+		{"cancel of unknown job", "DELETE", "/v1/jobs/job-999999", "", http.StatusNotFound, "no job"},
+		{"events of unknown job", "GET", "/v1/jobs/job-999999/events", "", http.StatusNotFound, "no job"},
+		{"submit garbage", "POST", "/v1/jobs", "not json", http.StatusBadRequest, "JSON"},
+		{"submit empty object", "POST", "/v1/jobs", "{}", http.StatusBadRequest, "unrecognized submission"},
+		{"submit unknown experiment", "POST", "/v1/jobs", `{"name":"fig99"}`, http.StatusBadRequest, "unknown experiment"},
+		{"submit unknown scale", "POST", "/v1/jobs", `{"name":"fig4","scale":"huge"}`, http.StatusBadRequest, "scale"},
+		{"submit unknown spec field", "POST", "/v1/jobs", `{"groups":[],"version":1,"name":"x","zzz":3}`, http.StatusBadRequest, "unknown field"},
+		{"wrong method on jobs id", "POST", "/v1/jobs/job-000001", "", http.StatusMethodNotAllowed, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req, err := http.NewRequest(tc.method, ts.URL+tc.path, strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			raw, _ := io.ReadAll(resp.Body)
+			if resp.StatusCode != tc.wantStatus {
+				t.Fatalf("%s %s = %d, want %d (body %s)", tc.method, tc.path, resp.StatusCode, tc.wantStatus, raw)
+			}
+			if tc.wantSubstr != "" && !strings.Contains(string(raw), tc.wantSubstr) {
+				t.Errorf("%s %s body %s, want substring %q", tc.method, tc.path, raw, tc.wantSubstr)
+			}
+		})
+	}
+}
+
+// TestQueueBackpressure fills the bounded queue and checks the 429 +
+// Retry-After rejection, then frees a slot by canceling.
+func TestQueueBackpressure(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{JobWorkers: -1, QueueDepth: 1})
+
+	id := submit(t, ts, []byte(`{"name":"tab1"}`))
+
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"name":"tab1"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-capacity POST = %d (%s), want 429", resp.StatusCode, raw)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 response missing Retry-After")
+	}
+
+	// Cancel the queued job: it goes terminal without ever running.
+	req, _ := http.NewRequest("DELETE", ts.URL+"/v1/jobs/"+id, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if st := getStatus(t, ts, id); st.State != server.StateCanceled {
+		t.Fatalf("canceled queued job state = %q, want %q", st.State, server.StateCanceled)
+	}
+}
+
+// TestShutdownRejectsSubmissions drains the manager and checks the 503.
+func TestShutdownRejectsSubmissions(t *testing.T) {
+	s := server.New(server.Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"name":"tab1"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("POST after shutdown = %d, want 503", resp.StatusCode)
+	}
+}
+
+// sseEvent is one parsed frame of an event stream.
+type sseEvent struct {
+	Type string
+	Data string
+}
+
+// readSSE consumes an event stream to EOF (the server closes it after
+// the terminal event).
+func readSSE(t *testing.T, ts *httptest.Server, id string) []sseEvent {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET events = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("events Content-Type = %q", ct)
+	}
+	var events []sseEvent
+	var cur sseEvent
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			cur.Type = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			cur.Data = strings.TrimPrefix(line, "data: ")
+		case line == "":
+			if cur.Type != "" {
+				events = append(events, cur)
+			}
+			cur = sseEvent{}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return events
+}
+
+// TestSubmitTab1AndStreamEvents is the registry end-to-end path:
+// submit tab1 by name, stream SSE to completion, check the report, then
+// re-submit and require a byte-identical result.
+func TestSubmitTab1AndStreamEvents(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{})
+
+	id := submit(t, ts, []byte(`{"name":"tab1"}`))
+	events := readSSE(t, ts, id)
+	if len(events) < 2 {
+		t.Fatalf("event stream %v, want at least queued+terminal", events)
+	}
+	if events[0].Type != "queued" {
+		t.Errorf("first event %q, want queued", events[0].Type)
+	}
+	if last := events[len(events)-1].Type; last != "done" {
+		t.Fatalf("last event %q, want done", last)
+	}
+
+	st := getStatus(t, ts, id)
+	if st.State != server.StateDone || st.Name != "tab1" {
+		t.Fatalf("status = %+v, want done tab1", st)
+	}
+	var res server.JobResult
+	if err := json.Unmarshal(st.Result, &res); err != nil {
+		t.Fatal(err)
+	}
+	// tab1 is the analytic tuning decision table; its report is the
+	// same text "stcc table" prints.
+	if !strings.Contains(res.Report, "throttling") {
+		t.Errorf("tab1 report %q does not look like the decision table", res.Report)
+	}
+
+	id2 := submit(t, ts, []byte(`{"name":"tab1"}`))
+	if id2 == id {
+		t.Fatalf("second submission reused job id %s", id)
+	}
+	st2 := waitTerminal(t, ts, id2)
+	if !bytes.Equal(st.Result, st2.Result) {
+		t.Errorf("re-submission result differs:\n first %s\nsecond %s", st.Result, st2.Result)
+	}
+}
+
+// TestSpecResubmissionServedFromCache is the acceptance-criterion path:
+// the same spec submitted twice yields bit-identical result JSON, with
+// every point of the second job served from the result cache.
+func TestSpecResubmissionServedFromCache(t *testing.T) {
+	cache, err := resultcache.New(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, server.Config{Cache: cache})
+	body := tinySpecJSON(t)
+
+	first := waitTerminal(t, ts, submit(t, ts, body))
+	if first.State != server.StateDone {
+		t.Fatalf("first job = %+v", first)
+	}
+	if first.CacheHit || first.CacheHits != 0 {
+		t.Fatalf("first job reported cache hits: %+v", first)
+	}
+	if first.Points != 2 || first.PointsDone != 2 {
+		t.Fatalf("first job points = %d/%d, want 2/2", first.PointsDone, first.Points)
+	}
+
+	second := waitTerminal(t, ts, submit(t, ts, body))
+	if second.State != server.StateDone {
+		t.Fatalf("second job = %+v", second)
+	}
+	if !second.CacheHit {
+		t.Errorf("second job cacheHit = false, want true: %+v", second)
+	}
+	if second.CacheHits != 2 {
+		t.Errorf("second job cache_hits = %d, want 2", second.CacheHits)
+	}
+	if !bytes.Equal(first.Result, second.Result) {
+		t.Errorf("cached result JSON differs from fresh run:\n first %s\nsecond %s",
+			first.Result, second.Result)
+	}
+	if first.Fingerprint == "" || first.Fingerprint != second.Fingerprint {
+		t.Errorf("spec fingerprints %q vs %q, want equal and non-empty",
+			first.Fingerprint, second.Fingerprint)
+	}
+
+	// The SSE trace of the cached job marks every point a cache hit.
+	for _, ev := range readSSE(t, ts, second.ID) {
+		if ev.Type != "point" {
+			continue
+		}
+		if !strings.Contains(ev.Data, `"cacheHit":true`) {
+			t.Errorf("cached job point event %s, want cacheHit", ev.Data)
+		}
+	}
+}
+
+// TestCancelRunningJob cancels a long simulation mid-flight and checks
+// it unwinds promptly into the canceled state.
+func TestCancelRunningJob(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{})
+
+	slow := tinyConfig(1)
+	slow.MeasureCycles = 200_000_000 // minutes if left alone
+	body, err := json.Marshal(slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := submit(t, ts, body)
+
+	deadline := time.Now().Add(30 * time.Second)
+	for getStatus(t, ts, id).State == server.StateQueued {
+		if time.Now().After(deadline) {
+			t.Fatal("job never started")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	req, _ := http.NewRequest("DELETE", ts.URL+"/v1/jobs/"+id, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	st := waitTerminal(t, ts, id)
+	if st.State != server.StateCanceled {
+		t.Fatalf("state after cancel = %q, want %q", st.State, server.StateCanceled)
+	}
+	if len(st.Result) != 0 {
+		t.Errorf("canceled job has a result: %s", st.Result)
+	}
+}
+
+// TestConcurrentIdenticalJobsShareWork submits the same config to two
+// jobs with no result cache: singleflight should let one simulate and
+// the other adopt, with the shared point visible in the counters.
+func TestConcurrentIdenticalJobsShareWork(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{JobWorkers: 2})
+
+	cfg := tinyConfig(9)
+	cfg.MeasureCycles = 400_000 // long enough for the jobs to overlap
+	body, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id1 := submit(t, ts, body)
+	id2 := submit(t, ts, body)
+	st1 := waitTerminal(t, ts, id1)
+	st2 := waitTerminal(t, ts, id2)
+	if st1.State != server.StateDone || st2.State != server.StateDone {
+		t.Fatalf("states = %q, %q, want done", st1.State, st2.State)
+	}
+	if !bytes.Equal(st1.Result, st2.Result) {
+		t.Errorf("identical submissions returned different results:\n%s\n%s", st1.Result, st2.Result)
+	}
+	// Overlap is likely but not guaranteed (the first job can finish
+	// before the second dequeues); when it happens, exactly one job
+	// reports its point shared.
+	if shared := st1.SharedPoints + st2.SharedPoints; shared > 1 {
+		t.Errorf("shared points = %d, want at most 1", shared)
+	} else {
+		t.Logf("shared points: %d (0 means the jobs did not overlap)", shared)
+	}
+}
+
+// TestJobsListOrdered submits several jobs and checks /v1/jobs returns
+// them in submission order.
+func TestJobsListOrdered(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{JobWorkers: -1, QueueDepth: 8})
+	var want []string
+	for i := 0; i < 3; i++ {
+		want = append(want, submit(t, ts, []byte(`{"name":"tab1"}`)))
+	}
+	resp, err := http.Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var list struct {
+		Jobs []server.JobStatus `json:"jobs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Jobs) != len(want) {
+		t.Fatalf("listed %d jobs, want %d", len(list.Jobs), len(want))
+	}
+	for i, st := range list.Jobs {
+		if st.ID != want[i] {
+			t.Errorf("jobs[%d] = %s, want %s", i, st.ID, want[i])
+		}
+	}
+}
+
+// TestMetricsCounters checks the counter roll-up after a mixed workload.
+func TestMetricsCounters(t *testing.T) {
+	cache, err := resultcache.New(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, server.Config{Cache: cache})
+	body := tinySpecJSON(t)
+	waitTerminal(t, ts, submit(t, ts, body))
+	waitTerminal(t, ts, submit(t, ts, body))
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m server.Metrics
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if m.JobsSubmitted != 2 || m.JobsDone != 2 || m.JobsRunning != 0 {
+		t.Errorf("job counters = %+v, want 2 submitted, 2 done, 0 running", m)
+	}
+	if m.Points != 4 || m.Simulated != 2 || m.CacheHits != 2 {
+		t.Errorf("point counters = %+v, want 4 points = 2 simulated + 2 cache hits", m)
+	}
+	if m.UptimeSeconds <= 0 || m.PointsPerSec <= 0 {
+		t.Errorf("rates = %+v, want positive uptime and points/sec", m)
+	}
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -251,20 +252,42 @@ func (e *Engine) onDelivered(p *packet.Packet) {
 // Run executes the full simulation and returns its results. It can only
 // be called once per engine.
 func (e *Engine) Run() (Result, error) {
-	return e.RunWithProgress(0, nil)
+	return e.RunContext(context.Background(), 0, nil)
 }
 
 // RunWithProgress is Run with a progress callback invoked after every
 // `every` simulated cycles (fn may inspect the fabric via Fabric).
 // A zero interval or nil fn disables the callback.
 func (e *Engine) RunWithProgress(every int64, fn func(now int64)) (Result, error) {
+	return e.RunContext(context.Background(), every, fn)
+}
+
+// cancelCheckMask gates how often RunContext polls for cancellation:
+// every 1024 simulated cycles, so the check never shows up in the hot
+// path but a canceled run still stops within microseconds of wall time.
+const cancelCheckMask = 1024 - 1
+
+// RunContext is RunWithProgress under a context: when ctx is canceled
+// the run stops between cycles and returns ctx's error instead of a
+// Result. Cancellation never perturbs completed runs — a run that
+// finishes before the cancellation is observed returns its normal,
+// deterministic Result.
+func (e *Engine) RunContext(ctx context.Context, every int64, fn func(now int64)) (Result, error) {
 	if every < 0 {
 		return Result{}, fmt.Errorf("sim: negative progress interval %d", every)
 	}
 	if e.fab.Now() != 0 {
 		return Result{}, fmt.Errorf("sim: engine already run")
 	}
+	done := ctx.Done() // nil for context.Background(): no per-cycle cost
 	for now := int64(0); now < e.total; now++ {
+		if done != nil && now&cancelCheckMask == 0 {
+			select {
+			case <-done:
+				return Result{}, ctx.Err()
+			default:
+			}
+		}
 		e.step(now)
 		if fn != nil && every > 0 && (now+1)%every == 0 {
 			fn(now + 1)

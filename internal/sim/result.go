@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -101,6 +102,16 @@ func Run(cfg Config) (Result, error) {
 		return Result{}, err
 	}
 	return e.Run()
+}
+
+// RunContext is Run under a context: a canceled ctx stops the
+// simulation between cycles and returns ctx's error.
+func RunContext(ctx context.Context, cfg Config) (Result, error) {
+	e, err := New(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return e.RunContext(ctx, 0, nil)
 }
 
 func (r Result) String() string {

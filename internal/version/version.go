@@ -1,0 +1,74 @@
+// Package version reports a binary's provenance from the build
+// information the Go toolchain embeds: module path and version, VCS
+// revision and commit time, and the Go version that compiled it. It
+// backs "stcc version" and the stcc-serve GET /v1/version endpoint, so
+// deployed daemons and archived result JSON can be traced to a commit.
+package version
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// Info is the serializable build provenance.
+type Info struct {
+	// Module is the main module path ("repro").
+	Module string `json:"module"`
+	// Version is the module version, or "(devel)" for a local build.
+	Version string `json:"version"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+	// Revision and CommitTime identify the VCS commit, when the binary
+	// was built inside a checkout ("go build" in the repo); empty under
+	// "go test" or out-of-tree builds.
+	Revision   string `json:"revision,omitempty"`
+	CommitTime string `json:"commit_time,omitempty"`
+	// Dirty reports uncommitted changes in the build's checkout.
+	Dirty bool `json:"dirty,omitempty"`
+}
+
+// Get reads the running binary's build information. It degrades
+// gracefully: fields the toolchain did not embed stay empty, and the
+// zero-information case still reports "(devel)".
+func Get() Info {
+	info := Info{Version: "(devel)"}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	info.Module = bi.Main.Path
+	if bi.Main.Version != "" {
+		info.Version = bi.Main.Version
+	}
+	info.GoVersion = bi.GoVersion
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			info.Revision = s.Value
+		case "vcs.time":
+			info.CommitTime = s.Value
+		case "vcs.modified":
+			info.Dirty = s.Value == "true"
+		}
+	}
+	return info
+}
+
+// String renders the one-line form "stcc version" prints.
+func (i Info) String() string {
+	s := fmt.Sprintf("%s %s (%s)", i.Module, i.Version, i.GoVersion)
+	if i.Revision != "" {
+		rev := i.Revision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		s += " commit " + rev
+		if i.Dirty {
+			s += " (dirty)"
+		}
+		if i.CommitTime != "" {
+			s += " " + i.CommitTime
+		}
+	}
+	return s
+}

@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Smoke test for stcc-serve: build it, boot it, hit the read-only
+# endpoints, run one tiny job end to end, and shut it down cleanly.
+# CI runs this after the unit tests; `make serve-smoke` runs it locally.
+set -euo pipefail
+
+ADDR="${STCC_SERVE_ADDR:-127.0.0.1:18642}"
+BASE="http://$ADDR"
+WORKDIR="$(mktemp -d)"
+trap 'kill "$SERVE_PID" 2>/dev/null || true; rm -rf "$WORKDIR"' EXIT
+
+go build -o "$WORKDIR/stcc-serve" ./cmd/stcc-serve
+
+"$WORKDIR/stcc-serve" -addr "$ADDR" -cache "$WORKDIR/cache" -drain 30s \
+    >"$WORKDIR/serve.log" 2>&1 &
+SERVE_PID=$!
+
+for i in $(seq 1 50); do
+    if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then break; fi
+    if ! kill -0 "$SERVE_PID" 2>/dev/null; then
+        echo "stcc-serve died during startup:"; cat "$WORKDIR/serve.log"; exit 1
+    fi
+    sleep 0.2
+done
+# Capture bodies before grepping: under pipefail, `curl | grep -q`
+# fails spuriously when grep exits at the first match and curl takes
+# EPIPE on the rest of the body.
+curl -fsS "$BASE/healthz" >"$WORKDIR/body"
+grep -q '"ok"' "$WORKDIR/body"
+echo "healthz: ok"
+
+curl -fsS "$BASE/v1/version" >"$WORKDIR/body"
+grep -q '"go_version"' "$WORKDIR/body"
+echo "version: ok"
+
+curl -fsS "$BASE/v1/registry" >"$WORKDIR/body"
+grep -q '"fig4"' "$WORKDIR/body"
+echo "registry: ok"
+
+# One tiny simulation (a 4-ary 2-cube, 500 cycles) as a bare config —
+# the same wire form "stcc run -spec" reads.
+CONFIG='{"version":1,"k":4,"n":2,"vcs":3,"buf_depth":8,"packet_length":16,"mode":"recovery","deadlock_timeout":160,"sideband_hop_delay":2,"sideband_mechanism":"sideband","selection":"rotate","switching":"wormhole","pattern":"random","rate":0.005,"scheme":{"kind":"base"},"warmup_cycles":100,"measure_cycles":400,"seed":1}'
+JOB=$(curl -fsS -d "$CONFIG" "$BASE/v1/jobs" | sed -n 's/.*"id": "\([^"]*\)".*/\1/p')
+if [ -z "$JOB" ]; then echo "job submission returned no id"; exit 1; fi
+echo "submitted: $JOB"
+
+STATE=""
+for i in $(seq 1 150); do
+    STATE=$(curl -fsS "$BASE/v1/jobs/$JOB" | sed -n 's/.*"state": "\([^"]*\)".*/\1/p')
+    case "$STATE" in done) break ;; failed|canceled) break ;; esac
+    sleep 0.2
+done
+if [ "$STATE" != "done" ]; then
+    echo "job ended in state '$STATE'"; curl -fsS "$BASE/v1/jobs/$JOB"; exit 1
+fi
+echo "job: done"
+
+curl -fsS "$BASE/metrics" >"$WORKDIR/body"
+grep -q '"jobs_done": 1' "$WORKDIR/body"
+echo "metrics: ok"
+
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
+echo "drained: ok"
+echo "serve smoke test passed"

@@ -29,6 +29,8 @@
 package stcc
 
 import (
+	"context"
+
 	"repro/internal/analysis"
 	"repro/internal/congestion"
 	"repro/internal/core"
@@ -178,6 +180,10 @@ func NewConfig() Config { return sim.NewConfig() }
 
 // Run executes one simulation.
 func Run(cfg Config) (Result, error) { return sim.Run(cfg) }
+
+// RunContext executes one simulation under a context: cancellation
+// stops the run between cycles and returns ctx's error.
+func RunContext(ctx context.Context, cfg Config) (Result, error) { return sim.RunContext(ctx, cfg) }
 
 // New builds an Engine for callers that need access to the fabric.
 func New(cfg Config) (*Engine, error) { return sim.New(cfg) }
