@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race bench bench-json lint fmt-check vet stcc-vet govulncheck fuzz-smoke spec-roundtrip experiments-doc serve serve-smoke
+.PHONY: all build test race bench bench-json determinism lint fmt-check vet stcc-vet govulncheck fuzz-smoke spec-roundtrip experiments-doc serve serve-smoke
 
 all: build lint test
 
@@ -23,9 +23,18 @@ bench:
 # Regenerate the checked-in benchmark-trajectory report. Uses real
 # benchtime (minutes, not a smoke run); see README.md ("Benchmark
 # trajectory") for how to read BENCH_*.json.
-BENCH_LABEL ?= PR3
+BENCH_LABEL ?= PR6
 bench-json:
 	$(GO) run ./cmd/stcc-bench -label $(BENCH_LABEL) -out BENCH_$(BENCH_LABEL).json
+
+# The determinism gate CI runs as its own job: golden fingerprints, the
+# serial-vs-sharded twin comparison, and the registry-wide worker sweep,
+# all under the race detector so the parallel stepper's barrier and
+# merge paths are checked for memory-model bugs, not just for byte-equal
+# results.
+determinism:
+	$(GO) test -race -run 'TestSharded|TestShardPartition|TestTracingForcesSerial' ./internal/router/
+	$(GO) test -race -run 'TestDeterminism|TestShardedSteppingAcrossRegistry' .
 
 # lint is the full static gate: formatting, the standard vet suite, the
 # determinism-contract suite, the experiment-spec round trip, and (when

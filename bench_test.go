@@ -320,6 +320,7 @@ func BenchmarkFabricStep(b *testing.B) {
 			})
 			rng := rand.New(rand.NewSource(1))
 			pool := packet.NewPool()
+			pool.Prefill(4096, 32) // cover peak in-flight so Get never allocates mid-run
 			fab.OnDelivered = pool.Put
 			var id packet.ID
 			inject := func() {

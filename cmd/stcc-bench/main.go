@@ -6,9 +6,13 @@
 //
 //	go run ./cmd/stcc-bench -label PR3 -out BENCH_PR3.json
 //
-// The shapes mirror BenchmarkFabricStep and BenchmarkEngineStep: the
-// bare router fabric and the full engine, each at idle, low load, and
-// saturation. Every engine is stepped to steady state before the timed
+// The 256-node shapes mirror BenchmarkFabricStep and BenchmarkEngineStep:
+// the bare router fabric and the full engine, each at idle, low load, and
+// saturation. The torus4096 shapes step a 16-ary 3-cube (4096 nodes)
+// through the same three regimes serially (w1) and with the deterministic
+// sharded stepper (wN) — the two are byte-identical in results, so the
+// pair isolates the parallel stepper's cost or benefit on this machine.
+// Every fabric and engine is stepped to steady state before the timed
 // region, so the numbers describe the recurring per-cycle cost — the
 // construction and ramp-up transients are excluded by design.
 package main
@@ -33,6 +37,12 @@ import (
 // statistics buffers) has settled.
 const warmupCycles = 8000
 
+// torusWarmupCycles is the big-topology warm-up. The 4096-node torus
+// costs roughly 16x a 256-node cycle, so the full warmupCycles would
+// dominate the run; 2000 cycles is past its occupancy ramp at every
+// measured rate.
+const torusWarmupCycles = 2000
+
 // Shape is one measured operating point.
 type Shape struct {
 	Name        string  `json:"name"`
@@ -47,6 +57,7 @@ type Report struct {
 	Label     string  `json:"label"`
 	GoVersion string  `json:"go_version"`
 	GOARCH    string  `json:"goarch"`
+	NumCPU    int     `json:"num_cpu"`
 	Shapes    []Shape `json:"shapes"`
 	// Baseline carries the prior trajectory point the shapes should be
 	// read against (the previous PR's checked-in numbers).
@@ -54,32 +65,71 @@ type Report struct {
 	Note     string  `json:"note,omitempty"`
 }
 
+// fabricShape describes one fabric operating point to measure.
+type fabricShape struct {
+	name    string
+	k, n    int
+	rate    float64
+	workers int
+	warmup  int
+	prefill int // packets stocked in the pool; covers peak in-flight
+}
+
 func main() {
 	label := flag.String("label", "dev", "trajectory label recorded in the report (e.g. PR3)")
 	out := flag.String("out", "", "output file (default stdout)")
 	flag.Parse()
 
+	// The sharded operating point: every available CPU. On a single-CPU
+	// machine the workers still run (goroutines multiplexed onto one
+	// thread), so measure w8 there to record the stepper's coordination
+	// overhead rather than skipping the path entirely.
+	shardedWorkers := runtime.NumCPU()
+	if shardedWorkers < 2 {
+		shardedWorkers = 8
+	}
+
 	report := Report{
 		Label:     *label,
 		GoVersion: runtime.Version(),
 		GOARCH:    runtime.GOARCH,
-		Baseline:  seedBaseline(),
-		Note: "steady-state per-cycle cost; warmup excluded. Baseline is the " +
-			"pre-pooling seed engine (commit 383a7bf), measured with its " +
-			"Run-included-warmup benchmarks, so baseline allocs/op include " +
-			"per-packet allocation the pooled engine no longer performs.",
+		NumCPU:    runtime.NumCPU(),
+		Baseline:  pr3Baseline(),
+		Note: "steady-state per-cycle cost; warmup excluded. Baseline is " +
+			"BENCH_PR3.json (pre-SoA router, serial stepping only), which " +
+			"still carried a 25 B/op drain-bookkeeping leak on " +
+			"fabric/saturated. torus4096 shapes are new in PR6; wN uses " +
+			"every available CPU (w8 on a single-CPU machine, where it " +
+			"measures pure coordination overhead).",
 	}
 
-	for _, tc := range []struct {
-		name string
-		rate float64
-	}{
-		{"fabric/idle", 0},
-		{"fabric/low", 0.002},
-		{"fabric/saturated", 0.2},
-	} {
-		report.Shapes = append(report.Shapes, measureFabric(tc.name, tc.rate))
-		fmt.Fprintf(os.Stderr, "%-18s done\n", tc.name)
+	shapes := []fabricShape{
+		{"fabric/idle", 16, 2, 0, 0, warmupCycles, 4096},
+		{"fabric/low", 16, 2, 0.002, 0, warmupCycles, 4096},
+		{"fabric/saturated", 16, 2, 0.2, 0, warmupCycles, 4096},
+	}
+	for _, w := range []int{1, shardedWorkers} {
+		for _, tc := range []struct {
+			name string
+			rate float64
+		}{
+			{"idle", 0},
+			{"low", 0.002},
+			{"saturated", 0.2},
+		} {
+			shapes = append(shapes, fabricShape{
+				name: fmt.Sprintf("fabric/torus4096/%s/w%d", tc.name, w),
+				k:    16, n: 3,
+				rate:    tc.rate,
+				workers: w,
+				warmup:  torusWarmupCycles,
+				prefill: 65536,
+			})
+		}
+	}
+	for _, s := range shapes {
+		report.Shapes = append(report.Shapes, measureFabric(s))
+		fmt.Fprintf(os.Stderr, "%-30s done\n", s.name)
 	}
 	for _, tc := range []struct {
 		name string
@@ -90,7 +140,7 @@ func main() {
 		{"engine/saturated", 0.06},
 	} {
 		report.Shapes = append(report.Shapes, measureEngine(tc.name, tc.rate))
-		fmt.Fprintf(os.Stderr, "%-18s done\n", tc.name)
+		fmt.Fprintf(os.Stderr, "%-30s done\n", tc.name)
 	}
 
 	w := os.Stdout
@@ -121,23 +171,29 @@ func toShape(name string, r testing.BenchmarkResult) Shape {
 	}
 }
 
-// measureFabric times one network cycle of the paper's 256-node fabric
-// with pool-fed injection at the given per-node rate.
-func measureFabric(name string, rate float64) Shape {
-	topo := topology.MustNew(16, 2)
+// measureFabric times one network cycle of a k-ary n-cube fabric with
+// pool-fed injection at the given per-node rate, stepping serially when
+// s.workers <= 1 and through the deterministic sharded stepper
+// otherwise. The pool is prefilled past the shape's peak in-flight
+// population so B/op reflects the fabric, not pool growth.
+func measureFabric(s fabricShape) Shape {
+	topo := topology.MustNew(s.k, s.n)
 	fab := router.MustNew(router.Config{
 		Topo: topo, VCs: 3, BufDepth: 8, Mode: router.Recovery, DeadlockTimeout: 160,
+		Workers: s.workers,
 	})
+	defer fab.Close()
 	rng := rand.New(rand.NewSource(1))
 	pool := packet.NewPool()
+	pool.Prefill(s.prefill, 8*s.n*s.k) // trail capacity covers worst-case hops
 	fab.OnDelivered = pool.Put
 	var id packet.ID
 	inject := func() {
-		if rate == 0 {
+		if s.rate == 0 {
 			return
 		}
 		for n := 0; n < topo.Nodes(); n++ {
-			if rng.Float64() < rate && fab.CanStartInjection(topology.NodeID(n)) {
+			if rng.Float64() < s.rate && fab.CanStartInjection(topology.NodeID(n)) {
 				dst := topology.NodeID(rng.Intn(topo.Nodes()))
 				if dst == topology.NodeID(n) {
 					continue
@@ -147,11 +203,11 @@ func measureFabric(name string, rate float64) Shape {
 			}
 		}
 	}
-	for i := 0; i < warmupCycles; i++ {
+	for i := 0; i < s.warmup; i++ {
 		inject()
 		fab.Step()
 	}
-	return toShape(name, testing.Benchmark(func(b *testing.B) {
+	return toShape(s.name, testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			inject()
@@ -184,18 +240,17 @@ func measureEngine(name string, rate float64) Shape {
 	}))
 }
 
-// seedBaseline is the trajectory's origin: the seed engine (pre-pooling,
-// pre-arena, slice-based source queues) measured on the same shapes by
-// the PR2-era benchmarks. Engine shapes were then named idle/moderate/
-// saturated and timed Run including its ramp; fabric shapes injected
-// with packet.New and no recycling.
-func seedBaseline() []Shape {
+// pr3Baseline is the previous trajectory point: the checked-in
+// BENCH_PR3.json shape numbers (zero-allocation hot path, pre-SoA
+// array-of-structs router, serial stepping only). The seed-era origin
+// lives on in BENCH_PR3.json's own baseline block.
+func pr3Baseline() []Shape {
 	return []Shape{
-		{Name: "fabric/idle", NsPerOp: 686.6, BytesPerOp: 0, AllocsPerOp: 0},
-		{Name: "fabric/low", NsPerOp: 15830, BytesPerOp: 247, AllocsPerOp: 2},
-		{Name: "fabric/saturated", NsPerOp: 149515, BytesPerOp: 796, AllocsPerOp: 8},
-		{Name: "engine/idle", NsPerOp: 4193, BytesPerOp: 18, AllocsPerOp: 0},
-		{Name: "engine/low", NsPerOp: 234150, BytesPerOp: 3601, AllocsPerOp: 34},
-		{Name: "engine/saturated", NsPerOp: 254837, BytesPerOp: 4924, AllocsPerOp: 42},
+		{Name: "fabric/idle", NsPerOp: 12.34, BytesPerOp: 0, AllocsPerOp: 0},
+		{Name: "fabric/low", NsPerOp: 14194.6, BytesPerOp: 0, AllocsPerOp: 0},
+		{Name: "fabric/saturated", NsPerOp: 114628.1, BytesPerOp: 25, AllocsPerOp: 0},
+		{Name: "engine/idle", NsPerOp: 3161.9, BytesPerOp: 3, AllocsPerOp: 0},
+		{Name: "engine/low", NsPerOp: 145722.1, BytesPerOp: 433, AllocsPerOp: 0},
+		{Name: "engine/saturated", NsPerOp: 200795.5, BytesPerOp: 753, AllocsPerOp: 0},
 	}
 }

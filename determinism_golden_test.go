@@ -157,6 +157,85 @@ func TestDeterminismAcrossWorkerCounts(t *testing.T) {
 	}
 }
 
+// TestShardedSteppingAcrossRegistry sweeps every registered experiment
+// at a tiny scale and requires ShardWorkers=8 to reproduce the serial
+// fingerprint bit for bit on each distinct configuration. The registry
+// configs are 256-node networks (four 64-node shards at 8 workers; the
+// 64-node golden grid above collapses to a single shard and steps
+// serially), so this is the determinism gate for the parallel rounds:
+// every scheme kind, deadlock mode, traffic pattern and switching
+// discipline the paper's evaluation uses goes through the sharded
+// barrier/merge path and must be indistinguishable from serial.
+// It also pins the knob's fingerprint neutrality: two configs differing
+// only in ShardWorkers content-address identically.
+func TestShardedSteppingAcrossRegistry(t *testing.T) {
+	tiny := experiments.Scale{Warmup: 200, Measure: 1000, BurstLow: 300, BurstHigh: 450}
+	seen := map[string]bool{}
+	var configs []sim.Config
+	var labels []string
+	for _, name := range experiments.Names() {
+		e, ok := experiments.Lookup(name)
+		if !ok {
+			t.Fatalf("registry names %q but Lookup misses it", name)
+		}
+		for _, g := range e.Spec(tiny).Groups {
+			if len(g.Points) == 0 {
+				continue
+			}
+			// One point per group bounds runtime while covering every
+			// curve's scheme/mode/pattern combination.
+			pt := g.Points[0]
+			fp, err := pt.Config.Fingerprint()
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, g.Name, err)
+			}
+			if seen[fp] {
+				continue
+			}
+			seen[fp] = true
+			configs = append(configs, pt.Config)
+			labels = append(labels, name+"/"+g.Name)
+		}
+	}
+	if len(configs) < 8 {
+		t.Fatalf("registry sweep found only %d distinct configs; expected the full catalog", len(configs))
+	}
+	for i, cfg := range configs {
+		i, cfg := i, cfg
+		t.Run(labels[i], func(t *testing.T) {
+			t.Parallel()
+			serCfg := cfg
+			serCfg.ShardWorkers = 1
+			shCfg := cfg
+			shCfg.ShardWorkers = 8
+			serFP, err := serCfg.Fingerprint()
+			if err != nil {
+				t.Fatal(err)
+			}
+			shFP, err := shCfg.Fingerprint()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if serFP != shFP {
+				t.Fatalf("config fingerprint depends on ShardWorkers: %s vs %s", serFP, shFP)
+			}
+			serial, err := sim.Run(serCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sharded, err := sim.Run(shCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a, b := resultFingerprint(serial), resultFingerprint(sharded); a != b {
+				t.Errorf("ShardWorkers=1 fingerprint %s != ShardWorkers=8 fingerprint %s (delivered %d vs %d, recoveries %d vs %d)",
+					a, b, serial.PacketsDelivered, sharded.PacketsDelivered,
+					serial.Recoveries, sharded.Recoveries)
+			}
+		})
+	}
+}
+
 // TestDeterminismThroughResultCache runs the golden grid twice through a
 // cache-attached runner. The first pass populates the content-addressed
 // cache; the second is served entirely from it. Both must reproduce the

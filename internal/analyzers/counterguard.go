@@ -9,41 +9,53 @@ import (
 	"repro/internal/analyzers/framework"
 )
 
-// CounterGuard protects the incremental active-set counters introduced
-// by the fabric hot-path optimization. The counters are denormalized
-// state: they must move in lockstep with the buffer, latch, and
-// output-VC transitions they summarize, and the only code trusted to
-// keep that lockstep is the accessor layer in buffer.go (push/pop,
-// setBinding/clearBinding, latch.set/clear, outVC.acquire/release).
-// Any direct mutation elsewhere — including taking a counter's address —
-// is flagged. CheckInvariants recounts them from scratch, which is why
-// it reads the fields but never writes them.
+// CounterGuard protects the router's denormalized hot state: the
+// structure-of-arrays occupancy and lane-mask arrays, the node-level
+// active bitsets, and the incremental active-set counters the stages
+// consult to skip idle routers. All of it summarizes buffer, latch and
+// output-VC state that lives elsewhere, so it is consistent only if
+// every transition updates it exactly once — the discipline lives in
+// the accessor layer in buffer.go (push/pop, setBinding/clearBinding,
+// latch.set/clear, srcSlot.setPacket/clearPacket, outVC.acquire/
+// release, and the arena construction). Any direct mutation elsewhere —
+// a field write, a slice-element write, or taking an element's
+// address — is flagged. Reads are free: the stages and the invariant
+// checker iterate the arrays constantly. CheckInvariants recounts into
+// plain locals and compares whole structs, which never touches a
+// guarded selector.
 var CounterGuard = &framework.Analyzer{
 	Name: "counterguard",
-	Doc: `restrict active-set counter mutation to the buffer.go accessors
+	Doc: `restrict active-set counter and SoA hot-state mutation to the buffer.go accessors
 
-The incremental counters (fullBuffers, latched, ownedOuts, occupiedIns,
-pendingIns) let the per-cycle stages skip idle routers. They are
-consistent only if every state transition updates them exactly once;
-that discipline lives in buffer.go, and this analyzer rejects writes
-from any other file.`,
+The incremental netCounters sums (fullBuffers, latched, ownedOuts,
+occupiedIns, pendingIns, srcActive), the per-lane occupancy array (occ),
+the per-node lane masks (occMask, boundMask, headMask, latchMask,
+ownedMask) and the active bitsets (actWords) are denormalized views of
+router state. They stay consistent only if every state transition
+updates them exactly once; that discipline lives in buffer.go, and this
+analyzer rejects writes from any other file.`,
 	Run: runCounterGuard,
 }
 
-// guardedCounters are the field names the analyzer protects: the
-// per-node active-set counters and their network-wide sums (the net*
-// fields the stages consult to skip a whole node scan in O(1)).
+// guardedCounters are the field names the analyzer protects.
 var guardedCounters = map[string]bool{
-	"fullBuffers":    true,
-	"latched":        true,
-	"ownedOuts":      true,
-	"occupiedIns":    true,
-	"pendingIns":     true,
-	"netLatched":     true,
-	"netOwnedOuts":   true,
-	"netOccupiedIns": true,
-	"netPendingIns":  true,
-	"netSrcActive":   true,
+	// netCounters fields: the network-wide sums and the per-shard deltas
+	// folded into them.
+	"fullBuffers": true,
+	"latched":     true,
+	"ownedOuts":   true,
+	"occupiedIns": true,
+	"pendingIns":  true,
+	"srcActive":   true,
+	// Structure-of-arrays hot state: per-lane occupancy, per-node lane
+	// masks, node-level active bitsets.
+	"occ":       true,
+	"occMask":   true,
+	"boundMask": true,
+	"headMask":  true,
+	"latchMask": true,
+	"ownedMask": true,
+	"actWords":  true,
 }
 
 // counterAccessorFile is the only file allowed to mutate the guarded
@@ -88,9 +100,19 @@ func runCounterGuard(pass *framework.Pass) error {
 }
 
 // guardedField reports whether expr selects one of the guarded counter
-// fields on a struct defined in the package under analysis.
+// fields on a struct defined in the package under analysis, directly or
+// through indexing (f.occ[gid] = ... mutates the guarded array just as
+// much as f.net.latched++ mutates the counter).
 func guardedField(pass *framework.Pass, expr ast.Expr) (string, bool) {
-	sel, ok := ast.Unparen(expr).(*ast.SelectorExpr)
+	e := ast.Unparen(expr)
+	for {
+		ix, ok := e.(*ast.IndexExpr)
+		if !ok {
+			break
+		}
+		e = ast.Unparen(ix.X)
+	}
+	sel, ok := e.(*ast.SelectorExpr)
 	if !ok || !guardedCounters[sel.Sel.Name] {
 		return "", false
 	}

@@ -1,47 +1,101 @@
 // Package a is the counterguard fixture. This file plays the role of
 // internal/router/buffer.go: the accessor layer that is allowed to
-// mutate the active-set counters.
+// mutate the active-set counters and the structure-of-arrays hot state.
 package a
 
-// Fabric mirrors the router fabric's counter-bearing structs.
-type Fabric struct {
-	nodes       []*node
+// netCounters mirrors the router's network-wide active-set sums (and
+// the per-shard deltas folded into them).
+type netCounters struct {
 	fullBuffers int
-}
-
-type node struct {
 	latched     int
 	ownedOuts   int
 	occupiedIns int
 	pendingIns  int
+	srcActive   int
+}
+
+func (nc *netCounters) add(d *netCounters) {
+	nc.fullBuffers += d.fullBuffers
+	nc.latched += d.latched
+	nc.ownedOuts += d.ownedOuts
+	nc.occupiedIns += d.occupiedIns
+	nc.pendingIns += d.pendingIns
+	nc.srcActive += d.srcActive
+}
+
+// activeWords mirrors the node-level active bitsets.
+type activeWords struct {
+	actWords []uint64
+}
+
+func (a *activeWords) set(i int32)      { a.actWords[i>>6] |= 1 << uint(i&63) }
+func (a *activeWords) clearBit(i int32) { a.actWords[i>>6] &^= 1 << uint(i&63) }
+
+// Fabric mirrors the router fabric's counter-bearing struct: the SoA
+// occupancy array, the per-node lane masks, a bitset, and the sums.
+type Fabric struct {
+	occ       []int32
+	occMask   []uint64
+	boundMask []uint64
+	headMask  []uint64
+	latchMask []uint64
+	ownedMask []uint64
+	actOcc    activeWords
+	net       netCounters
 }
 
 type vcBuffer struct {
 	fab  *Fabric
-	node int
-	n    int
+	node int32
+	gid  int32
+	lane uint8
 }
 
-// push is an accessor: counter writes here are legal.
-func (b *vcBuffer) push() {
-	b.n++
-	if b.n == 1 {
-		nd := b.fab.nodes[b.node]
-		nd.occupiedIns++
-		nd.pendingIns++
+// initSoA constructs the guarded arrays: legal here.
+func (f *Fabric) initSoA(nodes, lanes int) {
+	f.occ = make([]int32, nodes*lanes)
+	f.occMask = make([]uint64, nodes)
+	f.boundMask = make([]uint64, nodes)
+	f.headMask = make([]uint64, nodes)
+	f.latchMask = make([]uint64, nodes)
+	f.ownedMask = make([]uint64, nodes)
+	f.actOcc.actWords = make([]uint64, (nodes+63)>>6)
+}
+
+// push is an accessor: counter, array and mask writes here are legal.
+func (b *vcBuffer) push(nc *netCounters) {
+	fab := b.fab
+	n := fab.occ[b.gid]
+	fab.occ[b.gid] = n + 1
+	if n == 0 {
+		fab.occMask[b.node] |= 1 << b.lane
+		fab.actOcc.set(b.node)
+		nc.occupiedIns++
+		nc.pendingIns++
 	}
-	b.fab.fullBuffers++
+	nc.fullBuffers++
 }
 
 // pop is an accessor: counter writes here are legal.
-func (b *vcBuffer) pop() {
-	b.fab.fullBuffers--
-	b.n--
-	if b.n == 0 {
-		b.fab.nodes[b.node].occupiedIns--
+func (b *vcBuffer) pop(nc *netCounters) {
+	fab := b.fab
+	nc.fullBuffers--
+	fab.occ[b.gid]--
+	if fab.occ[b.gid] == 0 {
+		fab.occMask[b.node] &^= 1 << b.lane
+		if fab.occMask[b.node] == 0 {
+			fab.actOcc.clearBit(b.node)
+		}
+		nc.occupiedIns--
 	}
 }
 
-func (f *Fabric) acquire(nd *node) { nd.ownedOuts++ }
-func (f *Fabric) release(nd *node) { nd.ownedOuts-- }
-func (f *Fabric) latch(nd *node)   { nd.latched += 1 }
+func (f *Fabric) acquire(ni int32, nc *netCounters) {
+	f.ownedMask[ni] |= 1
+	nc.ownedOuts++
+}
+
+func (f *Fabric) latch(ni int32, nc *netCounters) {
+	f.latchMask[ni] |= 1
+	nc.latched += 1
+}

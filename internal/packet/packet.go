@@ -7,6 +7,7 @@ package packet
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/topology"
 )
@@ -218,6 +219,12 @@ func (p *Packet) TotalLatency() int64 {
 
 // Progress marks that the packet advanced at cycle now.
 func (p *Packet) Progress(now int64) { p.LastProgress = now }
+
+// ProgressAtomic is Progress for concurrent stage workers: several flits
+// of one worm can advance at different routers within the same parallel
+// round, so the store must be atomic. Every writer stores the same cycle
+// value, which keeps the result identical to serial stepping.
+func (p *Packet) ProgressAtomic(now int64) { atomic.StoreInt64(&p.LastProgress, now) }
 
 // BlockedFor returns how many cycles the packet has gone without progress
 // as of cycle now.

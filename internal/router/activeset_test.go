@@ -28,14 +28,25 @@ func TestActiveSetCountersUnderLoad(t *testing.T) {
 				}
 			}
 
-			// Idle network: every counter must be zero.
+			// Idle network: every counter, mask and bitset must be zero.
 			for i := 0; i < 20; i++ {
 				f.Step()
 			}
-			for _, nd := range f.nodes {
-				if nd.latched != 0 || nd.ownedOuts != 0 || nd.occupiedIns != 0 || nd.pendingIns != 0 {
-					t.Fatalf("idle node %d has nonzero counters: %d %d %d %d",
-						nd.id, nd.latched, nd.ownedOuts, nd.occupiedIns, nd.pendingIns)
+			if f.net != (netCounters{}) {
+				t.Fatalf("idle network has nonzero active-set counters: %+v", f.net)
+			}
+			for ni := range f.nodes {
+				if f.occMask[ni] != 0 || f.boundMask[ni] != 0 || f.headMask[ni] != 0 ||
+					f.latchMask[ni] != 0 || f.ownedMask[ni] != 0 {
+					t.Fatalf("idle node %d has nonzero lane masks: %x %x %x %x %x", ni,
+						f.occMask[ni], f.boundMask[ni], f.headMask[ni], f.latchMask[ni], f.ownedMask[ni])
+				}
+			}
+			for _, a := range []*activeWords{&f.actOccupied, &f.actPending, &f.actLatched, &f.actOwned, &f.actSrc} {
+				for wi, w := range a.actWords {
+					if w != 0 {
+						t.Fatalf("idle network has nonzero active bitset word %d: %x", wi, w)
+					}
 				}
 			}
 

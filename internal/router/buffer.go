@@ -15,6 +15,68 @@ import (
 	"repro/internal/topology"
 )
 
+// This file is the only place the fabric's structure-of-arrays hot state
+// may be written: the per-lane occupancy array (occ), the per-node lane
+// masks (occMask, boundMask, headMask, latchMask, ownedMask), the
+// node-level active bitsets (actWords), and the netCounters sums. The
+// counterguard analyzer enforces the restriction; every transition goes
+// through the accessors below so the masks, the bitsets and the counters
+// can never drift apart, in serial or in sharded stepping.
+
+// netCounters are the network-wide active-set sums the per-cycle stages
+// consult to skip whole sweeps in O(1). In serial stepping the accessors
+// write the fabric's own instance; in sharded stepping each shard passes
+// its private delta instance and the coordinator folds the deltas into
+// the fabric's between barriers, so workers never contend on them.
+type netCounters struct {
+	fullBuffers int // completely full countable VC buffers
+	latched     int // output latches holding a flit
+	ownedOuts   int // output VCs owned by a packet
+	occupiedIns int // non-empty input VCs
+	pendingIns  int // input VCs whose front is an unrouted header
+	srcActive   int // nodes with a packet streaming into injection
+}
+
+// add folds a shard's delta into the fabric-wide sums.
+func (nc *netCounters) add(d *netCounters) {
+	nc.fullBuffers += d.fullBuffers
+	nc.latched += d.latched
+	nc.ownedOuts += d.ownedOuts
+	nc.occupiedIns += d.occupiedIns
+	nc.pendingIns += d.pendingIns
+	nc.srcActive += d.srcActive
+}
+
+// initSoA allocates the structure-of-arrays hot state for a fabric of
+// the given size. Called once from New; it lives in this file so that
+// every write to the guarded arrays — including their construction —
+// stays behind the accessor boundary.
+func (f *Fabric) initSoA(nodes int) {
+	f.occ = make([]int32, nodes*f.lanesIn)
+	f.occMask = make([]uint64, nodes)
+	f.boundMask = make([]uint64, nodes)
+	f.headMask = make([]uint64, nodes)
+	f.latchMask = make([]uint64, nodes)
+	f.ownedMask = make([]uint64, nodes)
+	f.actOccupied.init(nodes)
+	f.actPending.init(nodes)
+	f.actLatched.init(nodes)
+	f.actOwned.init(nodes)
+	f.actSrc.init(nodes)
+}
+
+// activeWords is a bitset with one bit per node ("active words"): the
+// per-cycle stages iterate set bits with trailing-zero scans instead of
+// walking every router. Shard partitions are aligned to 64-node
+// boundaries, so two shards never write the same word.
+type activeWords struct {
+	actWords []uint64
+}
+
+func (a *activeWords) init(nodes int)   { a.actWords = make([]uint64, (nodes+63)>>6) }
+func (a *activeWords) set(i int32)      { a.actWords[i>>6] |= 1 << uint(i&63) }
+func (a *activeWords) clearBit(i int32) { a.actWords[i>>6] &^= 1 << uint(i&63) }
+
 // flit is one flow-control unit: the idx-th flit of pkt. arrived is the
 // cycle the flit entered its current buffer; the routing arbiter uses it
 // to give headers the paper's one-cycle routing delay.
@@ -33,16 +95,20 @@ func (f flit) isTail() bool { return f.idx == f.pkt.Length-1 }
 // its front has been allocated). Buffers live in a per-fabric arena and
 // their flit rings are windows into a shared backing slice (see New);
 // a buffer's identity is its arena address, which is stable for the
-// fabric's lifetime.
+// fabric's lifetime. The occupancy count itself lives in the fabric's
+// contiguous occ array (indexed by gid), so a remote credit check reads
+// one hot array element instead of pulling in the whole buffer struct.
 type vcBuffer struct {
 	fab  *Fabric
 	node topology.NodeID
 	port int // input port (physical, or the injection port)
 	vc   int
 
+	gid  int32 // global input-lane index (node*lanesIn + lane) into fab.occ
+	lane uint8 // node-local input-lane index: bit position in the lane masks
+
 	buf  []flit // ring window into the fabric's flit arena, fixed capacity
 	head int
-	n    int
 
 	// countable buffers contribute to the global full-buffer metric
 	// (physical-channel VCs only, matching the paper's 3072 count).
@@ -56,50 +122,58 @@ type vcBuffer struct {
 	outVC    int
 }
 
-func (b *vcBuffer) len() int   { return b.n }
+func (b *vcBuffer) len() int   { return int(b.fab.occ[b.gid]) }
 func (b *vcBuffer) cap() int   { return len(b.buf) }
-func (b *vcBuffer) full() bool { return b.n == len(b.buf) }
+func (b *vcBuffer) full() bool { return int(b.fab.occ[b.gid]) == len(b.buf) }
 
 func (b *vcBuffer) front() flit {
-	if b.n == 0 {
+	if b.fab.occ[b.gid] == 0 {
 		return flit{}
 	}
 	return b.buf[b.head]
 }
 
-func (b *vcBuffer) push(f flit) {
-	if b.full() {
+func (b *vcBuffer) push(f flit, nc *netCounters) {
+	fab := b.fab
+	n := fab.occ[b.gid]
+	if int(n) == len(b.buf) {
 		panic(fmt.Sprintf("router: overflow of %v", b))
 	}
 	// Conditional wrap instead of %: the ring index is always already in
 	// range, and avoiding the integer division matters on a path run for
 	// every flit movement in the network.
-	i := b.head + b.n
+	i := b.head + int(n)
 	if i >= len(b.buf) {
 		i -= len(b.buf)
 	}
 	b.buf[i] = f
-	b.n++
-	if b.n == 1 {
-		nd := &b.fab.nodes[b.node]
-		nd.occupiedIns++
-		b.fab.netOccupiedIns++
+	fab.occ[b.gid] = n + 1
+	if n == 0 {
+		bit := uint64(1) << b.lane
+		fab.occMask[b.node] |= bit
+		fab.actOccupied.set(int32(b.node))
+		nc.occupiedIns++
+		if f.idx == 0 {
+			fab.headMask[b.node] |= bit
+		}
 		if !b.bound {
-			nd.pendingIns++
-			b.fab.netPendingIns++
+			nc.pendingIns++
+			fab.actPending.set(int32(b.node))
 		}
 	}
-	if b.countable && b.full() {
-		b.fab.fullBuffers++
+	if b.countable && int(n)+1 == len(b.buf) {
+		nc.fullBuffers++
 	}
 }
 
-func (b *vcBuffer) pop() flit {
-	if b.n == 0 {
+func (b *vcBuffer) pop(nc *netCounters) flit {
+	fab := b.fab
+	n := fab.occ[b.gid]
+	if n == 0 {
 		panic(fmt.Sprintf("router: underflow of %v", b))
 	}
-	if b.countable && b.full() {
-		b.fab.fullBuffers--
+	if b.countable && int(n) == len(b.buf) {
+		nc.fullBuffers--
 	}
 	f := b.buf[b.head]
 	b.buf[b.head] = flit{}
@@ -107,15 +181,26 @@ func (b *vcBuffer) pop() flit {
 	if b.head == len(b.buf) {
 		b.head = 0
 	}
-	b.n--
-	if b.n == 0 {
-		nd := &b.fab.nodes[b.node]
-		nd.occupiedIns--
-		b.fab.netOccupiedIns--
-		if !b.bound {
-			nd.pendingIns--
-			b.fab.netPendingIns--
+	n--
+	fab.occ[b.gid] = n
+	bit := uint64(1) << b.lane
+	if n == 0 {
+		fab.occMask[b.node] &^= bit
+		fab.headMask[b.node] &^= bit
+		if fab.occMask[b.node] == 0 {
+			fab.actOccupied.clearBit(int32(b.node))
 		}
+		nc.occupiedIns--
+		if !b.bound {
+			nc.pendingIns--
+			if fab.occMask[b.node]&^fab.boundMask[b.node] == 0 {
+				fab.actPending.clearBit(int32(b.node))
+			}
+		}
+	} else if b.buf[b.head].idx == 0 {
+		fab.headMask[b.node] |= bit
+	} else {
+		fab.headMask[b.node] &^= bit
 	}
 	return f
 }
@@ -123,28 +208,34 @@ func (b *vcBuffer) pop() flit {
 // setBinding records the wormhole route decision for the packet at the
 // front of b. The buffer leaves the pending set: its front is no longer
 // an unrouted header.
-func (b *vcBuffer) setBinding(pkt *packet.Packet, port, vc int) {
+func (b *vcBuffer) setBinding(pkt *packet.Packet, port, vc int, nc *netCounters) {
+	fab := b.fab
 	b.bound = true
 	b.boundPkt = pkt
 	b.outPort = port
 	b.outVC = vc
-	if b.n > 0 {
-		b.fab.nodes[b.node].pendingIns--
-		b.fab.netPendingIns--
+	fab.boundMask[b.node] |= uint64(1) << b.lane
+	if fab.occ[b.gid] > 0 {
+		nc.pendingIns--
+		if fab.occMask[b.node]&^fab.boundMask[b.node] == 0 {
+			fab.actPending.clearBit(int32(b.node))
+		}
 	}
 }
 
 // clearBinding resets the wormhole route state after a tail departs. Any
 // flits still buffered belong to the next packet, whose header is now an
 // arbitration candidate again.
-func (b *vcBuffer) clearBinding() {
+func (b *vcBuffer) clearBinding(nc *netCounters) {
+	fab := b.fab
 	b.bound = false
 	b.boundPkt = nil
 	b.outPort = 0
 	b.outVC = 0
-	if b.n > 0 {
-		b.fab.nodes[b.node].pendingIns++
-		b.fab.netPendingIns++
+	fab.boundMask[b.node] &^= uint64(1) << b.lane
+	if fab.occ[b.gid] > 0 {
+		nc.pendingIns++
+		fab.actPending.set(int32(b.node))
 	}
 }
 
@@ -152,7 +243,7 @@ func (b *vcBuffer) clearBinding() {
 func (b *vcBuffer) CountOf(p *packet.Packet) int {
 	c := 0
 	i := b.head
-	for k := 0; k < b.n; k++ {
+	for k := 0; k < b.len(); k++ {
 		if b.buf[i].pkt == p {
 			c++
 		}
@@ -164,13 +255,14 @@ func (b *vcBuffer) CountOf(p *packet.Packet) int {
 }
 
 // EvictFront implements packet.Location: deadlock recovery removes the
-// worm's front flit.
+// worm's front flit. Recovery always runs on the coordinator, so the
+// fabric-wide counters are written directly.
 func (b *vcBuffer) EvictFront(p *packet.Packet) {
 	f := b.front()
 	if f.pkt != p {
 		panic(fmt.Sprintf("router: EvictFront of %v: front belongs to %v, not %v", b, f.pkt, p))
 	}
-	b.pop()
+	b.pop(&b.fab.net)
 }
 
 func (b *vcBuffer) String() string {
@@ -185,26 +277,31 @@ type latch struct {
 	node topology.NodeID
 	port int
 	vc   int
+	lane uint8 // node-local output-lane index: bit position in the lane masks
 	f    flit
 	full bool
 }
 
-func (l *latch) set(f flit) {
+func (l *latch) set(f flit, nc *netCounters) {
 	if l.full {
 		panic(fmt.Sprintf("router: latch collision at %v", l))
 	}
 	l.f = f
 	l.full = true
-	l.fab.nodes[l.node].latched++
-	l.fab.netLatched++
+	l.fab.latchMask[l.node] |= uint64(1) << l.lane
+	l.fab.actLatched.set(int32(l.node))
+	nc.latched++
 }
 
-func (l *latch) clear() flit {
+func (l *latch) clear(nc *netCounters) flit {
 	f := l.f
 	l.f = flit{}
 	l.full = false
-	l.fab.nodes[l.node].latched--
-	l.fab.netLatched--
+	l.fab.latchMask[l.node] &^= uint64(1) << l.lane
+	if l.fab.latchMask[l.node] == 0 {
+		l.fab.actLatched.clearBit(int32(l.node))
+	}
+	nc.latched--
 	return f
 }
 
@@ -216,12 +313,13 @@ func (l *latch) CountOf(p *packet.Packet) int {
 	return 0
 }
 
-// EvictFront implements packet.Location.
+// EvictFront implements packet.Location. Recovery runs on the
+// coordinator; the fabric-wide counters are written directly.
 func (l *latch) EvictFront(p *packet.Packet) {
 	if !l.full || l.f.pkt != p {
 		panic(fmt.Sprintf("router: EvictFront of %v: not holding a flit of %v", l, p))
 	}
-	l.clear()
+	l.clear(&l.fab.net)
 }
 
 func (l *latch) String() string {
@@ -237,16 +335,18 @@ type srcSlot struct {
 }
 
 // setPacket starts streaming p; like the other accessors in this file it
-// keeps the network-wide active-source counter in lockstep.
-func (s *srcSlot) setPacket(p *packet.Packet) {
+// keeps the active-source bitset and counter in lockstep.
+func (s *srcSlot) setPacket(p *packet.Packet, nc *netCounters) {
 	s.pkt = p
-	s.fab.netSrcActive++
+	s.fab.actSrc.set(int32(s.node))
+	nc.srcActive++
 }
 
 // clearPacket ends the stream (tail injected, or evicted by recovery).
-func (s *srcSlot) clearPacket() {
+func (s *srcSlot) clearPacket(nc *netCounters) {
 	s.pkt = nil
-	s.fab.netSrcActive--
+	s.fab.actSrc.clearBit(int32(s.node))
+	nc.srcActive--
 }
 
 // CountOf implements packet.Location.
@@ -265,7 +365,7 @@ func (s *srcSlot) EvictFront(p *packet.Packet) {
 	}
 	p.SrcRemaining--
 	if p.SrcRemaining == 0 {
-		s.clearPacket()
+		s.clearPacket(&s.fab.net)
 	}
 }
 
@@ -280,16 +380,22 @@ type outVC struct {
 
 func (o *outVC) free() bool { return o.ownerPkt == nil }
 
-func (o *outVC) acquire(b *vcBuffer, pkt *packet.Packet) {
+func (o *outVC) acquire(b *vcBuffer, pkt *packet.Packet, nc *netCounters) {
 	o.owner = b
 	o.ownerPkt = pkt
-	o.lat.fab.nodes[o.lat.node].ownedOuts++
-	o.lat.fab.netOwnedOuts++
+	fab := o.lat.fab
+	fab.ownedMask[o.lat.node] |= uint64(1) << o.lat.lane
+	fab.actOwned.set(int32(o.lat.node))
+	nc.ownedOuts++
 }
 
-func (o *outVC) release() {
+func (o *outVC) release(nc *netCounters) {
 	o.owner = nil
 	o.ownerPkt = nil
-	o.lat.fab.nodes[o.lat.node].ownedOuts--
-	o.lat.fab.netOwnedOuts--
+	fab := o.lat.fab
+	fab.ownedMask[o.lat.node] &^= uint64(1) << o.lat.lane
+	if fab.ownedMask[o.lat.node] == 0 {
+		fab.actOwned.clearBit(int32(o.lat.node))
+	}
+	nc.ownedOuts--
 }

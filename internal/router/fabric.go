@@ -122,6 +122,12 @@ type Config struct {
 	// Switching selects wormhole (default) or virtual cut-through flow
 	// control.
 	Switching Switching
+	// Workers is the number of shards the cycle loop is partitioned
+	// into, each stepped by its own persistent worker (the coordinator
+	// runs shard 0 in place). 0 or 1 selects serial stepping. The knob
+	// never changes results: sharded stepping is byte-identical to
+	// serial, so it is excluded from simulation fingerprints.
+	Workers int
 }
 
 // Validate checks the configuration.
@@ -147,6 +153,23 @@ func (c Config) Validate() error {
 	if c.DeliveryChannels < 0 {
 		return fmt.Errorf("router: negative delivery channel count %d", c.DeliveryChannels)
 	}
+	if c.Workers < 0 {
+		return fmt.Errorf("router: negative worker count %d", c.Workers)
+	}
+	dlv := c.DeliveryChannels
+	if dlv == 0 {
+		dlv = 1
+	}
+	// The per-node lane masks are single machine words: every input and
+	// output lane of a router must fit in 64 bits. Input lanes are
+	// 2n*VCs+1, output lanes 2n*VCs+DeliveryChannels; the paper's
+	// configurations (n <= 3, VCs <= 4) sit far below the bound.
+	if in := c.Topo.PhysPorts()*c.VCs + 1; in > 64 {
+		return fmt.Errorf("router: %d input lanes per node exceed the 64-lane mask width", in)
+	}
+	if out := c.Topo.PhysPorts()*c.VCs + dlv; out > 64 {
+		return fmt.Errorf("router: %d output lanes per node exceed the 64-lane mask width", out)
+	}
 	switch c.Selection {
 	case RotatePorts, FirstPort, MostFreeVCs:
 	default:
@@ -167,7 +190,9 @@ func (c Config) Validate() error {
 // arbitration pointers. Nodes are stored by value in a single slice and
 // their buffer state lives in per-fabric arenas (see New), so one
 // router's working set is contiguous in memory instead of a pointer
-// forest; hot-path code takes &f.nodes[i] and never copies a node.
+// forest; hot-path code takes &f.nodes[i] and never copies a node. The
+// active-set occupancy state lives in the Fabric's structure-of-arrays
+// lane masks, not here, so the stages touch only the hot arrays.
 type node struct {
 	id topology.NodeID
 	// inputs[port][vc]: physical ports 0..2n-1, then the injection port
@@ -186,23 +211,31 @@ type node struct {
 	// Rotating start offset for adaptive output-port selection.
 	adaptPtr int
 
-	// Active-set occupancy counters, maintained incrementally like the
-	// fabric-wide fullBuffers metric. The per-cycle stages consult them
-	// to skip this router in O(1) instead of scanning its ports and VCs;
-	// at low load almost every router is skipped by every stage.
-	latched     int // output latches currently holding a flit
-	ownedOuts   int // output VCs currently owned by a packet
-	occupiedIns int // input VCs currently holding at least one flit
-	pendingIns  int // input VCs holding flits with no output VC bound yet
-
 	// Injection state: the packet currently streaming into the
 	// injection channel.
 	src srcSlot
 }
 
+// stepCtx is the per-worker stage context: the counter sink stage code
+// threads into the buffer accessors, and the scratch the routing stage
+// reuses. Serial stepping uses the fabric's own instance (sink = the
+// fabric-wide counters); each shard owns one.
+type stepCtx struct {
+	nc    *netCounters
+	ports []int // routeAdaptive scratch
+}
+
 // Fabric is the whole network of routers plus global bookkeeping. It is
 // advanced one cycle at a time by Step; packet generation, throttling and
 // statistics live in the sim package on top.
+//
+// The hot per-lane state is structure-of-arrays: the flit rings and
+// buffer structs sit in node-major arenas (bufs, outsA), per-lane
+// occupancy in one contiguous occ array, per-node lane masks and
+// node-level active bitsets beside them. The per-cycle stages iterate
+// set bits instead of scanning ports and VCs, and a credit check against
+// a neighbor touches one occ element instead of the neighbor's buffer
+// struct.
 type Fabric struct {
 	cfg   Config
 	topo  *topology.Torus
@@ -212,20 +245,45 @@ type Fabric struct {
 	injPort int // input port index of the injection channel
 	dlvPort int // output port index of the delivery channel
 
-	// fullBuffers counts currently full countable VC buffers (the
-	// side-band's congestion metric).
-	fullBuffers int
+	lanesIn  int // input lanes per node: PhysPorts*VCs + 1 (injection)
+	lanesOut int // output lanes per node: PhysPorts*VCs + delivery channels
 
-	// Network-wide active-set counters: sums of the per-node counters,
-	// maintained at the same buffer.go transition sites. Each per-cycle
-	// stage consults its counter to skip the whole node scan in O(1)
-	// when the network holds no work for it — on an idle fabric every
-	// stage returns immediately.
-	netLatched     int // output latches holding a flit, network-wide
-	netOwnedOuts   int // owned output VCs, network-wide
-	netOccupiedIns int // non-empty input VCs, network-wide
-	netPendingIns  int // input VCs with an unrouted header, network-wide
-	netSrcActive   int // nodes with a packet streaming into injection
+	// Arenas, node-major by lane: bufs[node*lanesIn+lane] and
+	// outsA[node*lanesOut+lane]. nodes[i].inputs/outs are windows into
+	// the same storage.
+	bufs  []vcBuffer
+	outsA []outVC
+
+	// occ is the occupancy of every input lane in the network, indexed
+	// by vcBuffer.gid. It is the single source of truth buffer length
+	// reads and credit checks go through.
+	occ []int32
+
+	// Per-node lane masks, one word per node, bit = node-local lane.
+	occMask   []uint64 // input lanes holding at least one flit
+	boundMask []uint64 // input lanes with a wormhole binding
+	headMask  []uint64 // input lanes whose front flit is a head flit
+	latchMask []uint64 // output lanes whose latch holds a flit
+	ownedMask []uint64 // output lanes owned by a packet
+
+	// Node-level active bitsets (bit = node), the stages' outer loops.
+	actOccupied activeWords
+	actPending  activeWords
+	actLatched  activeWords
+	actOwned    activeWords
+	actSrc      activeWords
+
+	// Network-wide active-set sums, maintained at the same buffer.go
+	// transition sites: each stage consults its counter to skip the
+	// whole sweep in O(1) on an idle fabric.
+	net netCounters
+
+	// laneOutPort maps a node-local output lane to its port; outPortBase
+	// and outPortWidth give each port's lane range. Precomputed so the
+	// crossbar never divides by VCs.
+	laneOutPort  []uint8
+	outPortBase  []int
+	outPortWidth []int
 
 	// Delivery accounting.
 	deliveredFlits  int64 // all-time
@@ -233,8 +291,10 @@ type Fabric struct {
 	inFlight        int   // packets injected but not delivered
 
 	// Disha recovery: the active drain, the token wait queue of frozen
-	// suspects, and the completion count.
+	// suspects, and the completion count. recStore is the reused backing
+	// store of rec so steady-state recoveries never allocate.
 	rec        *recoveryState
+	recStore   recoveryState
 	suspects   []suspect
 	tokenWait  int64
 	recoveries int64 // completed recoveries
@@ -245,23 +305,37 @@ type Fabric struct {
 
 	// OnEvent, when set, receives packet lifecycle events (injection,
 	// routing, delivery, deadlock suspicion/recovery). Nil costs one
-	// predictable branch per event site.
+	// predictable branch per event site. Tracing forces serial stepping
+	// (events interleave with stage work in serial order).
 	OnEvent func(e trace.Event)
 
-	scratchPorts []int
+	serial stepCtx // serial stepping's stage context
+
+	// Sharded stepping state (nil/empty when Workers <= 1 or the
+	// network is too small to split); see parallel.go.
+	shards    []shard
+	shardSpan int // nodes per shard, a multiple of 64
+	workers   *workerPool
+
+	// popped marks input lanes whose buffer has already been popped by a
+	// committed crossbar move this stage (one bit per lane, poppedDirty
+	// lists the set bits for O(moves) clearing). The crossbar finalize
+	// round uses it to reconstruct serial credit visibility.
+	popped      []uint64
+	poppedDirty []int32
 }
 
 // New builds the fabric. The configuration must validate.
 //
-// All router state is carved out of five contiguous arenas (vcBuffers,
-// their flit rings, outVCs, the per-node port tables, and the switch
-// pointers) allocated up front: one fabric costs a fixed handful of
-// allocations regardless of size, neighboring buffers share cache
-// lines, and Step never allocates. Arena addresses are stable for the
-// fabric's lifetime, so *vcBuffer and *outVC remain valid identities
-// (packet trails and wormhole bindings hold them across cycles). The
-// windows use full slice expressions so an accidental append can never
-// bleed into the neighboring buffer's storage.
+// All router state is carved out of contiguous arenas (vcBuffers, their
+// flit rings, outVCs, the per-node port tables, the switch pointers, and
+// the SoA occupancy/mask arrays) allocated up front: one fabric costs a
+// fixed handful of allocations regardless of size, neighboring buffers
+// share cache lines, and Step never allocates. Arena addresses are
+// stable for the fabric's lifetime, so *vcBuffer and *outVC remain valid
+// identities (packet trails and wormhole bindings hold them across
+// cycles). The windows use full slice expressions so an accidental
+// append can never bleed into the neighboring buffer's storage.
 func New(cfg Config) (*Fabric, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -282,18 +356,36 @@ func New(cfg Config) (*Fabric, error) {
 		dlv = 1
 	}
 	nodes := cfg.Topo.Nodes()
-	inPerNode := phys*cfg.VCs + 1    // physical input VCs + injection channel
-	outPerNode := phys*cfg.VCs + dlv // physical output VCs + delivery channels
-	bufArena := make([]vcBuffer, nodes*inPerNode)
-	flitArena := make([]flit, nodes*inPerNode*cfg.BufDepth)
-	outArena := make([]outVC, nodes*outPerNode)
+	f.lanesIn = phys*cfg.VCs + 1    // physical input VCs + injection channel
+	f.lanesOut = phys*cfg.VCs + dlv // physical output VCs + delivery channels
+	f.bufs = make([]vcBuffer, nodes*f.lanesIn)
+	flitArena := make([]flit, nodes*f.lanesIn*cfg.BufDepth)
+	f.outsA = make([]outVC, nodes*f.lanesOut)
 	inPorts := make([][]vcBuffer, nodes*(phys+1))
 	outPorts := make([][]outVC, nodes*(phys+1))
 	swArena := make([]int, nodes*(phys+1))
 
+	f.initSoA(nodes)
+
+	f.laneOutPort = make([]uint8, f.lanesOut)
+	f.outPortBase = make([]int, phys+1)
+	f.outPortWidth = make([]int, phys+1)
+	for p := 0; p < phys; p++ {
+		f.outPortBase[p] = p * cfg.VCs
+		f.outPortWidth[p] = cfg.VCs
+		for v := 0; v < cfg.VCs; v++ {
+			f.laneOutPort[p*cfg.VCs+v] = uint8(p)
+		}
+	}
+	f.outPortBase[phys] = phys * cfg.VCs
+	f.outPortWidth[phys] = dlv
+	for v := 0; v < dlv; v++ {
+		f.laneOutPort[phys*cfg.VCs+v] = uint8(phys)
+	}
+
 	nextBuf, nextFlit, nextOut := 0, 0, 0
 	takeBuf := func(n int) []vcBuffer {
-		s := bufArena[nextBuf : nextBuf+n : nextBuf+n]
+		s := f.bufs[nextBuf : nextBuf+n : nextBuf+n]
 		nextBuf += n
 		return s
 	}
@@ -303,7 +395,7 @@ func New(cfg Config) (*Fabric, error) {
 		return s
 	}
 	takeOut := func(n int) []outVC {
-		s := outArena[nextOut : nextOut+n : nextOut+n]
+		s := f.outsA[nextOut : nextOut+n : nextOut+n]
 		nextOut += n
 		return s
 	}
@@ -318,8 +410,10 @@ func New(cfg Config) (*Fabric, error) {
 		for p := 0; p < phys; p++ {
 			nd.inputs[p] = takeBuf(cfg.VCs)
 			for v := 0; v < cfg.VCs; v++ {
+				lane := p*cfg.VCs + v
 				nd.inputs[p][v] = vcBuffer{
 					fab: f, node: nd.id, port: p, vc: v,
+					gid: int32(id*f.lanesIn + lane), lane: uint8(lane),
 					buf: takeFlits(), countable: true,
 				}
 			}
@@ -327,21 +421,28 @@ func New(cfg Config) (*Fabric, error) {
 		nd.inputs[f.injPort] = takeBuf(1)
 		nd.inputs[f.injPort][0] = vcBuffer{
 			fab: f, node: nd.id, port: f.injPort,
+			gid: int32(id*f.lanesIn + f.lanesIn - 1), lane: uint8(f.lanesIn - 1),
 			buf: takeFlits(),
 		}
 
 		for p := 0; p < phys; p++ {
 			nd.outs[p] = takeOut(cfg.VCs)
 			for v := 0; v < cfg.VCs; v++ {
-				nd.outs[p][v] = outVC{lat: latch{fab: f, node: nd.id, port: p, vc: v}}
+				nd.outs[p][v] = outVC{lat: latch{
+					fab: f, node: nd.id, port: p, vc: v, lane: uint8(p*cfg.VCs + v),
+				}}
 			}
 		}
 		nd.outs[f.dlvPort] = takeOut(dlv)
 		for v := 0; v < dlv; v++ {
-			nd.outs[f.dlvPort][v] = outVC{lat: latch{fab: f, node: nd.id, port: f.dlvPort, vc: v}}
+			nd.outs[f.dlvPort][v] = outVC{lat: latch{
+				fab: f, node: nd.id, port: f.dlvPort, vc: v, lane: uint8(phys*cfg.VCs + v),
+			}}
 		}
 		nd.src = srcSlot{fab: f, node: nd.id}
 	}
+	f.serial = stepCtx{nc: &f.net}
+	f.initShards()
 	return f, nil
 }
 
@@ -362,7 +463,7 @@ func (f *Fabric) Now() int64 { return f.now }
 
 // FullVCBuffers implements the side-band's congestion source: the number
 // of completely full physical-channel VC buffers network-wide.
-func (f *Fabric) FullVCBuffers() int { return f.fullBuffers }
+func (f *Fabric) FullVCBuffers() int { return f.net.fullBuffers }
 
 // FullVCBuffersAt returns the number of completely full physical-channel
 // VC buffers at one node. O(ports x VCs); intended for visualization and
@@ -439,7 +540,7 @@ func (f *Fabric) StartInjection(pkt *packet.Packet) {
 	if pkt.SrcRemaining != pkt.Length {
 		panic(fmt.Sprintf("router: packet %d already partially injected", pkt.ID))
 	}
-	nd.src.setPacket(pkt)
+	nd.src.setPacket(pkt, &f.net)
 	f.inFlight++
 }
 
@@ -448,7 +549,16 @@ func (f *Fabric) StartInjection(pkt *packet.Packet) {
 // routing, injection streaming, and deadlock detection, in that order.
 // The order gives headers the paper's one-cycle routing delay: a header
 // routed in cycle t traverses the crossbar no earlier than t+1.
+//
+// With Workers > 1 the stages run as deterministic parallel rounds over
+// a fixed node partition (see parallel.go); the results are
+// byte-identical to serial stepping. Tracing (OnEvent) forces the serial
+// path so event order stays the serial interleaving.
 func (f *Fabric) Step() {
+	if len(f.shards) > 1 && f.OnEvent == nil {
+		f.stepSharded()
+		return
+	}
 	f.recoveryStep()
 	f.linkStage()
 	f.crossbarStage()

@@ -8,43 +8,64 @@ import (
 )
 
 // CheckInvariants walks the whole fabric and verifies structural
-// invariants: buffer occupancy bounds, the incremental full-buffer
-// counter, the per-node active-set counters the stages use to skip idle
-// routers, wormhole binding/ownership consistency, per-packet flit
-// conservation (buffered + consumed + in the recovery lane == length),
-// and the packet-recycling guard: no buffer, latch, or source slot may
-// reference a packet already returned to a packet.Pool.
+// invariants: buffer occupancy bounds and the occ array, the per-node
+// lane masks and node-level active bitsets the stages iterate, the
+// incremental full-buffer counter and network active-set sums, wormhole
+// binding/ownership consistency, per-packet flit conservation (buffered
+// + consumed + in the recovery lane == length), and the packet-recycling
+// guard: no buffer, latch, or source slot may reference a packet already
+// returned to a packet.Pool.
 // It exists for tests and debugging; it is O(network size) and is never
 // called by Step.
 func (f *Fabric) CheckInvariants() error {
 	buffered := map[*packet.Packet]int{}
-	full := 0
-	var netLatched, netOwned, netOccupied, netPending, netSrc int
+	// Recount into plain locals (counterguard confines netCounters field
+	// writes to buffer.go); the comparison builds a struct at the end.
+	var fullBuffers, latched, ownedOuts, occupiedIns, pendingIns, srcActive int
 
 	for ni := range f.nodes {
 		nd := &f.nodes[ni]
-		var latched, ownedOuts, occupiedIns, pendingIns int
+		var occMask, boundMask, headMask, latchMask, ownedMask uint64
 		for _, port := range nd.inputs {
 			for bi := range port {
 				b := &port[bi]
-				if b.n < 0 || b.n > len(b.buf) {
-					return fmt.Errorf("%v occupancy %d out of range", b, b.n)
+				n := int(f.occ[b.gid])
+				if n < 0 || n > len(b.buf) {
+					return fmt.Errorf("%v occupancy %d out of range", b, n)
+				}
+				if int(b.gid) != int(b.node)*f.lanesIn+int(b.lane) {
+					return fmt.Errorf("%v lane identity mismatch (gid %d, lane %d)", b, b.gid, b.lane)
 				}
 				if b.countable && b.full() {
-					full++
+					fullBuffers++
 				}
-				if b.n > 0 {
+				bit := uint64(1) << b.lane
+				if n > 0 {
+					occMask |= bit
 					occupiedIns++
+					if b.front().isHead() {
+						headMask |= bit
+					}
 					if !b.bound {
 						pendingIns++
 					}
 				}
-				for i := 0; i < b.n; i++ {
+				if b.bound {
+					boundMask |= bit
+				}
+				for i := 0; i < n; i++ {
 					fl := b.buf[(b.head+i)%len(b.buf)]
 					if fl.pkt == nil {
 						return fmt.Errorf("%v holds a nil flit at %d", b, i)
 					}
 					buffered[fl.pkt]++
+				}
+				// The ring outside [head, head+n) must be vacated: pop
+				// zeroes slots, so a stale flit means corruption.
+				for i := n; i < len(b.buf); i++ {
+					if b.buf[(b.head+i)%len(b.buf)].valid() {
+						return fmt.Errorf("%v holds a stale flit outside its occupied window", b)
+					}
 				}
 				if b.bound {
 					if b.boundPkt == nil {
@@ -60,46 +81,64 @@ func (f *Fabric) CheckInvariants() error {
 		for _, outs := range nd.outs {
 			for oi := range outs {
 				o := &outs[oi]
+				bit := uint64(1) << o.lat.lane
 				if o.lat.full {
 					if o.lat.f.pkt == nil {
 						return fmt.Errorf("%v holds a nil flit", &o.lat)
 					}
 					buffered[o.lat.f.pkt]++
+					latchMask |= bit
 					latched++
 				}
 				if (o.ownerPkt == nil) != (o.owner == nil) {
 					return fmt.Errorf("output VC at node %d: owner/ownerPkt mismatch", nd.id)
 				}
 				if o.ownerPkt != nil {
+					ownedMask |= bit
 					ownedOuts++
 				}
 			}
 		}
 		if p := nd.src.pkt; p != nil {
 			buffered[p] += p.SrcRemaining
-			netSrc++
+			srcActive++
 		}
-		if latched != nd.latched || ownedOuts != nd.ownedOuts ||
-			occupiedIns != nd.occupiedIns || pendingIns != nd.pendingIns {
-			return fmt.Errorf("node %d active-set counters (latched %d owned %d occupied %d pending %d), recount (%d %d %d %d)",
-				nd.id, nd.latched, nd.ownedOuts, nd.occupiedIns, nd.pendingIns,
-				latched, ownedOuts, occupiedIns, pendingIns)
+
+		if occMask != f.occMask[ni] || boundMask != f.boundMask[ni] || headMask != f.headMask[ni] ||
+			latchMask != f.latchMask[ni] || ownedMask != f.ownedMask[ni] {
+			return fmt.Errorf("node %d lane masks (occ %x bound %x head %x latch %x owned %x), recount (%x %x %x %x %x)",
+				nd.id, f.occMask[ni], f.boundMask[ni], f.headMask[ni], f.latchMask[ni], f.ownedMask[ni],
+				occMask, boundMask, headMask, latchMask, ownedMask)
 		}
-		netLatched += latched
-		netOwned += ownedOuts
-		netOccupied += occupiedIns
-		netPending += pendingIns
+		bit := uint64(1) << uint(ni&63)
+		checks := [...]struct {
+			name string
+			a    *activeWords
+			want bool
+		}{
+			{"occupied", &f.actOccupied, occMask != 0},
+			{"pending", &f.actPending, occMask&^boundMask != 0},
+			{"latched", &f.actLatched, latchMask != 0},
+			{"owned", &f.actOwned, ownedMask != 0},
+			{"src", &f.actSrc, nd.src.pkt != nil},
+		}
+		for _, c := range checks {
+			if got := c.a.actWords[ni>>6]&bit != 0; got != c.want {
+				return fmt.Errorf("node %d active bitset %s = %v, want %v", nd.id, c.name, got, c.want)
+			}
+		}
 	}
 
-	if full != f.fullBuffers {
-		return fmt.Errorf("full-buffer counter %d, recount %d", f.fullBuffers, full)
+	recount := netCounters{
+		fullBuffers: fullBuffers,
+		latched:     latched,
+		ownedOuts:   ownedOuts,
+		occupiedIns: occupiedIns,
+		pendingIns:  pendingIns,
+		srcActive:   srcActive,
 	}
-	if netLatched != f.netLatched || netOwned != f.netOwnedOuts ||
-		netOccupied != f.netOccupiedIns || netPending != f.netPendingIns ||
-		netSrc != f.netSrcActive {
-		return fmt.Errorf("network active-set counters (latched %d owned %d occupied %d pending %d src %d), recount (%d %d %d %d %d)",
-			f.netLatched, f.netOwnedOuts, f.netOccupiedIns, f.netPendingIns, f.netSrcActive,
-			netLatched, netOwned, netOccupied, netPending, netSrc)
+	if recount != f.net {
+		return fmt.Errorf("network active-set counters %+v, recount %+v", f.net, recount)
 	}
 
 	// Walk the per-packet tallies in packet-ID order: buffered is keyed

@@ -1,0 +1,580 @@
+package router
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+
+	"repro/internal/packet"
+	"repro/internal/topology"
+)
+
+// Deterministic sharded stepping.
+//
+// With Config.Workers > 1 the node array is split into fixed contiguous
+// shards (aligned to 64-node boundaries so two shards never share an
+// active-bitset word) and each per-cycle stage runs as one or more
+// parallel rounds over the shards, with a barrier between rounds. The
+// discipline that keeps results byte-identical to serial stepping:
+//
+//   - Within a round, a shard only writes state owned by its own nodes
+//     (buffers, latches, masks, round-robin pointers) plus its private
+//     scratch (counter deltas, handoff mailboxes, move/suspect lists).
+//     The only shared writes are same-value atomic stores of packet
+//     progress stamps.
+//   - Cross-node effects are staged, never applied in place: link
+//     traversals into another node go through per-(source, destination)
+//     shard mailboxes and are applied by the destination shard in source
+//     node-index order; deliveries, suspects and counter deltas are
+//     folded by the coordinator in shard order, which is node-index
+//     order — exactly the serial visitation order.
+//   - The one stage whose serial semantics are order-dependent — the
+//     crossbar, where a pop at node i frees a downstream credit a later
+//     node j can observe in the same cycle — runs in three rounds:
+//     a parallel speculative scan against the cycle-start snapshot, a
+//     serial finalize in node-index order that re-arbitrates only the
+//     ports whose outcome could depend on same-cycle pops (tracked with
+//     a popped-lane bitset), and a parallel apply of the committed
+//     moves, each at its owning shard.
+//
+// Scheduling therefore cannot influence results: every cross-shard
+// interaction is either commutative (same-value stores) or serialized in
+// node-index order. Workers park on channels between rounds (no
+// spinning), so a single-CPU host degrades gracefully.
+
+// phaseID names one parallel round.
+type phaseID uint8
+
+const (
+	phLinkLocal phaseID = iota // clear own latches; stage handoffs; consume deliveries
+	phLinkMerge                // push staged handoffs into own nodes
+	phXbarScan                 // speculative switch allocation against the snapshot
+	phXbarApply                // pop/latch the committed moves
+	phRoute                    // central arbiter, own nodes only
+	phInject                   // injection streaming, own nodes only
+	phDetect                   // deadlock timeout scan, own nodes only
+	phExit                     // shut the worker down
+)
+
+// handoff is one link traversal crossing into another shard's node: the
+// flit (arrival already stamped) and its destination buffer.
+type handoff struct {
+	tb *vcBuffer
+	fl flit
+}
+
+// xbCand is one output port's speculative arbitration outcome: the
+// snapshot winner (o == nil when none) and whether a credit-blocked lane
+// earlier in round-robin order could steal the grant once same-cycle
+// pops are visible.
+type xbCand struct {
+	o       *outVC
+	b       *vcBuffer
+	ni      int32
+	p       int16
+	vi      int16
+	flagged bool
+}
+
+// xbMove is a committed crossbar move, applied by the owning shard.
+type xbMove struct {
+	o  *outVC
+	b  *vcBuffer
+	ni int32
+	p  int16
+	vi int16
+}
+
+// shard is one worker's node range plus all its private scratch. Scratch
+// slices keep their capacity across cycles, so sharded stepping does not
+// allocate in steady state.
+type shard struct {
+	lo, hi int
+
+	ctx   stepCtx     // counter sink (the delta below) + route scratch
+	delta netCounters // folded into the fabric's sums between rounds
+
+	hand           [][]handoff      // hand[dstShard]: staged link handoffs
+	delivered      []*packet.Packet // tails consumed at delivery, node order
+	deliveredFlits int64
+
+	cands    []xbCand // speculative crossbar outcomes, node order
+	moves    []xbMove // committed crossbar moves for this shard's nodes
+	suspects []suspect
+}
+
+// workerPool is the persistent worker set: one goroutine per shard
+// beyond shard 0 (the coordinator steps shard 0 in place). Workers block
+// on their phase channel between rounds.
+type workerPool struct {
+	phase []chan phaseID
+	wg    sync.WaitGroup
+}
+
+// initShards fixes the node partition at construction time. The span is
+// rounded up to a multiple of 64 nodes so no two shards touch the same
+// active-bitset word; networks smaller than two spans step serially.
+func (f *Fabric) initShards() {
+	w := f.cfg.Workers
+	nodes := len(f.nodes)
+	if w <= 1 {
+		return
+	}
+	if w > nodes {
+		w = nodes
+	}
+	span := (nodes + w - 1) / w
+	span = (span + 63) &^ 63
+	ns := (nodes + span - 1) / span
+	if ns <= 1 {
+		return
+	}
+	f.shardSpan = span
+	f.shards = make([]shard, ns)
+	for i := range f.shards {
+		sh := &f.shards[i]
+		sh.lo = i * span
+		sh.hi = min((i+1)*span, nodes)
+		sh.hand = make([][]handoff, ns)
+		sh.ctx = stepCtx{nc: &sh.delta}
+	}
+	f.popped = make([]uint64, (len(f.bufs)+63)>>6)
+}
+
+// shardOf returns the shard owning node ni.
+func (f *Fabric) shardOf(ni int) int { return ni / f.shardSpan }
+
+// startWorkers launches the persistent pool (lazily, on the first
+// sharded Step, so fabrics that are built but never stepped cost no
+// goroutines).
+func (f *Fabric) startWorkers() {
+	wp := &workerPool{phase: make([]chan phaseID, len(f.shards)-1)}
+	for i := range wp.phase {
+		ch := make(chan phaseID, 1)
+		wp.phase[i] = ch
+		go f.workerLoop(i+1, ch, wp)
+	}
+	f.workers = wp
+}
+
+func (f *Fabric) workerLoop(si int, ch chan phaseID, wp *workerPool) {
+	for ph := range ch {
+		if ph == phExit {
+			wp.wg.Done()
+			return
+		}
+		f.runShardPhase(ph, si)
+		wp.wg.Done()
+	}
+}
+
+// Close stops the worker pool, if one is running. Blocked goroutines are
+// never garbage collected, so holders of many fabrics (sweep runners,
+// benchmark loops) must Close each one; the sim engine does it when a
+// run completes. A closed fabric restarts its workers on the next Step.
+func (f *Fabric) Close() {
+	wp := f.workers
+	if wp == nil {
+		return
+	}
+	wp.wg.Add(len(wp.phase))
+	for _, ch := range wp.phase {
+		ch <- phExit
+	}
+	wp.wg.Wait()
+	f.workers = nil
+}
+
+// runPhase executes one round on every shard and waits for the barrier.
+func (f *Fabric) runPhase(ph phaseID) {
+	wp := f.workers
+	wp.wg.Add(len(wp.phase))
+	for _, ch := range wp.phase {
+		ch <- ph
+	}
+	f.runShardPhase(ph, 0)
+	wp.wg.Wait()
+}
+
+func (f *Fabric) runShardPhase(ph phaseID, si int) {
+	sh := &f.shards[si]
+	switch ph {
+	case phLinkLocal:
+		f.linkLocalShard(sh)
+	case phLinkMerge:
+		f.linkMergeShard(si)
+	case phXbarScan:
+		f.xbarScanShard(sh)
+	case phXbarApply:
+		f.xbarApplyShard(sh)
+	case phRoute:
+		f.routeShard(sh)
+	case phInject:
+		f.injectShard(sh)
+	case phDetect:
+		f.detectShard(sh)
+	}
+}
+
+// stepSharded is Step's parallel form: the same stage order, each stage
+// expanded into its rounds. Recovery, merges and the suspect queue stay
+// on the coordinator.
+func (f *Fabric) stepSharded() {
+	if f.workers == nil {
+		f.startWorkers()
+	}
+	f.recoveryStep()
+	if f.net.latched > 0 {
+		f.runPhase(phLinkLocal)
+		f.runPhase(phLinkMerge)
+		f.mergeLink()
+	}
+	if f.net.ownedOuts > 0 {
+		f.runPhase(phXbarScan)
+		f.finalizeXbar()
+		f.runPhase(phXbarApply)
+		f.foldDeltas()
+		f.clearXbar()
+	}
+	if f.net.pendingIns > 0 {
+		f.runPhase(phRoute)
+		f.foldDeltas()
+	}
+	if f.net.srcActive > 0 {
+		f.runPhase(phInject)
+		f.foldDeltas()
+	}
+	if f.cfg.Mode == Recovery {
+		if f.net.occupiedIns > 0 {
+			f.runPhase(phDetect)
+			f.mergeSuspects()
+		}
+		f.serviceSuspects()
+	}
+	f.now++
+}
+
+// foldDeltas folds every shard's counter delta into the fabric-wide
+// sums (shard order, though the sums are commutative anyway).
+func (f *Fabric) foldDeltas() {
+	for si := range f.shards {
+		d := &f.shards[si].delta
+		f.net.add(d)
+		*d = netCounters{}
+	}
+}
+
+// shardWords bounds the active-bitset words of shard sh: [lo, hi).
+func (sh *shard) shardWords() (int, int) { return sh.lo >> 6, (sh.hi + 63) >> 6 }
+
+// linkLocalShard drains the shard's own latches: delivery lanes consume
+// here (the delivered tails queue for the coordinator), physical lanes
+// stage a handoff in the destination shard's mailbox.
+func (f *Fabric) linkLocalShard(sh *shard) {
+	now := f.now
+	lo, hi := sh.shardWords()
+	words := f.actLatched.actWords
+	for wi := lo; wi < hi; wi++ {
+		for w := words[wi]; w != 0; w &= w - 1 {
+			ni := wi<<6 + bits.TrailingZeros64(w)
+			base := ni * f.lanesOut
+			for lm := f.latchMask[ni]; lm != 0; lm &= lm - 1 {
+				lane := bits.TrailingZeros64(lm)
+				o := &f.outsA[base+lane]
+				if o.lat.f.pkt.Mode.Frozen() {
+					continue
+				}
+				fl := o.lat.clear(sh.ctx.nc)
+				fl.pkt.ProgressAtomic(now)
+				p := o.lat.port
+				if p == f.dlvPort {
+					sh.deliveredFlits++
+					fl.pkt.Consumed++
+					if fl.isTail() {
+						o.release(sh.ctx.nc)
+						sh.delivered = append(sh.delivered, fl.pkt)
+					}
+					continue
+				}
+				nb := f.topo.Neighbor(topology.NodeID(ni), topology.PortDim(p), topology.PortDir(p))
+				tb := &f.bufs[int(nb)*f.lanesIn+topology.OppositePort(p)*f.cfg.VCs+o.lat.vc]
+				fl.arrived = now
+				ds := f.shardOf(int(nb))
+				sh.hand[ds] = append(sh.hand[ds], handoff{tb: tb, fl: fl})
+				if fl.isTail() {
+					o.release(sh.ctx.nc)
+				}
+			}
+		}
+	}
+}
+
+// linkMergeShard pushes every handoff addressed to shard d into its
+// destination buffer, visiting source shards in index order — the serial
+// push order. Each buffer has exactly one upstream latch, so it receives
+// at most one handoff per cycle.
+func (f *Fabric) linkMergeShard(d int) {
+	sh := &f.shards[d]
+	for s := range f.shards {
+		hs := f.shards[s].hand[d]
+		for i := range hs {
+			h := &hs[i]
+			if h.tb.full() {
+				panic(fmt.Sprintf("router: link overflow into %v at cycle %d", h.tb, f.now))
+			}
+			h.tb.push(h.fl, sh.ctx.nc)
+			if h.fl.isHead() {
+				h.fl.pkt.PushTrail(h.tb)
+			}
+			hs[i] = handoff{}
+		}
+		f.shards[s].hand[d] = hs[:0]
+	}
+}
+
+// mergeLink folds the link rounds' deltas and finalizes deliveries in
+// shard (= node) order, matching the serial callback and stats order.
+func (f *Fabric) mergeLink() {
+	now := f.now
+	f.foldDeltas()
+	for si := range f.shards {
+		sh := &f.shards[si]
+		f.deliveredFlits += sh.deliveredFlits
+		f.deliveredWindow += sh.deliveredFlits
+		sh.deliveredFlits = 0
+		for i, p := range sh.delivered {
+			f.deliver(p, now)
+			sh.delivered[i] = nil
+		}
+		sh.delivered = sh.delivered[:0]
+	}
+}
+
+// xbarScanShard runs speculative switch allocation for the shard's own
+// nodes against the cycle-start snapshot. No state is mutated; outcomes
+// are recorded in node order for the serial finalize round.
+func (f *Fabric) xbarScanShard(sh *shard) {
+	lo, hi := sh.shardWords()
+	words := f.actOwned.actWords
+	for wi := lo; wi < hi; wi++ {
+		for w := words[wi]; w != 0; w &= w - 1 {
+			ni := wi<<6 + bits.TrailingZeros64(w)
+			cm := f.ownedMask[ni] &^ f.latchMask[ni]
+			for cm != 0 {
+				lane := bits.TrailingZeros64(cm)
+				p := int(f.laneOutPort[lane])
+				base, nvc := f.outPortBase[p], f.outPortWidth[p]
+				cm &^= ((uint64(1) << uint(nvc)) - 1) << uint(base)
+				f.xbarScanPort(ni, p, base, nvc, sh)
+			}
+		}
+	}
+}
+
+// xbarScanPort arbitrates one output port against the snapshot: the
+// round-robin scan the serial crossbar runs, except that a losing lane
+// blocked only on a downstream credit flags the port, because a pop at a
+// lower-numbered node could free that credit before this port's serial
+// turn. Flagged ports are re-arbitrated in the finalize round; ports
+// with no credit-blocked lane ahead of the winner commit as scanned.
+func (f *Fabric) xbarScanPort(ni, p, base, nvc int, sh *shard) {
+	pm := (f.ownedMask[ni] &^ f.latchMask[ni]) >> uint(base)
+	outs := f.outsA[ni*f.lanesOut+base : ni*f.lanesOut+base+nvc]
+	start := f.nodes[ni].swPtr[p]
+	dlv := p == f.dlvPort
+	flagged := false
+	for i := 0; i < nvc; i++ {
+		vi := start + i
+		if vi >= nvc {
+			vi -= nvc
+		}
+		if pm&(uint64(1)<<uint(vi)) == 0 {
+			continue
+		}
+		o := &outs[vi]
+		if o.ownerPkt.Mode.Frozen() {
+			continue
+		}
+		b := o.owner
+		if f.occ[b.gid] == 0 {
+			continue // worm stretched thin; occupancy is stable this stage
+		}
+		if !dlv {
+			nb := f.topo.Neighbor(topology.NodeID(ni), topology.PortDim(p), topology.PortDir(p))
+			tg := int32(int(nb)*f.lanesIn + topology.OppositePort(p)*f.cfg.VCs + vi)
+			if int(f.occ[tg]) == f.cfg.BufDepth {
+				flagged = true // a same-cycle pop downstream could free this
+				continue
+			}
+		}
+		sh.cands = append(sh.cands, xbCand{o: o, b: b, ni: int32(ni), p: int16(p), vi: int16(vi), flagged: flagged})
+		if !dlv {
+			return // one flit per physical port per cycle
+		}
+	}
+	if flagged {
+		// No snapshot winner, but a credit-blocked lane might win live.
+		sh.cands = append(sh.cands, xbCand{ni: int32(ni), p: int16(p), vi: -1, flagged: true})
+	}
+}
+
+// finalizeXbar is the serial round: it walks the speculative outcomes in
+// node-index order, commits the unambiguous ones, and re-arbitrates the
+// flagged ports with live credit — the snapshot occupancy minus the pops
+// committed so far, exactly the state the serial crossbar would see at
+// that node's turn.
+func (f *Fabric) finalizeXbar() {
+	for si := range f.shards {
+		sh := &f.shards[si]
+		for ci := range sh.cands {
+			c := &sh.cands[ci]
+			if !c.flagged {
+				f.commitMove(sh, c)
+				continue
+			}
+			f.refereePort(sh, c)
+		}
+	}
+}
+
+// commitMove marks the winner's buffer popped and queues the move for
+// its owning shard's apply round.
+func (f *Fabric) commitMove(sh *shard, c *xbCand) {
+	g := c.b.gid
+	f.popped[g>>6] |= 1 << uint(g&63)
+	f.poppedDirty = append(f.poppedDirty, g)
+	sh.moves = append(sh.moves, xbMove{o: c.o, b: c.b, ni: c.ni, p: c.p, vi: c.vi})
+}
+
+// refereePort re-runs one flagged physical port's round-robin scan with
+// live credit visibility.
+func (f *Fabric) refereePort(sh *shard, c *xbCand) {
+	ni, p := int(c.ni), int(c.p)
+	base, nvc := f.outPortBase[p], f.outPortWidth[p]
+	pm := (f.ownedMask[ni] &^ f.latchMask[ni]) >> uint(base)
+	outs := f.outsA[ni*f.lanesOut+base : ni*f.lanesOut+base+nvc]
+	start := f.nodes[ni].swPtr[p]
+	for i := 0; i < nvc; i++ {
+		vi := start + i
+		if vi >= nvc {
+			vi -= nvc
+		}
+		if pm&(uint64(1)<<uint(vi)) == 0 {
+			continue
+		}
+		o := &outs[vi]
+		if o.ownerPkt.Mode.Frozen() {
+			continue
+		}
+		b := o.owner
+		if f.occ[b.gid] == 0 {
+			continue
+		}
+		nb := f.topo.Neighbor(topology.NodeID(ni), topology.PortDim(p), topology.PortDir(p))
+		tg := int32(int(nb)*f.lanesIn + topology.OppositePort(p)*f.cfg.VCs + vi)
+		n := int(f.occ[tg])
+		if f.popped[tg>>6]&(1<<uint(tg&63)) != 0 {
+			n-- // a committed pop at an earlier node freed one credit
+		}
+		if n == f.cfg.BufDepth {
+			continue
+		}
+		cc := xbCand{o: o, b: b, ni: c.ni, p: c.p, vi: int16(vi)}
+		f.commitMove(sh, &cc)
+		return
+	}
+}
+
+// xbarApplyShard applies the shard's committed moves: pop, progress,
+// latch, and the round-robin pointer update — all state owned by the
+// shard's nodes.
+func (f *Fabric) xbarApplyShard(sh *shard) {
+	now := f.now
+	for i := range sh.moves {
+		mv := &sh.moves[i]
+		fl := mv.b.pop(sh.ctx.nc)
+		if fl.pkt != mv.o.ownerPkt {
+			panic(fmt.Sprintf("router: %v front flit of %v, owner %v", mv.b, fl.pkt, mv.o.ownerPkt))
+		}
+		fl.pkt.ProgressAtomic(now)
+		if fl.isTail() {
+			mv.b.clearBinding(sh.ctx.nc)
+		}
+		mv.o.lat.set(fl, sh.ctx.nc)
+		if p := int(mv.p); p != f.dlvPort {
+			nd := &f.nodes[mv.ni]
+			if nd.swPtr[p] = int(mv.vi) + 1; nd.swPtr[p] == f.outPortWidth[p] {
+				nd.swPtr[p] = 0
+			}
+		}
+		sh.moves[i] = xbMove{}
+	}
+	sh.moves = sh.moves[:0]
+}
+
+// clearXbar resets the popped-lane bitset and the speculative outcome
+// lists (capacity retained).
+func (f *Fabric) clearXbar() {
+	for _, g := range f.poppedDirty {
+		f.popped[g>>6] &^= 1 << uint(g&63)
+	}
+	f.poppedDirty = f.poppedDirty[:0]
+	for si := range f.shards {
+		sh := &f.shards[si]
+		for i := range sh.cands {
+			sh.cands[i] = xbCand{}
+		}
+		sh.cands = sh.cands[:0]
+	}
+}
+
+// routeShard runs the central arbiter for the shard's own nodes. Route
+// computation reads remote occupancy (cut-through credit), which is
+// stable during this round; all writes are own-node.
+func (f *Fabric) routeShard(sh *shard) {
+	lo, hi := sh.shardWords()
+	words := f.actPending.actWords
+	for wi := lo; wi < hi; wi++ {
+		for w := words[wi]; w != 0; w &= w - 1 {
+			ni := wi<<6 + bits.TrailingZeros64(w)
+			f.arbitrate(&f.nodes[ni], &sh.ctx)
+		}
+	}
+}
+
+// injectShard streams injection flits for the shard's own sources.
+func (f *Fabric) injectShard(sh *shard) {
+	lo, hi := sh.shardWords()
+	words := f.actSrc.actWords
+	for wi := lo; wi < hi; wi++ {
+		for w := words[wi]; w != 0; w &= w - 1 {
+			ni := wi<<6 + bits.TrailingZeros64(w)
+			f.injectNode(ni, &sh.ctx)
+		}
+	}
+}
+
+// detectShard scans the shard's own nodes for deadlock timeouts; fresh
+// suspects collect per shard and are concatenated in shard order, the
+// serial append order.
+func (f *Fabric) detectShard(sh *shard) {
+	lo, hi := sh.shardWords()
+	words := f.actOccupied.actWords
+	for wi := lo; wi < hi; wi++ {
+		for w := words[wi]; w != 0; w &= w - 1 {
+			ni := wi<<6 + bits.TrailingZeros64(w)
+			f.detectNode(ni, &sh.suspects)
+		}
+	}
+}
+
+func (f *Fabric) mergeSuspects() {
+	for si := range f.shards {
+		sh := &f.shards[si]
+		f.suspects = append(f.suspects, sh.suspects...)
+		for i := range sh.suspects {
+			sh.suspects[i] = suspect{}
+		}
+		sh.suspects = sh.suspects[:0]
+	}
+}

@@ -1,0 +1,193 @@
+package router
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+// twinConfig is a 16-ary 2-cube: 256 nodes, which splits into four
+// 64-node shards at Workers=8 (the per-shard span is 64-aligned, so the
+// 64-node test topologies collapse to one shard and never exercise the
+// parallel path). BufDepth 4 saturates quickly.
+func twinConfig(mode DeadlockMode, workers int) Config {
+	return Config{
+		Topo:            topology.MustNew(16, 2),
+		VCs:             3,
+		BufDepth:        4,
+		Mode:            mode,
+		DeadlockTimeout: 64,
+		Workers:         workers,
+	}
+}
+
+// TestShardedStepMatchesSerial steps a sharded fabric and a serial twin
+// through an identical saturating injection sequence and requires them
+// to agree cycle for cycle: same delivery sequence, same counters, same
+// full-buffer census, and both passing the full invariant recount. The
+// load is heavy enough to drive deadlock detection, token recovery and
+// re-arming in Recovery mode, which are the trickiest cross-shard
+// transitions. Run with -race, this is also the memory-model check for
+// the barrier and merge paths.
+func TestShardedStepMatchesSerial(t *testing.T) {
+	for _, mode := range []DeadlockMode{Avoidance, Recovery} {
+		t.Run(mode.String(), func(t *testing.T) {
+			serial := MustNew(twinConfig(mode, 0))
+			sharded := MustNew(twinConfig(mode, 8))
+			defer sharded.Close()
+			if got := len(sharded.shards); got != 4 {
+				t.Fatalf("sharded twin has %d shards, want 4", got)
+			}
+			if len(serial.shards) != 0 {
+				t.Fatalf("serial twin unexpectedly sharded")
+			}
+
+			var serSeq, shSeq []packet.ID
+			serial.OnDelivered = func(p *packet.Packet) { serSeq = append(serSeq, p.ID) }
+			sharded.OnDelivered = func(p *packet.Packet) { shSeq = append(shSeq, p.ID) }
+
+			rng := rand.New(rand.NewSource(11))
+			nodes := serial.topo.Nodes()
+			var id packet.ID
+			cycles := 1200
+			if testing.Short() {
+				cycles = 300
+			}
+			for cyc := 0; cyc < cycles; cyc++ {
+				for n := 0; n < nodes; n++ {
+					if rng.Float64() >= 0.08 {
+						continue
+					}
+					dst := topology.NodeID(rng.Intn(nodes))
+					if dst == topology.NodeID(n) {
+						continue
+					}
+					canSer := serial.CanStartInjection(topology.NodeID(n))
+					if canShard := sharded.CanStartInjection(topology.NodeID(n)); canSer != canShard {
+						t.Fatalf("cycle %d node %d: CanStartInjection serial=%v sharded=%v",
+							cyc, n, canSer, canShard)
+					}
+					if !canSer {
+						continue
+					}
+					serial.StartInjection(packet.New(id, topology.NodeID(n), dst, 8, serial.Now()))
+					sharded.StartInjection(packet.New(id, topology.NodeID(n), dst, 8, sharded.Now()))
+					id++
+				}
+				serial.Step()
+				sharded.Step()
+
+				if len(serSeq) != len(shSeq) {
+					t.Fatalf("cycle %d: %d serial deliveries, %d sharded", cyc, len(serSeq), len(shSeq))
+				}
+				for i := range serSeq {
+					if serSeq[i] != shSeq[i] {
+						t.Fatalf("cycle %d: delivery %d is packet %d serial, %d sharded",
+							cyc, i, serSeq[i], shSeq[i])
+					}
+				}
+				serSeq, shSeq = serSeq[:0], shSeq[:0]
+
+				if serial.net != sharded.net {
+					t.Fatalf("cycle %d: counters diverge: serial %+v, sharded %+v",
+						cyc, serial.net, sharded.net)
+				}
+				if a, b := serial.DeliveredFlits(), sharded.DeliveredFlits(); a != b {
+					t.Fatalf("cycle %d: delivered flits %d serial, %d sharded", cyc, a, b)
+				}
+				if a, b := serial.Recoveries(), sharded.Recoveries(); a != b {
+					t.Fatalf("cycle %d: recoveries %d serial, %d sharded", cyc, a, b)
+				}
+				if a, b := serial.SuspectedPackets(), sharded.SuspectedPackets(); a != b {
+					t.Fatalf("cycle %d: suspects %d serial, %d sharded", cyc, a, b)
+				}
+				if cyc%50 == 0 {
+					if err := sharded.CheckInvariants(); err != nil {
+						t.Fatalf("sharded invariants at cycle %d: %v", cyc, err)
+					}
+					if err := serial.CheckInvariants(); err != nil {
+						t.Fatalf("serial invariants at cycle %d: %v", cyc, err)
+					}
+				}
+			}
+			if mode == Recovery && serial.Recoveries() == 0 {
+				t.Error("load never triggered a recovery; the test is not exercising the recovery merge path")
+			}
+		})
+	}
+}
+
+// TestShardedWorkerLifecycle pins the worker pool's lifecycle: lazy
+// start on the first sharded step, shutdown on Close, and a restart on
+// the next Step after Close.
+func TestShardedWorkerLifecycle(t *testing.T) {
+	f := MustNew(twinConfig(Avoidance, 8))
+	if f.workers != nil {
+		t.Fatal("workers started before the first Step")
+	}
+	f.Step()
+	if f.workers == nil {
+		t.Fatal("workers not started by the first sharded Step")
+	}
+	f.Close()
+	if f.workers != nil {
+		t.Fatal("Close did not clear the worker pool")
+	}
+	f.Close() // idempotent
+	f.Step()
+	if f.workers == nil {
+		t.Fatal("Step after Close did not restart the workers")
+	}
+	f.Close()
+}
+
+// TestShardPartition pins the shard geometry: spans are 64-aligned so
+// no two shards share an active-bitset word, and networks that fit in
+// one span step serially.
+func TestShardPartition(t *testing.T) {
+	cases := []struct {
+		k, workers int
+		wantShards int
+		wantSpan   int
+	}{
+		{16, 8, 4, 64},  // 256 nodes: ceil(256/8)=32 -> span 64
+		{16, 2, 2, 128}, // 256 nodes: span 128
+		{16, 1, 0, 0},   // serial
+		{8, 8, 0, 0},    // 64 nodes round to one 64-node span: serial
+		{16, 64, 4, 64}, // more workers than spans: clamp to 4 shards
+	}
+	for _, c := range cases {
+		cfg := Config{
+			Topo: topology.MustNew(c.k, 2), VCs: 3, BufDepth: 4,
+			Mode: Avoidance, Workers: c.workers,
+		}
+		f := MustNew(cfg)
+		if len(f.shards) != c.wantShards {
+			t.Errorf("k=%d workers=%d: %d shards, want %d", c.k, c.workers, len(f.shards), c.wantShards)
+		}
+		if c.wantShards > 0 {
+			if f.shardSpan != c.wantSpan {
+				t.Errorf("k=%d workers=%d: span %d, want %d", c.k, c.workers, f.shardSpan, c.wantSpan)
+			}
+			last := f.shards[len(f.shards)-1]
+			if last.hi != c.k*c.k {
+				t.Errorf("k=%d workers=%d: last shard ends at %d, want %d", c.k, c.workers, last.hi, c.k*c.k)
+			}
+		}
+	}
+}
+
+// TestTracingForcesSerial pins the OnEvent contract: a fabric with an
+// event sink steps serially even when sharded, so trace event order
+// stays the serial interleaving.
+func TestTracingForcesSerial(t *testing.T) {
+	f := MustNew(twinConfig(Avoidance, 8))
+	f.OnEvent = func(e trace.Event) {}
+	f.Step()
+	if f.workers != nil {
+		t.Fatal("tracing fabric started shard workers")
+	}
+}

@@ -2,6 +2,7 @@ package router
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/packet"
 	"repro/internal/topology"
@@ -22,11 +23,16 @@ import (
 // letting the rest of the deadlocked cycle make progress.
 
 // drainLoc is one location of the frozen worm, with the flits it held at
-// freeze time and the resource cleanup to run once it is vacated.
+// freeze time and the resource cleanup to run once it is vacated. The
+// cleanup target is stored as data, not as a closure, so reconstructing
+// a worm's locations never allocates (recovery fires continuously past
+// saturation; per-recovery closures were the fabric's only steady-state
+// allocation).
 type drainLoc struct {
-	loc     packet.Location
-	count   int
-	cleanup func()
+	loc        packet.Location
+	count      int
+	cleanupBuf *vcBuffer // release this buffer's binding when vacated
+	cleanupOut *outVC    // release this output VC when vacated
 }
 
 // suspect is a frozen packet queued for the recovery token.
@@ -37,6 +43,8 @@ type suspect struct {
 }
 
 // recoveryState tracks the packet currently holding the recovery token.
+// The fabric embeds one instance (recStore) and reuses it — including
+// the locs backing array — across recoveries.
 type recoveryState struct {
 	pkt     *packet.Packet
 	locs    []drainLoc // downstream-first: locs[0] drains first
@@ -56,41 +64,49 @@ type recoveryState struct {
 // queue grows, and frozen worms clog the network: this is the mechanism
 // behind the paper's throughput collapse in the recovery configuration.
 func (f *Fabric) detectDeadlock() {
-	now := f.now
-	timeout := f.cfg.DeadlockTimeout
-	// An empty network (netOccupiedIns == 0) holds nothing blockable, but
+	// An empty network (net.occupiedIns == 0) holds nothing blockable, but
 	// the suspect queue below must still be serviced: re-arm timers keep
 	// running for frozen packets whose flits sit outside input buffers.
-	if f.netOccupiedIns > 0 {
-		for ni := range f.nodes {
-			nd := &f.nodes[ni]
-			if nd.occupiedIns == 0 {
-				continue // no buffered flits, so no blockable header here
-			}
-			for _, port := range nd.inputs {
-				for bi := range port {
-					b := &port[bi]
-					if b.len() == 0 {
-						continue
-					}
-					fl := b.front()
-					if !fl.isHead() || fl.pkt.Mode.Frozen() {
-						continue
-					}
-					if fl.pkt.BlockedFor(now) > timeout {
-						fl.pkt.Mode = packet.Suspected
-						f.suspects = append(f.suspects, suspect{buf: b, pkt: fl.pkt, at: now})
-						f.emit(trace.Suspected, fl.pkt, b.node)
-					}
-				}
+	if f.net.occupiedIns > 0 {
+		for wi, w := range f.actOccupied.actWords {
+			for w != 0 {
+				ni := wi<<6 + bits.TrailingZeros64(w)
+				w &= w - 1
+				f.detectNode(ni, &f.suspects)
 			}
 		}
 	}
+	f.serviceSuspects()
+}
 
-	// Re-arm suspects that have waited too long for the token: the
-	// presumed deadlock may have been plain congestion, so the packet
-	// resumes normal routing with a fresh timer. Without this, one
-	// serialized token would freeze a saturated network forever.
+// detectNode scans node ni's input lanes whose front flit is a header
+// and appends fresh timeouts to out (in lane order).
+func (f *Fabric) detectNode(ni int, out *[]suspect) {
+	now := f.now
+	timeout := f.cfg.DeadlockTimeout
+	base := ni * f.lanesIn
+	for dm := f.occMask[ni] & f.headMask[ni]; dm != 0; dm &= dm - 1 {
+		lane := bits.TrailingZeros64(dm)
+		b := &f.bufs[base+lane]
+		fl := b.front()
+		if fl.pkt.Mode.Frozen() {
+			continue
+		}
+		if fl.pkt.BlockedFor(now) > timeout {
+			fl.pkt.Mode = packet.Suspected
+			*out = append(*out, suspect{buf: b, pkt: fl.pkt, at: now})
+			f.emit(trace.Suspected, fl.pkt, b.node)
+		}
+	}
+}
+
+// serviceSuspects re-arms suspects that have waited too long for the
+// token and hands the free token to the oldest remaining suspect. The
+// presumed deadlock may have been plain congestion, so a re-armed packet
+// resumes normal routing with a fresh timer; without this, one
+// serialized token would freeze a saturated network forever.
+func (f *Fabric) serviceSuspects() {
+	now := f.now
 	kept := f.suspects[:0]
 	for _, s := range f.suspects {
 		if now-s.at > f.tokenWait {
@@ -126,38 +142,42 @@ func (f *Fabric) feedingLatch(b *vcBuffer) *outVC {
 }
 
 // startRecovery freezes the worm whose header sits at the front of head
-// and reconstructs its locations from the packet's trail.
+// and reconstructs its locations from the packet's trail. The recovery
+// state and its locations array are reused across recoveries.
 func (f *Fabric) startRecovery(head *vcBuffer) {
 	pkt := head.front().pkt
 	pkt.Mode = packet.Recovering
 
-	r := &recoveryState{
+	r := &f.recStore
+	*r = recoveryState{
 		pkt:     pkt,
+		locs:    r.locs[:0],
 		dist:    f.topo.MeshDistance(head.node, pkt.Dst),
 		started: f.now,
 	}
 
 	total := 0
-	addLoc := func(loc packet.Location, count int, cleanup func()) {
-		if count <= 0 {
-			return
-		}
-		r.locs = append(r.locs, drainLoc{loc: loc, count: count, cleanup: cleanup})
-		total += count
-	}
-
 	trail := pkt.Trail
 	for i := len(trail) - 1; i >= 0; i-- {
 		b := trail[i].(*vcBuffer)
-		addLoc(b, b.CountOf(pkt), func() { f.cleanupBuffer(b, pkt) })
+		if c := b.CountOf(pkt); c > 0 {
+			r.locs = append(r.locs, drainLoc{loc: b, count: c, cleanupBuf: b})
+			total += c
+		}
 		// A mid-worm flit may sit in the latch feeding b (crossbar'd
 		// this cycle, frozen before link traversal).
 		if o := f.feedingLatch(b); o != nil {
-			addLoc(&o.lat, o.lat.CountOf(pkt), func() { f.cleanupOutVC(o, pkt) })
+			if c := o.lat.CountOf(pkt); c > 0 {
+				r.locs = append(r.locs, drainLoc{loc: &o.lat, count: c, cleanupOut: o})
+				total += c
+			}
 		}
 	}
 	src := &f.nodes[pkt.Src].src
-	addLoc(src, src.CountOf(pkt), nil)
+	if c := src.CountOf(pkt); c > 0 {
+		r.locs = append(r.locs, drainLoc{loc: src, count: c})
+		total += c
+	}
 
 	if total != pkt.Length {
 		panic(fmt.Sprintf("router: recovery of %v found %d flits, want %d", pkt, total, pkt.Length))
@@ -173,9 +193,9 @@ func (f *Fabric) cleanupBuffer(b *vcBuffer, pkt *packet.Packet) {
 	if b.bound && b.boundPkt == pkt {
 		o := &f.nodes[b.node].outs[b.outPort][b.outVC]
 		if o.ownerPkt == pkt {
-			o.release()
+			o.release(&f.net)
 		}
-		b.clearBinding()
+		b.clearBinding(&f.net)
 	}
 }
 
@@ -184,13 +204,14 @@ func (f *Fabric) cleanupBuffer(b *vcBuffer, pkt *packet.Packet) {
 // case).
 func (f *Fabric) cleanupOutVC(o *outVC, pkt *packet.Packet) {
 	if o.ownerPkt == pkt {
-		o.release()
+		o.release(&f.net)
 	}
 }
 
 // recoveryStep advances the active recovery by one cycle: evict one flit
 // into the deadlock-buffer lane and count lane arrivals at the
-// destination.
+// destination. Recovery always runs on the coordinator, before the
+// stages, so it works on the fabric-wide counters directly.
 func (f *Fabric) recoveryStep() {
 	r := f.rec
 	if r == nil {
@@ -210,8 +231,12 @@ func (f *Fabric) recoveryStep() {
 		d.loc.EvictFront(r.pkt)
 		d.count--
 		r.popped++
-		if d.count == 0 && d.cleanup != nil {
-			d.cleanup()
+		if d.count == 0 {
+			if d.cleanupBuf != nil {
+				f.cleanupBuffer(d.cleanupBuf, r.pkt)
+			} else if d.cleanupOut != nil {
+				f.cleanupOutVC(d.cleanupOut, r.pkt)
+			}
 		}
 	}
 

@@ -2,11 +2,20 @@ package router
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/packet"
 	"repro/internal/topology"
 	"repro/internal/trace"
 )
+
+// The per-cycle stages. Each outer loop walks the stage's node-level
+// active bitset with trailing-zero scans over a snapshot of each word
+// (a stage only ever clears its own bitset's bits, never sets them, so
+// a snapshot walk visits exactly the nodes that were active at stage
+// start — the serial semantics). Inside a node, the per-lane masks are
+// walked the same way, so cost scales with active lanes, not with
+// ports x VCs.
 
 // linkStage moves every latched flit across its link into the downstream
 // virtual-channel buffer (one cycle per flit per link), or consumes it at
@@ -14,46 +23,53 @@ import (
 // latched the flit after checking occupancy, and each buffer has exactly
 // one upstream source.
 func (f *Fabric) linkStage() {
-	if f.netLatched == 0 {
+	if f.net.latched == 0 {
 		return // no latched flit anywhere in the network
 	}
+	for wi, w := range f.actLatched.actWords {
+		for w != 0 {
+			ni := wi<<6 + bits.TrailingZeros64(w)
+			w &= w - 1
+			f.linkNode(ni, &f.serial)
+		}
+	}
+}
+
+// linkNode drains node ni's latches: delivery lanes consume at this
+// node, physical lanes hand off to the downstream neighbor.
+func (f *Fabric) linkNode(ni int, ctx *stepCtx) {
 	now := f.now
-	for ni := range f.nodes {
-		nd := &f.nodes[ni]
-		if nd.latched == 0 {
+	base := ni * f.lanesOut
+	for lm := f.latchMask[ni]; lm != 0; lm &= lm - 1 {
+		lane := bits.TrailingZeros64(lm)
+		o := &f.outsA[base+lane]
+		if o.lat.f.pkt.Mode.Frozen() {
 			continue
 		}
-		for p, outs := range nd.outs {
-			for oi := range outs {
-				o := &outs[oi]
-				if !o.lat.full || o.lat.f.pkt.Mode.Frozen() {
-					continue
-				}
-				fl := o.lat.clear()
-				fl.pkt.Progress(now)
-				if p == f.dlvPort {
-					f.countDeliveredFlit()
-					fl.pkt.Consumed++
-					if fl.isTail() {
-						o.release()
-						f.deliver(fl.pkt, now)
-					}
-					continue
-				}
-				nb := f.topo.Neighbor(nd.id, topology.PortDim(p), topology.PortDir(p))
-				tb := &f.nodes[nb].inputs[topology.OppositePort(p)][o.lat.vc]
-				if tb.full() {
-					panic(fmt.Sprintf("router: link overflow into %v at cycle %d", tb, now))
-				}
-				fl.arrived = now
-				tb.push(fl)
-				if fl.isHead() {
-					fl.pkt.PushTrail(tb)
-				}
-				if fl.isTail() {
-					o.release()
-				}
+		fl := o.lat.clear(ctx.nc)
+		fl.pkt.Progress(now)
+		p := o.lat.port
+		if p == f.dlvPort {
+			f.countDeliveredFlit()
+			fl.pkt.Consumed++
+			if fl.isTail() {
+				o.release(ctx.nc)
+				f.deliver(fl.pkt, now)
 			}
+			continue
+		}
+		nb := f.topo.Neighbor(topology.NodeID(ni), topology.PortDim(p), topology.PortDir(p))
+		tb := &f.bufs[int(nb)*f.lanesIn+topology.OppositePort(p)*f.cfg.VCs+o.lat.vc]
+		if tb.full() {
+			panic(fmt.Sprintf("router: link overflow into %v at cycle %d", tb, now))
+		}
+		fl.arrived = now
+		tb.push(fl, ctx.nc)
+		if fl.isHead() {
+			fl.pkt.PushTrail(tb)
+		}
+		if fl.isTail() {
+			o.release(ctx.nc)
 		}
 	}
 }
@@ -63,56 +79,79 @@ func (f *Fabric) linkStage() {
 // VC into the output latch (one cycle per flit through the crossbar).
 // Winners are chosen round-robin over the port's output VCs.
 func (f *Fabric) crossbarStage() {
-	if f.netOwnedOuts == 0 {
+	if f.net.ownedOuts == 0 {
 		return // no packet owns an output VC anywhere
 	}
+	for wi, w := range f.actOwned.actWords {
+		for w != 0 {
+			ni := wi<<6 + bits.TrailingZeros64(w)
+			w &= w - 1
+			f.crossbarNode(ni)
+		}
+	}
+}
+
+// crossbarNode runs switch allocation at node ni: owned-but-unlatched
+// lanes are the candidates, visited port by port.
+func (f *Fabric) crossbarNode(ni int) {
+	cm := f.ownedMask[ni] &^ f.latchMask[ni]
+	nd := &f.nodes[ni]
+	for cm != 0 {
+		lane := bits.TrailingZeros64(cm)
+		p := int(f.laneOutPort[lane])
+		base, nvc := f.outPortBase[p], f.outPortWidth[p]
+		cm &^= ((uint64(1) << uint(nvc)) - 1) << uint(base)
+		f.crossbarPort(nd, ni, p, base, nvc, &f.serial)
+	}
+}
+
+// crossbarPort arbitrates one output port: round-robin from swPtr over
+// the port's output VCs, the first candidate with a buffered flit and a
+// downstream credit wins. One flit per physical port per cycle; each
+// delivery (consumption) channel drains independently.
+func (f *Fabric) crossbarPort(nd *node, ni, p, base, nvc int, ctx *stepCtx) {
 	now := f.now
-	for ni := range f.nodes {
-		nd := &f.nodes[ni]
-		if nd.ownedOuts == 0 {
+	pm := (f.ownedMask[ni] &^ f.latchMask[ni]) >> uint(base)
+	outs := f.outsA[ni*f.lanesOut+base : ni*f.lanesOut+base+nvc]
+	start := nd.swPtr[p]
+	dlv := p == f.dlvPort
+	for i := 0; i < nvc; i++ {
+		vi := start + i
+		if vi >= nvc {
+			vi -= nvc
+		}
+		if pm&(uint64(1)<<uint(vi)) == 0 {
 			continue
 		}
-		for p, outs := range nd.outs {
-			nvc := len(outs)
-			start := nd.swPtr[p]
-			for i := 0; i < nvc; i++ {
-				vi := start + i
-				if vi >= nvc {
-					vi -= nvc
-				}
-				o := &outs[vi]
-				if o.ownerPkt == nil || o.lat.full || o.ownerPkt.Mode.Frozen() {
-					continue
-				}
-				b := o.owner
-				if b.len() == 0 {
-					continue // worm stretched thin: no flit buffered here yet
-				}
-				if p != f.dlvPort {
-					nb := f.topo.Neighbor(nd.id, topology.PortDim(p), topology.PortDir(p))
-					tb := &f.nodes[nb].inputs[topology.OppositePort(p)][vi]
-					if tb.full() {
-						continue // no downstream credit
-					}
-				}
-				fl := b.pop()
-				if fl.pkt != o.ownerPkt {
-					panic(fmt.Sprintf("router: %v front flit of %v, owner %v", b, fl.pkt, o.ownerPkt))
-				}
-				fl.pkt.Progress(now)
-				if fl.isTail() {
-					b.clearBinding()
-				}
-				o.lat.set(fl)
-				if p != f.dlvPort {
-					// One flit per physical output port per cycle; each
-					// delivery (consumption) channel drains independently.
-					if nd.swPtr[p] = vi + 1; nd.swPtr[p] == nvc {
-						nd.swPtr[p] = 0
-					}
-					break
-				}
+		o := &outs[vi]
+		if o.ownerPkt.Mode.Frozen() {
+			continue
+		}
+		b := o.owner
+		if f.occ[b.gid] == 0 {
+			continue // worm stretched thin: no flit buffered here yet
+		}
+		if !dlv {
+			nb := f.topo.Neighbor(nd.id, topology.PortDim(p), topology.PortDir(p))
+			tg := int32(int(nb)*f.lanesIn + topology.OppositePort(p)*f.cfg.VCs + vi)
+			if int(f.occ[tg]) == f.cfg.BufDepth {
+				continue // no downstream credit
 			}
+		}
+		fl := b.pop(ctx.nc)
+		if fl.pkt != o.ownerPkt {
+			panic(fmt.Sprintf("router: %v front flit of %v, owner %v", b, fl.pkt, o.ownerPkt))
+		}
+		fl.pkt.Progress(now)
+		if fl.isTail() {
+			b.clearBinding(ctx.nc)
+		}
+		o.lat.set(fl, ctx.nc)
+		if !dlv {
+			if nd.swPtr[p] = vi + 1; nd.swPtr[p] == nvc {
+				nd.swPtr[p] = 0
+			}
+			return
 		}
 	}
 }
@@ -123,51 +162,67 @@ func (f *Fabric) crossbarStage() {
 // routing delay; body flits stream behind the header without consulting
 // the arbiter).
 func (f *Fabric) routingStage() {
-	if f.netPendingIns == 0 {
+	if f.net.pendingIns == 0 {
 		return // no unrouted header anywhere
 	}
-	for ni := range f.nodes {
-		f.arbitrate(&f.nodes[ni])
+	for wi, w := range f.actPending.actWords {
+		for w != 0 {
+			ni := wi<<6 + bits.TrailingZeros64(w)
+			w &= w - 1
+			f.arbitrate(&f.nodes[ni], &f.serial)
+		}
 	}
 }
 
-// flatten input VC index space: physical ports * VCs, then injection.
-func (f *Fabric) inputVCCount() int { return f.topo.PhysPorts()*f.cfg.VCs + 1 }
-
+// inputVCAt returns node nd's input VC buffer at flattened lane idx
+// (physical ports * VCs, then the injection channel).
 func (f *Fabric) inputVCAt(nd *node, idx int) *vcBuffer {
-	phys := f.topo.PhysPorts() * f.cfg.VCs
-	if idx < phys {
-		return &nd.inputs[idx/f.cfg.VCs][idx%f.cfg.VCs]
-	}
-	return &nd.inputs[f.injPort][0]
+	return &f.bufs[int(nd.id)*f.lanesIn+idx]
 }
 
-func (f *Fabric) arbitrate(nd *node) {
-	if nd.pendingIns == 0 {
+func (f *Fabric) arbitrate(nd *node, ctx *stepCtx) {
+	ni := int(nd.id)
+	// Candidate lanes: occupied, unbound, head flit at the front. The
+	// frozen and arrival-cycle checks stay live per candidate, exactly
+	// like the serial scan's continue conditions.
+	cm := (f.occMask[ni] &^ f.boundMask[ni]) & f.headMask[ni]
+	if cm == 0 {
 		return // no input VC holds an unrouted header
 	}
-	total := f.inputVCCount()
-	for i := 0; i < total; i++ {
-		idx := (nd.arbPtr + i) % total
-		b := f.inputVCAt(nd, idx)
-		if b.len() == 0 || b.bound {
-			continue
+	total := f.lanesIn
+	ap := nd.arbPtr
+	for m := cm >> uint(ap); m != 0; m &= m - 1 {
+		idx := ap + bits.TrailingZeros64(m)
+		if f.tryArbSlot(nd, idx, total, ctx) {
+			return
 		}
-		fl := b.front()
-		if !fl.isHead() || fl.pkt.Mode.Frozen() {
-			continue
-		}
-		if fl.arrived >= f.now {
-			// The header arrived this cycle; routing occupies the next
-			// cycle (the paper's one-cycle routing delay).
-			continue
-		}
-		// This requester gets the arbiter slot this cycle, whether or
-		// not allocation succeeds (demand-slotted round robin).
-		nd.arbPtr = (idx + 1) % total
-		f.routeHeader(nd, b, fl.pkt)
-		return
 	}
+	for m := cm & ((uint64(1) << uint(ap)) - 1); m != 0; m &= m - 1 {
+		idx := bits.TrailingZeros64(m)
+		if f.tryArbSlot(nd, idx, total, ctx) {
+			return
+		}
+	}
+}
+
+// tryArbSlot offers the arbiter slot to the candidate at lane idx. It
+// returns true when the candidate took the slot (whether or not output
+// VC allocation succeeded — demand-slotted round robin), false when the
+// candidate was ineligible this cycle and the scan continues.
+func (f *Fabric) tryArbSlot(nd *node, idx, total int, ctx *stepCtx) bool {
+	b := f.inputVCAt(nd, idx)
+	fl := b.front()
+	if fl.pkt.Mode.Frozen() {
+		return false
+	}
+	if fl.arrived >= f.now {
+		// The header arrived this cycle; routing occupies the next
+		// cycle (the paper's one-cycle routing delay).
+		return false
+	}
+	nd.arbPtr = (idx + 1) % total
+	f.routeHeader(nd, b, fl.pkt, ctx)
+	return true
 }
 
 // vcAvailable reports whether output VC (port, vc) at nd can be
@@ -182,18 +237,18 @@ func (f *Fabric) vcAvailable(nd *node, port, vc int, pkt *packet.Packet) bool {
 		return true
 	}
 	nb := f.topo.Neighbor(nd.id, topology.PortDim(port), topology.PortDir(port))
-	tb := &f.nodes[nb].inputs[topology.OppositePort(port)][vc]
-	return tb.cap()-tb.len() >= pkt.Length
+	tg := int(nb)*f.lanesIn + topology.OppositePort(port)*f.cfg.VCs + vc
+	return f.cfg.BufDepth-int(f.occ[tg]) >= pkt.Length
 }
 
 // routeHeader attempts route computation and output VC allocation for the
 // header at the front of b. On failure the header retries on a later
 // arbiter slot.
-func (f *Fabric) routeHeader(nd *node, b *vcBuffer, pkt *packet.Packet) bool {
+func (f *Fabric) routeHeader(nd *node, b *vcBuffer, pkt *packet.Packet, ctx *stepCtx) bool {
 	if pkt.Dst == nd.id {
 		for v := range nd.outs[f.dlvPort] {
 			if nd.outs[f.dlvPort][v].free() {
-				f.allocate(nd, b, pkt, f.dlvPort, v)
+				f.allocate(nd, b, pkt, f.dlvPort, v, ctx)
 				return true
 			}
 		}
@@ -202,15 +257,15 @@ func (f *Fabric) routeHeader(nd *node, b *vcBuffer, pkt *packet.Packet) bool {
 	switch f.cfg.Mode {
 	case Recovery:
 		// All virtual channels are fully adaptive.
-		return f.routeAdaptive(nd, b, pkt, 0)
+		return f.routeAdaptive(nd, b, pkt, 0, ctx)
 	default: // Avoidance
-		if pkt.Mode != packet.Escape && f.routeAdaptive(nd, b, pkt, 1) {
+		if pkt.Mode != packet.Escape && f.routeAdaptive(nd, b, pkt, 1, ctx) {
 			return true
 		}
 		// Escape lane: dimension-order over the mesh on VC 0. Once a
 		// packet enters the escape lane it stays there (conservative
 		// Duato protocol, trivially deadlock free).
-		if f.routeEscape(nd, b, pkt) {
+		if f.routeEscape(nd, b, pkt, ctx) {
 			pkt.Mode = packet.Escape
 			return true
 		}
@@ -221,9 +276,9 @@ func (f *Fabric) routeHeader(nd *node, b *vcBuffer, pkt *packet.Packet) bool {
 // routeAdaptive tries the minimal output ports in the order the
 // configured selection policy prefers, and every virtual channel from
 // minVC up, taking the first free output VC.
-func (f *Fabric) routeAdaptive(nd *node, b *vcBuffer, pkt *packet.Packet, minVC int) bool {
-	ports := f.topo.MinimalPorts(nd.id, pkt.Dst, f.scratchPorts[:0])
-	f.scratchPorts = ports
+func (f *Fabric) routeAdaptive(nd *node, b *vcBuffer, pkt *packet.Packet, minVC int, ctx *stepCtx) bool {
+	ports := f.topo.MinimalPorts(nd.id, pkt.Dst, ctx.ports[:0])
+	ctx.ports = ports
 	if len(ports) == 0 {
 		return false
 	}
@@ -251,7 +306,7 @@ func (f *Fabric) routeAdaptive(nd *node, b *vcBuffer, pkt *packet.Packet, minVC 
 		p := ports[(start+i)%len(ports)]
 		for v := minVC; v < f.cfg.VCs; v++ {
 			if f.vcAvailable(nd, p, v, pkt) {
-				f.allocate(nd, b, pkt, p, v)
+				f.allocate(nd, b, pkt, p, v, ctx)
 				return true
 			}
 		}
@@ -260,26 +315,26 @@ func (f *Fabric) routeAdaptive(nd *node, b *vcBuffer, pkt *packet.Packet, minVC 
 }
 
 // routeEscape allocates escape VC 0 on the mesh dimension-order port.
-func (f *Fabric) routeEscape(nd *node, b *vcBuffer, pkt *packet.Packet) bool {
+func (f *Fabric) routeEscape(nd *node, b *vcBuffer, pkt *packet.Packet, ctx *stepCtx) bool {
 	p, ok := f.topo.DORMeshNextPort(nd.id, pkt.Dst)
 	if !ok {
 		return false // local destination handled earlier
 	}
 	if f.vcAvailable(nd, p, 0, pkt) {
-		f.allocate(nd, b, pkt, p, 0)
+		f.allocate(nd, b, pkt, p, 0, ctx)
 		return true
 	}
 	return false
 }
 
 // allocate binds input VC b to output VC (port, vc) for the packet.
-func (f *Fabric) allocate(nd *node, b *vcBuffer, pkt *packet.Packet, port, vc int) {
+func (f *Fabric) allocate(nd *node, b *vcBuffer, pkt *packet.Packet, port, vc int, ctx *stepCtx) {
 	o := &nd.outs[port][vc]
 	if !o.free() {
 		panic(fmt.Sprintf("router: double allocation of node %d port %d vc %d", nd.id, port, vc))
 	}
-	b.setBinding(pkt, port, vc)
-	o.acquire(b, pkt)
+	b.setBinding(pkt, port, vc, ctx.nc)
+	o.acquire(b, pkt, ctx.nc)
 	pkt.Hops++
 	pkt.Progress(f.now)
 	f.emit(trace.Routed, pkt, nd.id)
@@ -288,31 +343,40 @@ func (f *Fabric) allocate(nd *node, b *vcBuffer, pkt *packet.Packet, port, vc in
 // injectionStage streams the current packet of each node's source slot
 // into the injection channel at one flit per cycle.
 func (f *Fabric) injectionStage() {
-	if f.netSrcActive == 0 {
+	if f.net.srcActive == 0 {
 		return // no source is streaming a packet
 	}
+	for wi, w := range f.actSrc.actWords {
+		for w != 0 {
+			ni := wi<<6 + bits.TrailingZeros64(w)
+			w &= w - 1
+			f.injectNode(ni, &f.serial)
+		}
+	}
+}
+
+// injectNode streams one flit of node ni's current source packet.
+func (f *Fabric) injectNode(ni int, ctx *stepCtx) {
+	nd := &f.nodes[ni]
+	pkt := nd.src.pkt
+	if pkt == nil || pkt.Mode.Frozen() {
+		return
+	}
 	now := f.now
-	for ni := range f.nodes {
-		nd := &f.nodes[ni]
-		pkt := nd.src.pkt
-		if pkt == nil || pkt.Mode.Frozen() {
-			continue
-		}
-		b := &nd.inputs[f.injPort][0]
-		if b.full() {
-			continue
-		}
-		idx := pkt.Length - pkt.SrcRemaining
-		b.push(flit{pkt: pkt, idx: idx, arrived: now})
-		pkt.SrcRemaining--
-		pkt.Progress(now)
-		if idx == 0 {
-			pkt.InjectedAt = now
-			pkt.PushTrail(b)
-			f.emit(trace.Injected, pkt, pkt.Src)
-		}
-		if pkt.SrcRemaining == 0 {
-			nd.src.clearPacket()
-		}
+	b := &f.bufs[ni*f.lanesIn+f.lanesIn-1]
+	if b.full() {
+		return
+	}
+	idx := pkt.Length - pkt.SrcRemaining
+	b.push(flit{pkt: pkt, idx: idx, arrived: now}, ctx.nc)
+	pkt.SrcRemaining--
+	pkt.Progress(now)
+	if idx == 0 {
+		pkt.InjectedAt = now
+		pkt.PushTrail(b)
+		f.emit(trace.Injected, pkt, pkt.Src)
+	}
+	if pkt.SrcRemaining == 0 {
+		nd.src.clearPacket(ctx.nc)
 	}
 }

@@ -123,6 +123,13 @@ type Config struct {
 
 	Scheme Scheme
 
+	// ShardWorkers is the number of worker shards the router's cycle
+	// loop is partitioned into (0 or 1 = serial stepping). Sharded
+	// stepping is byte-identical to serial — the knob trades CPUs for
+	// wall time, never results — so it is excluded from Fingerprint and
+	// two runs differing only here share cached results.
+	ShardWorkers int
+
 	// Durations. Statistics cover [WarmupCycles, WarmupCycles+MeasureCycles).
 	WarmupCycles  int64
 	MeasureCycles int64
@@ -184,7 +191,8 @@ func (c Config) Validate() error {
 	}
 	rc := router.Config{Topo: topo, VCs: c.VCs, BufDepth: c.BufDepth,
 		Mode: c.Mode, DeadlockTimeout: c.DeadlockTimeout, TokenWaitTimeout: c.TokenWaitTimeout,
-		DeliveryChannels: c.DeliveryChannels, Selection: c.Selection, Switching: c.Switching}
+		DeliveryChannels: c.DeliveryChannels, Selection: c.Selection, Switching: c.Switching,
+		Workers: c.ShardWorkers}
 	if err := rc.Validate(); err != nil {
 		return err
 	}

@@ -132,7 +132,7 @@ func New(cfg Config) (*Engine, error) {
 		Mode: cfg.Mode, DeadlockTimeout: cfg.DeadlockTimeout,
 		TokenWaitTimeout: cfg.TokenWaitTimeout,
 		DeliveryChannels: cfg.DeliveryChannels, Selection: cfg.Selection,
-		Switching: cfg.Switching,
+		Switching: cfg.Switching, Workers: cfg.ShardWorkers,
 	})
 	if err != nil {
 		return nil, err
@@ -279,6 +279,10 @@ func (e *Engine) RunContext(ctx context.Context, every int64, fn func(now int64)
 	if e.fab.Now() != 0 {
 		return Result{}, fmt.Errorf("sim: engine already run")
 	}
+	// Sharded stepping parks worker goroutines between cycles; release
+	// them when the run ends (including cancellation) so sweeps that
+	// build many engines do not accumulate idle goroutines.
+	defer e.fab.Close()
 	done := ctx.Done() // nil for context.Background(): no per-cycle cost
 	for now := int64(0); now < e.total; now++ {
 		if done != nil && now&cancelCheckMask == 0 {
@@ -301,7 +305,13 @@ func (e *Engine) RunContext(ctx context.Context, every int64, fn func(now int64)
 // drivers: the caller controls the cycle loop and may inspect the
 // fabric between cycles. Statistics accumulate exactly as under Run;
 // mixing Step with a later Run is rejected by Run's already-run guard.
+// Step-driven engines with ShardWorkers > 1 should Close when done.
 func (e *Engine) Step() { e.step(e.fab.Now()) }
+
+// Close releases the fabric's worker goroutines, if any. Run and
+// RunContext close automatically; only Step-driven callers need this.
+// The engine remains usable: the workers restart on the next Step.
+func (e *Engine) Close() { e.fab.Close() }
 
 // CheckInvariants verifies the engine's structural invariants: the
 // fabric's (buffer occupancy, counters, flit conservation, no

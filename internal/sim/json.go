@@ -52,6 +52,11 @@ type configJSON struct {
 
 	Scheme schemeJSON `json:"scheme"`
 
+	// shard_workers is carried on the wire (a spec can pin it) but is
+	// excluded from Fingerprint: sharded stepping is byte-identical to
+	// serial, so it must not split the result cache.
+	ShardWorkers int `json:"shard_workers,omitempty"`
+
 	WarmupCycles   int64 `json:"warmup_cycles"`
 	MeasureCycles  int64 `json:"measure_cycles"`
 	SampleInterval int64 `json:"sample_interval,omitempty"`
@@ -123,6 +128,7 @@ func (c Config) MarshalJSON() ([]byte, error) {
 			TuningPeriod:    c.Scheme.TuningPeriod,
 			KeepTrace:       c.Scheme.KeepTrace,
 		},
+		ShardWorkers:   c.ShardWorkers,
 		WarmupCycles:   c.WarmupCycles,
 		MeasureCycles:  c.MeasureCycles,
 		SampleInterval: c.SampleInterval,
@@ -202,6 +208,7 @@ func (c *Config) UnmarshalJSON(data []byte) error {
 			TuningPeriod:    w.Scheme.TuningPeriod,
 			KeepTrace:       w.Scheme.KeepTrace,
 		},
+		ShardWorkers:   w.ShardWorkers,
 		WarmupCycles:   w.WarmupCycles,
 		MeasureCycles:  w.MeasureCycles,
 		SampleInterval: w.SampleInterval,
@@ -230,7 +237,12 @@ func (c *Config) UnmarshalJSON(data []byte) error {
 // round trip Config -> JSON -> Config preserves it, so the fingerprint
 // keys the result cache and the spec-integrity checks. Configs with no
 // wire form (live Schedule, custom throttler) have no fingerprint.
+//
+// ShardWorkers is zeroed before hashing: sharded stepping is
+// byte-identical to serial, so runs differing only in worker count are
+// the same experiment and must share cache entries.
 func (c Config) Fingerprint() (string, error) {
+	c.ShardWorkers = 0
 	data, err := json.Marshal(c)
 	if err != nil {
 		return "", err
