@@ -24,17 +24,25 @@ var DeterministicPackages = []string{
 // RouterPackage is the home of the guarded active-set counters.
 const RouterPackage = "repro/internal/router"
 
-// Suite returns the full analyzer suite with its per-package scoping:
-// detrand and maporder on every deterministic package, counterguard on
-// the router only. Both cmd/stcc-vet drivers and the self-check test
-// use this one definition.
+// Suite returns the full analyzer suite with its per-package scoping,
+// sorted by analyzer name: atomicguard and hotalloc run everywhere
+// (they are gated by sync/atomic usage and //stcc:hotpath annotations
+// respectively, so out-of-scope packages cost one cheap scan), detrand
+// and maporder on every deterministic package, counterguard and
+// shardguard on the router only. Both cmd/stcc-vet drivers and the
+// self-check test use this one definition.
 func Suite() []framework.Config {
 	return []framework.Config{
+		{Analyzer: AtomicGuard},
+		{Analyzer: CounterGuard, Applies: isRouter},
 		{Analyzer: DetRand, Applies: isDeterministic},
+		{Analyzer: HotAlloc},
 		{Analyzer: MapOrder, Applies: isDeterministic},
-		{Analyzer: CounterGuard, Applies: func(pkgPath string) bool { return pkgPath == RouterPackage }},
+		{Analyzer: ShardGuard, Applies: isRouter},
 	}
 }
+
+func isRouter(pkgPath string) bool { return pkgPath == RouterPackage }
 
 func isDeterministic(pkgPath string) bool {
 	for _, p := range DeterministicPackages {

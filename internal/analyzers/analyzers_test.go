@@ -31,33 +31,69 @@ func TestCounterGuard(t *testing.T) {
 	framework.TestRunner(t, testdata(t), analyzers.CounterGuard, "counterguard/a")
 }
 
+func TestShardGuard(t *testing.T) {
+	framework.TestRunner(t, testdata(t), analyzers.ShardGuard, "shardguard/a")
+}
+
+func TestHotAlloc(t *testing.T) {
+	framework.TestRunner(t, testdata(t), analyzers.HotAlloc, "hotalloc/a")
+}
+
+func TestAtomicGuard(t *testing.T) {
+	framework.TestRunner(t, testdata(t), analyzers.AtomicGuard, "atomicguard/a")
+}
+
 // TestSuiteScoping pins the package filters: the determinism analyzers
-// cover exactly the deterministic packages, and counterguard only the
-// router.
+// cover exactly the deterministic packages, counterguard and shardguard
+// only the router, and the annotation/usage-gated analyzers
+// (atomicguard, hotalloc) every package including cmd/.
 func TestSuiteScoping(t *testing.T) {
 	suite := analyzers.Suite()
-	if len(suite) != 3 {
-		t.Fatalf("suite has %d analyzers, want 3", len(suite))
+	if len(suite) != 6 {
+		t.Fatalf("suite has %d analyzers, want 6", len(suite))
 	}
-	for _, cfg := range suite {
-		if !cfg.Applies("repro/internal/router") {
+	applies := func(cfg framework.Config, pkg string) bool {
+		return cfg.Applies == nil || cfg.Applies(pkg)
+	}
+	byName := map[string]framework.Config{}
+	for i, cfg := range suite {
+		byName[cfg.Analyzer.Name] = cfg
+		if i > 0 && suite[i-1].Analyzer.Name >= cfg.Analyzer.Name {
+			t.Errorf("suite not sorted by name at %s", cfg.Analyzer.Name)
+		}
+		if !applies(cfg, "repro/internal/router") {
 			t.Errorf("%s does not apply to the router package", cfg.Analyzer.Name)
 		}
-		if cfg.Applies("repro/internal/experiments") {
-			t.Errorf("%s applies to the experiments package; orchestration may use the clock", cfg.Analyzer.Name)
-		}
-		if cfg.Applies("repro/internal/analyzers") {
-			t.Errorf("%s applies to the analyzer package itself", cfg.Analyzer.Name)
+	}
+	for _, name := range []string{"atomicguard", "counterguard", "detrand", "hotalloc", "maporder", "shardguard"} {
+		if _, ok := byName[name]; !ok {
+			t.Errorf("suite is missing analyzer %s", name)
 		}
 	}
-	for _, cfg := range suite[:2] {
+	for _, name := range []string{"detrand", "maporder"} {
+		cfg := byName[name]
 		for _, pkg := range analyzers.DeterministicPackages {
-			if !cfg.Applies(pkg) {
-				t.Errorf("%s does not apply to deterministic package %s", cfg.Analyzer.Name, pkg)
+			if !applies(cfg, pkg) {
+				t.Errorf("%s does not apply to deterministic package %s", name, pkg)
 			}
 		}
+		if applies(cfg, "repro/internal/experiments") {
+			t.Errorf("%s applies to the experiments package; orchestration may use the clock", name)
+		}
+		if applies(cfg, "repro/internal/analyzers") {
+			t.Errorf("%s applies to the analyzer package itself", name)
+		}
 	}
-	if suite[2].Applies("repro/internal/sim") {
-		t.Error("counterguard applies outside the router package")
+	for _, name := range []string{"counterguard", "shardguard"} {
+		if applies(byName[name], "repro/internal/sim") {
+			t.Errorf("%s applies outside the router package", name)
+		}
+	}
+	for _, name := range []string{"atomicguard", "hotalloc"} {
+		for _, pkg := range []string{"repro/cmd/stcc", "repro/internal/server", "repro/internal/packet"} {
+			if !applies(byName[name], pkg) {
+				t.Errorf("%s does not apply to %s; it must cover every package", name, pkg)
+			}
+		}
 	}
 }

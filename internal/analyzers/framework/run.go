@@ -2,9 +2,8 @@ package framework
 
 import (
 	"fmt"
-	"go/token"
 	"io"
-	"sort"
+	"path/filepath"
 )
 
 // Config pairs an analyzer with the set of packages it applies to. A
@@ -16,24 +15,21 @@ type Config struct {
 	Applies func(pkgPath string) bool
 }
 
-// finding is one rendered diagnostic, kept for sorting.
-type finding struct {
-	pos  token.Position
-	name string
-	msg  string
-}
-
-// Run loads the packages matching patterns under dir, applies every
-// applicable analyzer, and writes diagnostics to w in file:line:col
-// order. It returns the number of diagnostics. A non-nil error means
-// the run itself failed (load, type-check, or analyzer abort), not that
+// RunFindings loads the packages matching patterns under dir, applies
+// every applicable analyzer, and returns the diagnostics as sorted
+// Findings with file paths relative to dir. A non-nil error means the
+// run itself failed (load, type-check, or analyzer abort), not that
 // diagnostics were found.
-func Run(dir string, patterns []string, cfgs []Config, w io.Writer) (int, error) {
+func RunFindings(dir string, patterns []string, cfgs []Config) ([]Finding, error) {
 	pkgs, err := Load(dir, patterns...)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
-	var findings []finding
+	root := dir
+	if abs, err := filepath.Abs(dir); err == nil {
+		root = abs
+	}
+	var findings []Finding
 	for _, pkg := range pkgs {
 		for _, cfg := range cfgs {
 			if cfg.Applies != nil && !cfg.Applies(pkg.PkgPath) {
@@ -41,32 +37,34 @@ func Run(dir string, patterns []string, cfgs []Config, w io.Writer) (int, error)
 			}
 			diags, err := RunOne(cfg.Analyzer, pkg)
 			if err != nil {
-				return 0, fmt.Errorf("%s on %s: %v", cfg.Analyzer.Name, pkg.PkgPath, err)
+				return nil, fmt.Errorf("%s on %s: %v", cfg.Analyzer.Name, pkg.PkgPath, err)
 			}
 			for _, d := range diags {
-				findings = append(findings, finding{
-					pos:  pkg.Fset.Position(d.Pos),
-					name: cfg.Analyzer.Name,
-					msg:  d.Message,
+				pos := pkg.Fset.Position(d.Pos)
+				findings = append(findings, Finding{
+					File:     relativize(root, pos.Filename),
+					Line:     pos.Line,
+					Col:      pos.Column,
+					Analyzer: cfg.Analyzer.Name,
+					Message:  d.Message,
 				})
 			}
 		}
 	}
-	sort.Slice(findings, func(i, j int) bool {
-		a, b := findings[i], findings[j]
-		if a.pos.Filename != b.pos.Filename {
-			return a.pos.Filename < b.pos.Filename
-		}
-		if a.pos.Line != b.pos.Line {
-			return a.pos.Line < b.pos.Line
-		}
-		if a.pos.Column != b.pos.Column {
-			return a.pos.Column < b.pos.Column
-		}
-		return a.msg < b.msg
-	})
-	for _, f := range findings {
-		fmt.Fprintf(w, "%s: %s: %s\n", f.pos, f.name, f.msg)
+	sortFindings(findings)
+	return findings, nil
+}
+
+// Run is the text-mode convenience wrapper around RunFindings: it
+// writes diagnostics to w in file:line:col order and returns their
+// count.
+func Run(dir string, patterns []string, cfgs []Config, w io.Writer) (int, error) {
+	findings, err := RunFindings(dir, patterns, cfgs)
+	if err != nil {
+		return 0, err
+	}
+	if err := WriteText(w, findings); err != nil {
+		return 0, err
 	}
 	return len(findings), nil
 }

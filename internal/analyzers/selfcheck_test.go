@@ -23,15 +23,22 @@ func repoRoot(t *testing.T) string {
 }
 
 // TestSuiteCleanOnRepo is the regression gate for the determinism
-// contract: the whole module must pass the analyzer suite. If this
-// fails, either fix the flagged code or (for a reviewed exception) add
-// a //stcc:maporder justification.
+// contract: the whole module — cmd/ and examples/ included, since the
+// "./..." pattern covers every package — must pass all six analyzers.
+// If this fails, either fix the flagged code or (for a reviewed
+// exception) add the analyzer's suppression directive
+// (//stcc:maporder, //stcc:shardguard, //stcc:hotalloc,
+// //stcc:atomicguard ...) with a justification.
 func TestSuiteCleanOnRepo(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds export data for the whole module; skipped in -short")
 	}
+	suite := analyzers.Suite()
+	if len(suite) != 6 {
+		t.Fatalf("suite has %d analyzers, want 6 (the gate must run the whole registry)", len(suite))
+	}
 	var out bytes.Buffer
-	n, err := framework.Run(repoRoot(t), []string{"./..."}, analyzers.Suite(), &out)
+	n, err := framework.Run(repoRoot(t), []string{"./..."}, suite, &out)
 	if err != nil {
 		t.Fatalf("running suite: %v", err)
 	}
@@ -42,7 +49,8 @@ func TestSuiteCleanOnRepo(t *testing.T) {
 
 // TestVetToolCleanOnRepo runs the actual cmd/stcc-vet binary the way CI
 // and developers do, pinning the exit-status contract (0 on a clean
-// tree).
+// tree) in both output formats, including the checked-in (empty)
+// baseline that `make vet-json` uses.
 func TestVetToolCleanOnRepo(t *testing.T) {
 	if testing.Short() {
 		t.Skip("compiles and runs cmd/stcc-vet; skipped in -short")
@@ -56,5 +64,18 @@ func TestVetToolCleanOnRepo(t *testing.T) {
 	}
 	if s := strings.TrimSpace(string(out)); s != "" {
 		t.Errorf("stcc-vet produced output on a clean tree:\n%s", s)
+	}
+
+	// The CI invocation: machine-readable output filtered through the
+	// checked-in baseline, which must be empty (the tree is clean).
+	cmd = exec.Command("go", "run", "./cmd/stcc-vet",
+		"-format", "json", "-baseline", ".stcc-vet-baseline.json", "./...")
+	cmd.Dir = root
+	out, err = cmd.Output()
+	if err != nil {
+		t.Fatalf("stcc-vet -format json -baseline failed: %v\n%s", err, out)
+	}
+	if s := strings.TrimSpace(string(out)); s != "[]" {
+		t.Errorf("json findings on a clean tree = %s, want []", s)
 	}
 }

@@ -1,0 +1,298 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/analyzers/framework"
+)
+
+// ShardGuard enforces the write-ownership discipline of the router's
+// deterministic sharded stepping (internal/router/parallel.go): within
+// a parallel round, a shard may write only state owned by its own nodes
+// and its private scratch. The directives:
+//
+//   - //stcc:shardstage in a function's doc comment marks a parallel
+//     round root (the per-shard stage callbacks). The analyzer walks
+//     the intra-package call graph from these roots.
+//   - //stcc:serialonly marks a coordinator-only function (referee,
+//     merge, recovery); calling one from shard-stage-reachable code is
+//     a diagnostic.
+//   - //stcc:shardsafe <why> marks a reviewed function the traversal
+//     does not descend into.
+//   - //stcc:shardguard <why> on a line (or the line above) suppresses
+//     one reviewed finding, e.g. the link-merge round's cross-shard
+//     mailbox handshake.
+//
+// In reachable bodies, any assignment, increment, or address-take whose
+// selector chain roots at a Fabric value is flagged unless the first
+// field off the Fabric is one of the per-node arenas (nodes, bufs,
+// outsA) — those are indexed by node and the shard partition plus the
+// serial-twin test (TestShardedStepMatchesSerial) own the index
+// discipline. Writes to package-level variables are flagged too. The
+// accessor layer (buffer.go) is trusted and not descended into: its
+// counter writes go through the per-shard stepCtx sink, which
+// counterguard already polices.
+var ShardGuard = &framework.Analyzer{
+	Name: "shardguard",
+	Doc: `restrict parallel shard-stage writes to the worker's own shard state
+
+Stage callbacks reached from a //stcc:shardstage root may write only
+per-node arena state (nodes, bufs, outsA) and non-Fabric locals/scratch;
+stores to other Fabric fields, calls to //stcc:serialonly coordinator
+functions, and package-variable writes are flagged. Suppress a reviewed
+site with //stcc:shardguard <justification>.`,
+	Run: runShardGuard,
+}
+
+// shardArenas are the Fabric fields shard code may write through: the
+// per-node arenas whose elements are owned by the node's shard.
+var shardArenas = map[string]bool{
+	"nodes": true,
+	"bufs":  true,
+	"outsA": true,
+}
+
+// shardAccessorFile is the accessor layer the traversal trusts (its
+// mutations are counterguard's jurisdiction).
+const shardAccessorFile = "buffer.go"
+
+func runShardGuard(pass *framework.Pass) error {
+	sg := newShardGraph(pass)
+	if len(sg.roots) == 0 {
+		return nil
+	}
+	// BFS the intra-package call graph from the stage roots.
+	var queue []*ast.FuncDecl
+	visited := map[*ast.FuncDecl]bool{}
+	for _, d := range sg.roots {
+		visited[d] = true
+		queue = append(queue, d)
+	}
+	for len(queue) > 0 {
+		decl := queue[0]
+		queue = queue[1:]
+		sg.checkBody(decl)
+		for _, callee := range sg.callees(decl) {
+			if visited[callee] || !sg.traversable(callee) {
+				continue
+			}
+			visited[callee] = true
+			queue = append(queue, callee)
+		}
+	}
+	sort.Slice(sg.diags, func(i, j int) bool { return sg.diags[i].Pos < sg.diags[j].Pos })
+	for _, d := range sg.diags {
+		pass.Report(d)
+	}
+	return nil
+}
+
+// shardGraph holds the per-package directive sets and call-graph edges.
+type shardGraph struct {
+	pass       *framework.Pass
+	decls      map[*types.Func]*ast.FuncDecl
+	roots      []*ast.FuncDecl
+	serialOnly map[*ast.FuncDecl]bool
+	shardSafe  map[*ast.FuncDecl]bool
+	suppressed map[*ast.File]map[int]bool
+	fileOf     map[*ast.FuncDecl]*ast.File
+	diags      []framework.Diagnostic
+}
+
+func newShardGraph(pass *framework.Pass) *shardGraph {
+	sg := &shardGraph{
+		pass:       pass,
+		decls:      map[*types.Func]*ast.FuncDecl{},
+		serialOnly: map[*ast.FuncDecl]bool{},
+		shardSafe:  map[*ast.FuncDecl]bool{},
+		suppressed: map[*ast.File]map[int]bool{},
+		fileOf:     map[*ast.FuncDecl]*ast.File{},
+	}
+	for _, f := range pass.Files {
+		sg.suppressed[f] = directiveLines(pass.Fset, f, "stcc:shardguard")
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			sg.fileOf[fd] = f
+			if obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				sg.decls[obj] = fd
+			}
+			if docDirective(fd, "stcc:shardstage") {
+				sg.roots = append(sg.roots, fd)
+			}
+			if docDirective(fd, "stcc:serialonly") {
+				sg.serialOnly[fd] = true
+			}
+			if docDirective(fd, "stcc:shardsafe") {
+				sg.shardSafe[fd] = true
+			}
+		}
+	}
+	sort.Slice(sg.roots, func(i, j int) bool { return sg.roots[i].Pos() < sg.roots[j].Pos() })
+	return sg
+}
+
+// docDirective reports whether the function's doc comment carries the
+// directive.
+func docDirective(fd *ast.FuncDecl, directive string) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if strings.HasPrefix(text, directive) {
+			return true
+		}
+	}
+	return false
+}
+
+// traversable reports whether the BFS descends into callee: reviewed
+// (//stcc:shardsafe) functions and the buffer.go accessor layer stop
+// the walk; serial-only functions are flagged at the call site instead.
+func (sg *shardGraph) traversable(callee *ast.FuncDecl) bool {
+	if sg.shardSafe[callee] || sg.serialOnly[callee] {
+		return false
+	}
+	file := filepath.Base(sg.pass.Fset.Position(callee.Pos()).Filename)
+	return file != shardAccessorFile
+}
+
+// callees returns the intra-package functions decl calls, in source
+// order.
+func (sg *shardGraph) callees(decl *ast.FuncDecl) []*ast.FuncDecl {
+	if decl.Body == nil {
+		return nil
+	}
+	var out []*ast.FuncDecl
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if target := sg.resolve(call.Fun); target != nil {
+			out = append(out, target)
+		}
+		return true
+	})
+	return out
+}
+
+// resolve maps a call's function expression to its declaration in the
+// package under analysis, or nil (builtins, other packages, func-typed
+// fields and variables).
+func (sg *shardGraph) resolve(fun ast.Expr) *ast.FuncDecl {
+	var id *ast.Ident
+	switch e := ast.Unparen(fun).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	obj, ok := sg.pass.TypesInfo.Uses[id].(*types.Func)
+	if !ok {
+		return nil
+	}
+	return sg.decls[obj]
+}
+
+// checkBody scans one reachable function body for ownership violations.
+func (sg *shardGraph) checkBody(decl *ast.FuncDecl) {
+	if decl.Body == nil {
+		return
+	}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				sg.checkWrite(decl, lhs, "write to")
+			}
+		case *ast.IncDecStmt:
+			sg.checkWrite(decl, s.X, "write to")
+		case *ast.UnaryExpr:
+			if s.Op == token.AND {
+				sg.checkWrite(decl, s.X, "address-take of")
+			}
+		case *ast.CallExpr:
+			if target := sg.resolve(s.Fun); target != nil && sg.serialOnly[target] {
+				sg.reportf(decl, s.Pos(),
+					"shard stage code (reached from a //stcc:shardstage root) calls %s, which is marked //stcc:serialonly; coordinator work must run between rounds, not inside one",
+					target.Name.Name)
+			}
+		}
+		return true
+	})
+}
+
+// checkWrite flags expr when it mutates (or exposes for mutation)
+// Fabric state outside the per-node arenas, or a package-level
+// variable.
+func (sg *shardGraph) checkWrite(decl *ast.FuncDecl, expr ast.Expr, verb string) {
+	if field, ok := sg.fabricField(expr); ok && !shardArenas[field] {
+		sg.reportf(decl, expr.Pos(),
+			"shard stage %s shared Fabric state %s; parallel rounds may only write the shard's own nodes and scratch (arenas nodes/bufs/outsA are allowlisted) — stage the effect for a coordinator round or annotate //stcc:shardguard with a justification",
+			verb, types.ExprString(expr))
+		return
+	}
+	if e, ok := ast.Unparen(expr).(*ast.Ident); ok {
+		if v, ok := sg.pass.TypesInfo.Uses[e].(*types.Var); ok &&
+			v.Pkg() == sg.pass.Pkg && sg.pass.Pkg.Scope().Lookup(v.Name()) == v {
+			sg.reportf(decl, expr.Pos(),
+				"shard stage %s package-level variable %s; parallel rounds may not touch process-global state",
+				verb, v.Name())
+		}
+	}
+}
+
+// fabricField walks expr's selector/index chain down to its root and
+// returns the first field selected off a Fabric-typed value, if any.
+func (sg *shardGraph) fabricField(expr ast.Expr) (string, bool) {
+	e := ast.Unparen(expr)
+	for {
+		switch x := e.(type) {
+		case *ast.IndexExpr:
+			e = ast.Unparen(x.X)
+		case *ast.SliceExpr:
+			e = ast.Unparen(x.X)
+		case *ast.StarExpr:
+			e = ast.Unparen(x.X)
+		case *ast.SelectorExpr:
+			if sel, ok := sg.pass.TypesInfo.Selections[x]; ok && sel.Kind() == types.FieldVal && sg.isFabric(sel.Recv()) {
+				return x.Sel.Name, true
+			}
+			e = ast.Unparen(x.X)
+		default:
+			return "", false
+		}
+	}
+}
+
+// isFabric reports whether t (possibly behind a pointer) is the
+// package's Fabric type.
+func (sg *shardGraph) isFabric(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Fabric" && named.Obj().Pkg() == sg.pass.Pkg
+}
+
+// reportf records a diagnostic unless its line carries (or follows) a
+// //stcc:shardguard suppression.
+func (sg *shardGraph) reportf(decl *ast.FuncDecl, pos token.Pos, format string, args ...any) {
+	line := sg.pass.Fset.Position(pos).Line
+	if sup := sg.suppressed[sg.fileOf[decl]]; sup[line] || sup[line-1] {
+		return
+	}
+	sg.diags = append(sg.diags, framework.Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,39 @@
+// Package a exercises atomicguard: fields touched via sync/atomic must
+// be accessed atomically everywhere in the package.
+package a
+
+import "sync/atomic"
+
+type stamp struct {
+	progress int64
+	plain    int64
+	hits     atomic.Int64
+}
+
+func newStamp(now int64) *stamp {
+	return &stamp{
+		progress: now, // want `field progress is accessed via sync/atomic elsewhere`
+		plain:    now,
+	}
+}
+
+func (s *stamp) store(now int64) {
+	atomic.StoreInt64(&s.progress, now)
+	s.plain = now
+	s.hits.Add(1)
+}
+
+func (s *stamp) read() int64 {
+	return s.progress // want `field progress is accessed via sync/atomic elsewhere`
+}
+
+func (s *stamp) reset(now int64) {
+	//stcc:atomicguard serial phase, barrier-ordered with the atomic stamps
+	s.progress = now
+	s.plain++
+	s.hits.Store(0)
+}
+
+func (s *stamp) load() int64 {
+	return atomic.LoadInt64(&s.progress)
+}

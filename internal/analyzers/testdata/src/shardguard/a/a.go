@@ -1,0 +1,95 @@
+// Package a exercises shardguard: a miniature Fabric with parallel
+// stage roots, coordinator-only helpers, the trusted accessor layer,
+// and the per-node arenas a shard may write through.
+package a
+
+type netCounters struct{ latched int }
+
+func (nc *netCounters) add(d *netCounters) { nc.latched += d.latched }
+
+type node struct{ swPtr []int }
+
+type shard struct {
+	lo, hi   int
+	delta    netCounters
+	moves    []int
+	suspects []int
+}
+
+type Fabric struct {
+	nodes    []node
+	bufs     []int
+	outsA    []int
+	net      netCounters
+	now      int64
+	shards   []shard
+	suspects []int
+}
+
+var stepCount int
+
+// goodStage writes only own-shard arena state and private scratch.
+//
+//stcc:shardstage
+func (f *Fabric) goodStage(sh *shard) {
+	for ni := sh.lo; ni < sh.hi; ni++ {
+		nd := &f.nodes[ni]
+		nd.swPtr[0] = ni
+		f.bufs[ni] = ni
+		f.outsA[ni] = ni
+		sh.delta.latched++
+		sh.moves = append(sh.moves, ni)
+		f.helper(sh)
+		f.reviewed()
+	}
+}
+
+// helper is reachable from a stage root, so its writes are checked too;
+// everything here is shard-private or goes through the accessor layer.
+func (f *Fabric) helper(sh *shard) {
+	sh.suspects = append(sh.suspects, 0)
+	f.push(sh)
+}
+
+// reviewed is trusted: traversal stops here.
+//
+//stcc:shardsafe only touches per-worker state behind its own barrier
+func (f *Fabric) reviewed() {
+	f.now += 0
+}
+
+// badStage violates the ownership discipline in every way the analyzer
+// knows about.
+//
+//stcc:shardstage
+func (f *Fabric) badStage(sh *shard) {
+	f.now++                            // want `shard stage write to shared Fabric state f\.now`
+	f.suspects = append(f.suspects, 1) // want `shard stage write to shared Fabric state f\.suspects`
+	nc := &f.net                       // want `shard stage address-take of shared Fabric state f\.net`
+	_ = nc
+	f.shards[0].moves[0] = sh.lo // want `shard stage write to shared Fabric state f\.shards\[0\]\.moves\[0\]`
+	f.mergeAll()                 // want `calls mergeAll, which is marked //stcc:serialonly`
+	stepCount++                  // want `package-level variable stepCount`
+	//stcc:shardguard reviewed cross-shard mailbox handshake, applied in source order
+	f.shards[1].moves = f.shards[1].moves[:0]
+}
+
+// mergeAll folds shard scratch into the fabric-wide sums between
+// rounds; its Fabric writes are legal because it never runs inside a
+// parallel round.
+//
+//stcc:serialonly
+func (f *Fabric) mergeAll() {
+	for i := range f.shards {
+		f.net.add(&f.shards[i].delta)
+		f.shards[i].delta = netCounters{}
+	}
+}
+
+// coldSetup is not reachable from any stage root, so its Fabric writes
+// are unconstrained.
+func (f *Fabric) coldSetup() {
+	f.now = 0
+	f.suspects = f.suspects[:0]
+	stepCount = 0
+}

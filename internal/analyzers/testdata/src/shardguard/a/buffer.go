@@ -1,0 +1,9 @@
+package a
+
+// push stands in for the router's accessor layer: shardguard trusts
+// buffer.go and never descends into it (its counter mutations are
+// counterguard's jurisdiction, threaded through the per-shard sink).
+func (f *Fabric) push(sh *shard) {
+	sh.delta.latched++
+	f.net.latched += 0
+}

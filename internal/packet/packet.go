@@ -156,6 +156,7 @@ func New(id ID, src, dst topology.NodeID, length int, now int64) *Packet {
 	return &Packet{
 		ID: id, Src: src, Dst: dst, Length: length,
 		CreatedAt: now, InjectedAt: -1, DeliveredAt: -1,
+		//stcc:atomicguard construction precedes publication; no concurrent reader exists yet
 		LastProgress: now,
 		SrcRemaining: length,
 	}
@@ -163,6 +164,8 @@ func New(id ID, src, dst topology.NodeID, length int, now int64) *Packet {
 
 // reset reinitializes a recycled packet in place, as New would, keeping
 // the Trail backing array so steady-state reuse does not reallocate it.
+//
+//stcc:hotpath
 func (p *Packet) reset(id ID, src, dst topology.NodeID, length int, now int64) {
 	if length <= 0 {
 		panic(fmt.Sprintf("packet: non-positive length %d", length))
@@ -171,6 +174,7 @@ func (p *Packet) reset(id ID, src, dst topology.NodeID, length int, now int64) {
 	*p = Packet{
 		ID: id, Src: src, Dst: dst, Length: length,
 		CreatedAt: now, InjectedAt: -1, DeliveredAt: -1,
+		//stcc:atomicguard reset happens on the pool free list; no concurrent reader exists
 		LastProgress: now,
 		SrcRemaining: length,
 		Trail:        trail,
@@ -183,6 +187,8 @@ func (p *Packet) reset(id ID, src, dst topology.NodeID, length int, now int64) {
 func (p *Packet) Recycled() bool { return p.recycled }
 
 // FlitTypeAt returns the type of the i-th flit (0-based).
+//
+//stcc:hotpath
 func (p *Packet) FlitTypeAt(i int) FlitType {
 	switch {
 	case p.Length == 1:
@@ -217,20 +223,37 @@ func (p *Packet) TotalLatency() int64 {
 	return p.DeliveredAt - p.CreatedAt
 }
 
-// Progress marks that the packet advanced at cycle now.
-func (p *Packet) Progress(now int64) { p.LastProgress = now }
+// Progress marks that the packet advanced at cycle now. It is the
+// serial-phase counterpart of ProgressAtomic: injection and coordinator
+// rounds run single-threaded, barrier-ordered against stage workers.
+//
+//stcc:hotpath
+func (p *Packet) Progress(now int64) {
+	//stcc:atomicguard serial phases are barrier-ordered with the atomic stage stores
+	p.LastProgress = now
+}
 
 // ProgressAtomic is Progress for concurrent stage workers: several flits
 // of one worm can advance at different routers within the same parallel
 // round, so the store must be atomic. Every writer stores the same cycle
 // value, which keeps the result identical to serial stepping.
+//
+//stcc:hotpath
 func (p *Packet) ProgressAtomic(now int64) { atomic.StoreInt64(&p.LastProgress, now) }
 
 // BlockedFor returns how many cycles the packet has gone without progress
-// as of cycle now.
-func (p *Packet) BlockedFor(now int64) int64 { return now - p.LastProgress }
+// as of cycle now. Deadlock detection runs in the serial referee phase,
+// after every stage worker's atomic store has been barrier-ordered.
+//
+//stcc:hotpath
+func (p *Packet) BlockedFor(now int64) int64 {
+	//stcc:atomicguard detection reads in the serial phase, after the worker barrier
+	return now - p.LastProgress
+}
 
 // PushTrail records that the head flit entered loc.
+//
+//stcc:hotpath
 func (p *Packet) PushTrail(loc Location) { p.Trail = append(p.Trail, loc) }
 
 func (p *Packet) String() string {

@@ -58,6 +58,8 @@ func (pl *Pool) Prefill(n, trailCap int) {
 
 // Get returns a reset packet, reusing a recycled one when available.
 // Arguments are those of New; length must be positive.
+//
+//stcc:hotpath
 func (pl *Pool) Get(id ID, src, dst topology.NodeID, length int, now int64) *Packet {
 	pl.gets++
 	if n := len(pl.free); n > 0 {
@@ -75,6 +77,8 @@ func (pl *Pool) Get(id ID, src, dst topology.NodeID, length int, now int64) *Pac
 // the only live reference. A double Put is recorded for CheckInvariants
 // and otherwise ignored: pushing the packet twice would hand the same
 // struct to two different Gets.
+//
+//stcc:hotpath
 func (pl *Pool) Put(p *Packet) {
 	if p.recycled {
 		pl.doubleRecycles++

@@ -38,6 +38,8 @@ type netCounters struct {
 }
 
 // add folds a shard's delta into the fabric-wide sums.
+//
+//stcc:hotpath
 func (nc *netCounters) add(d *netCounters) {
 	nc.fullBuffers += d.fullBuffers
 	nc.latched += d.latched
@@ -73,8 +75,12 @@ type activeWords struct {
 	actWords []uint64
 }
 
-func (a *activeWords) init(nodes int)   { a.actWords = make([]uint64, (nodes+63)>>6) }
-func (a *activeWords) set(i int32)      { a.actWords[i>>6] |= 1 << uint(i&63) }
+func (a *activeWords) init(nodes int) { a.actWords = make([]uint64, (nodes+63)>>6) }
+
+//stcc:hotpath
+func (a *activeWords) set(i int32) { a.actWords[i>>6] |= 1 << uint(i&63) }
+
+//stcc:hotpath
 func (a *activeWords) clearBit(i int32) { a.actWords[i>>6] &^= 1 << uint(i&63) }
 
 // flit is one flow-control unit: the idx-th flit of pkt. arrived is the
@@ -86,8 +92,13 @@ type flit struct {
 	arrived int64
 }
 
-func (f flit) valid() bool  { return f.pkt != nil }
+//stcc:hotpath
+func (f flit) valid() bool { return f.pkt != nil }
+
+//stcc:hotpath
 func (f flit) isHead() bool { return f.idx == 0 }
+
+//stcc:hotpath
 func (f flit) isTail() bool { return f.idx == f.pkt.Length-1 }
 
 // vcBuffer is one virtual channel's edge buffer: a fixed-capacity FIFO of
@@ -122,10 +133,16 @@ type vcBuffer struct {
 	outVC    int
 }
 
-func (b *vcBuffer) len() int   { return int(b.fab.occ[b.gid]) }
-func (b *vcBuffer) cap() int   { return len(b.buf) }
+//stcc:hotpath
+func (b *vcBuffer) len() int { return int(b.fab.occ[b.gid]) }
+
+//stcc:hotpath
+func (b *vcBuffer) cap() int { return len(b.buf) }
+
+//stcc:hotpath
 func (b *vcBuffer) full() bool { return int(b.fab.occ[b.gid]) == len(b.buf) }
 
+//stcc:hotpath
 func (b *vcBuffer) front() flit {
 	if b.fab.occ[b.gid] == 0 {
 		return flit{}
@@ -133,6 +150,7 @@ func (b *vcBuffer) front() flit {
 	return b.buf[b.head]
 }
 
+//stcc:hotpath
 func (b *vcBuffer) push(f flit, nc *netCounters) {
 	fab := b.fab
 	n := fab.occ[b.gid]
@@ -166,6 +184,7 @@ func (b *vcBuffer) push(f flit, nc *netCounters) {
 	}
 }
 
+//stcc:hotpath
 func (b *vcBuffer) pop(nc *netCounters) flit {
 	fab := b.fab
 	n := fab.occ[b.gid]
@@ -208,6 +227,8 @@ func (b *vcBuffer) pop(nc *netCounters) flit {
 // setBinding records the wormhole route decision for the packet at the
 // front of b. The buffer leaves the pending set: its front is no longer
 // an unrouted header.
+//
+//stcc:hotpath
 func (b *vcBuffer) setBinding(pkt *packet.Packet, port, vc int, nc *netCounters) {
 	fab := b.fab
 	b.bound = true
@@ -226,6 +247,8 @@ func (b *vcBuffer) setBinding(pkt *packet.Packet, port, vc int, nc *netCounters)
 // clearBinding resets the wormhole route state after a tail departs. Any
 // flits still buffered belong to the next packet, whose header is now an
 // arbitration candidate again.
+//
+//stcc:hotpath
 func (b *vcBuffer) clearBinding(nc *netCounters) {
 	fab := b.fab
 	b.bound = false
@@ -240,6 +263,8 @@ func (b *vcBuffer) clearBinding(nc *netCounters) {
 }
 
 // CountOf implements packet.Location.
+//
+//stcc:hotpath
 func (b *vcBuffer) CountOf(p *packet.Packet) int {
 	c := 0
 	i := b.head
@@ -257,6 +282,8 @@ func (b *vcBuffer) CountOf(p *packet.Packet) int {
 // EvictFront implements packet.Location: deadlock recovery removes the
 // worm's front flit. Recovery always runs on the coordinator, so the
 // fabric-wide counters are written directly.
+//
+//stcc:hotpath
 func (b *vcBuffer) EvictFront(p *packet.Packet) {
 	f := b.front()
 	if f.pkt != p {
@@ -282,6 +309,7 @@ type latch struct {
 	full bool
 }
 
+//stcc:hotpath
 func (l *latch) set(f flit, nc *netCounters) {
 	if l.full {
 		panic(fmt.Sprintf("router: latch collision at %v", l))
@@ -293,6 +321,7 @@ func (l *latch) set(f flit, nc *netCounters) {
 	nc.latched++
 }
 
+//stcc:hotpath
 func (l *latch) clear(nc *netCounters) flit {
 	f := l.f
 	l.f = flit{}
@@ -306,6 +335,8 @@ func (l *latch) clear(nc *netCounters) flit {
 }
 
 // CountOf implements packet.Location.
+//
+//stcc:hotpath
 func (l *latch) CountOf(p *packet.Packet) int {
 	if l.full && l.f.pkt == p {
 		return 1
@@ -315,6 +346,8 @@ func (l *latch) CountOf(p *packet.Packet) int {
 
 // EvictFront implements packet.Location. Recovery runs on the
 // coordinator; the fabric-wide counters are written directly.
+//
+//stcc:hotpath
 func (l *latch) EvictFront(p *packet.Packet) {
 	if !l.full || l.f.pkt != p {
 		panic(fmt.Sprintf("router: EvictFront of %v: not holding a flit of %v", l, p))
@@ -336,6 +369,8 @@ type srcSlot struct {
 
 // setPacket starts streaming p; like the other accessors in this file it
 // keeps the active-source bitset and counter in lockstep.
+//
+//stcc:hotpath
 func (s *srcSlot) setPacket(p *packet.Packet, nc *netCounters) {
 	s.pkt = p
 	s.fab.actSrc.set(int32(s.node))
@@ -343,6 +378,8 @@ func (s *srcSlot) setPacket(p *packet.Packet, nc *netCounters) {
 }
 
 // clearPacket ends the stream (tail injected, or evicted by recovery).
+//
+//stcc:hotpath
 func (s *srcSlot) clearPacket(nc *netCounters) {
 	s.pkt = nil
 	s.fab.actSrc.clearBit(int32(s.node))
@@ -350,6 +387,8 @@ func (s *srcSlot) clearPacket(nc *netCounters) {
 }
 
 // CountOf implements packet.Location.
+//
+//stcc:hotpath
 func (s *srcSlot) CountOf(p *packet.Packet) int {
 	if s.pkt == p {
 		return p.SrcRemaining
@@ -359,6 +398,8 @@ func (s *srcSlot) CountOf(p *packet.Packet) int {
 
 // EvictFront implements packet.Location: recovery consumes source flits
 // directly.
+//
+//stcc:hotpath
 func (s *srcSlot) EvictFront(p *packet.Packet) {
 	if s.pkt != p || p.SrcRemaining == 0 {
 		panic(fmt.Sprintf("router: EvictFront of source %d: not streaming %v", s.node, p))
@@ -378,8 +419,10 @@ type outVC struct {
 	lat      latch
 }
 
+//stcc:hotpath
 func (o *outVC) free() bool { return o.ownerPkt == nil }
 
+//stcc:hotpath
 func (o *outVC) acquire(b *vcBuffer, pkt *packet.Packet, nc *netCounters) {
 	o.owner = b
 	o.ownerPkt = pkt
@@ -389,6 +432,7 @@ func (o *outVC) acquire(b *vcBuffer, pkt *packet.Packet, nc *netCounters) {
 	nc.ownedOuts++
 }
 
+//stcc:hotpath
 func (o *outVC) release(nc *netCounters) {
 	o.owner = nil
 	o.ownerPkt = nil

@@ -523,6 +523,8 @@ func (f *Fabric) FreeVCs(nodeID topology.NodeID, port int) int {
 
 // CanStartInjection reports whether node's injection channel is ready for
 // a new packet (no other packet is mid-stream).
+//
+//stcc:hotpath
 func (f *Fabric) CanStartInjection(nodeID topology.NodeID) bool {
 	return f.nodes[nodeID].src.pkt == nil
 }
@@ -532,6 +534,8 @@ func (f *Fabric) CanStartInjection(nodeID topology.NodeID) bool {
 // Step); throttling decisions therefore gate packets, never parts of
 // worms. Panics if the channel is busy or the packet malformed — callers
 // must check CanStartInjection.
+//
+//stcc:hotpath
 func (f *Fabric) StartInjection(pkt *packet.Packet) {
 	nd := &f.nodes[pkt.Src]
 	if nd.src.pkt != nil {
@@ -554,6 +558,8 @@ func (f *Fabric) StartInjection(pkt *packet.Packet) {
 // a fixed node partition (see parallel.go); the results are
 // byte-identical to serial stepping. Tracing (OnEvent) forces the serial
 // path so event order stays the serial interleaving.
+//
+//stcc:hotpath
 func (f *Fabric) Step() {
 	if len(f.shards) > 1 && f.OnEvent == nil {
 		f.stepSharded()
@@ -571,7 +577,11 @@ func (f *Fabric) Step() {
 }
 
 // deliver finalizes a packet: stamps delivery, updates counters, invokes
-// the callbacks.
+// the callbacks. Parallel rounds queue delivered tails instead and the
+// coordinator calls this between rounds, preserving node-order callbacks.
+//
+//stcc:serialonly
+//stcc:hotpath
 func (f *Fabric) deliver(p *packet.Packet, now int64) {
 	p.DeliveredAt = now
 	f.inFlight--
@@ -582,6 +592,8 @@ func (f *Fabric) deliver(p *packet.Packet, now int64) {
 }
 
 // emit sends a lifecycle event to the sink, if any.
+//
+//stcc:hotpath
 func (f *Fabric) emit(kind trace.Kind, p *packet.Packet, node topology.NodeID) {
 	if f.OnEvent == nil {
 		return
@@ -593,7 +605,11 @@ func (f *Fabric) emit(kind trace.Kind, p *packet.Packet, node topology.NodeID) {
 }
 
 // countDeliveredFlit accounts one flit leaving through a delivery channel
-// (or the recovery lane).
+// (or the recovery lane). Parallel rounds count into per-shard fields
+// folded by mergeLink, so only serial code may bump the fabric sums.
+//
+//stcc:serialonly
+//stcc:hotpath
 func (f *Fabric) countDeliveredFlit() {
 	f.deliveredFlits++
 	f.deliveredWindow++

@@ -142,6 +142,8 @@ func (f *Fabric) initShards() {
 }
 
 // shardOf returns the shard owning node ni.
+//
+//stcc:hotpath
 func (f *Fabric) shardOf(ni int) int { return ni / f.shardSpan }
 
 // startWorkers launches the persistent pool (lazily, on the first
@@ -186,6 +188,8 @@ func (f *Fabric) Close() {
 }
 
 // runPhase executes one round on every shard and waits for the barrier.
+//
+//stcc:hotpath
 func (f *Fabric) runPhase(ph phaseID) {
 	wp := f.workers
 	wp.wg.Add(len(wp.phase))
@@ -196,6 +200,7 @@ func (f *Fabric) runPhase(ph phaseID) {
 	wp.wg.Wait()
 }
 
+//stcc:hotpath
 func (f *Fabric) runShardPhase(ph phaseID, si int) {
 	sh := &f.shards[si]
 	switch ph {
@@ -219,6 +224,8 @@ func (f *Fabric) runShardPhase(ph phaseID, si int) {
 // stepSharded is Step's parallel form: the same stage order, each stage
 // expanded into its rounds. Recovery, merges and the suspect queue stay
 // on the coordinator.
+//
+//stcc:hotpath
 func (f *Fabric) stepSharded() {
 	if f.workers == nil {
 		f.startWorkers()
@@ -256,6 +263,9 @@ func (f *Fabric) stepSharded() {
 
 // foldDeltas folds every shard's counter delta into the fabric-wide
 // sums (shard order, though the sums are commutative anyway).
+//
+//stcc:serialonly
+//stcc:hotpath
 func (f *Fabric) foldDeltas() {
 	for si := range f.shards {
 		d := &f.shards[si].delta
@@ -265,11 +275,16 @@ func (f *Fabric) foldDeltas() {
 }
 
 // shardWords bounds the active-bitset words of shard sh: [lo, hi).
+//
+//stcc:hotpath
 func (sh *shard) shardWords() (int, int) { return sh.lo >> 6, (sh.hi + 63) >> 6 }
 
 // linkLocalShard drains the shard's own latches: delivery lanes consume
 // here (the delivered tails queue for the coordinator), physical lanes
 // stage a handoff in the destination shard's mailbox.
+//
+//stcc:shardstage
+//stcc:hotpath
 func (f *Fabric) linkLocalShard(sh *shard) {
 	now := f.now
 	lo, hi := sh.shardWords()
@@ -313,7 +328,11 @@ func (f *Fabric) linkLocalShard(sh *shard) {
 // destination buffer, visiting source shards in index order — the serial
 // push order. Each buffer has exactly one upstream latch, so it receives
 // at most one handoff per cycle.
+//
+//stcc:shardstage
+//stcc:hotpath
 func (f *Fabric) linkMergeShard(d int) {
+	//stcc:shardguard worker d owns shard d this round; the merge direction inverts the usual ownership
 	sh := &f.shards[d]
 	for s := range f.shards {
 		hs := f.shards[s].hand[d]
@@ -328,12 +347,16 @@ func (f *Fabric) linkMergeShard(d int) {
 			}
 			hs[i] = handoff{}
 		}
+		//stcc:shardguard resetting mailbox s->d: only worker d reads or truncates it during this round
 		f.shards[s].hand[d] = hs[:0]
 	}
 }
 
 // mergeLink folds the link rounds' deltas and finalizes deliveries in
 // shard (= node) order, matching the serial callback and stats order.
+//
+//stcc:serialonly
+//stcc:hotpath
 func (f *Fabric) mergeLink() {
 	now := f.now
 	f.foldDeltas()
@@ -353,6 +376,9 @@ func (f *Fabric) mergeLink() {
 // xbarScanShard runs speculative switch allocation for the shard's own
 // nodes against the cycle-start snapshot. No state is mutated; outcomes
 // are recorded in node order for the serial finalize round.
+//
+//stcc:shardstage
+//stcc:hotpath
 func (f *Fabric) xbarScanShard(sh *shard) {
 	lo, hi := sh.shardWords()
 	words := f.actOwned.actWords
@@ -377,6 +403,8 @@ func (f *Fabric) xbarScanShard(sh *shard) {
 // lower-numbered node could free that credit before this port's serial
 // turn. Flagged ports are re-arbitrated in the finalize round; ports
 // with no credit-blocked lane ahead of the winner commit as scanned.
+//
+//stcc:hotpath
 func (f *Fabric) xbarScanPort(ni, p, base, nvc int, sh *shard) {
 	pm := (f.ownedMask[ni] &^ f.latchMask[ni]) >> uint(base)
 	outs := f.outsA[ni*f.lanesOut+base : ni*f.lanesOut+base+nvc]
@@ -423,6 +451,9 @@ func (f *Fabric) xbarScanPort(ni, p, base, nvc int, sh *shard) {
 // flagged ports with live credit — the snapshot occupancy minus the pops
 // committed so far, exactly the state the serial crossbar would see at
 // that node's turn.
+//
+//stcc:serialonly
+//stcc:hotpath
 func (f *Fabric) finalizeXbar() {
 	for si := range f.shards {
 		sh := &f.shards[si]
@@ -439,6 +470,9 @@ func (f *Fabric) finalizeXbar() {
 
 // commitMove marks the winner's buffer popped and queues the move for
 // its owning shard's apply round.
+//
+//stcc:serialonly
+//stcc:hotpath
 func (f *Fabric) commitMove(sh *shard, c *xbCand) {
 	g := c.b.gid
 	f.popped[g>>6] |= 1 << uint(g&63)
@@ -448,6 +482,9 @@ func (f *Fabric) commitMove(sh *shard, c *xbCand) {
 
 // refereePort re-runs one flagged physical port's round-robin scan with
 // live credit visibility.
+//
+//stcc:serialonly
+//stcc:hotpath
 func (f *Fabric) refereePort(sh *shard, c *xbCand) {
 	ni, p := int(c.ni), int(c.p)
 	base, nvc := f.outPortBase[p], f.outPortWidth[p]
@@ -488,6 +525,9 @@ func (f *Fabric) refereePort(sh *shard, c *xbCand) {
 // xbarApplyShard applies the shard's committed moves: pop, progress,
 // latch, and the round-robin pointer update — all state owned by the
 // shard's nodes.
+//
+//stcc:shardstage
+//stcc:hotpath
 func (f *Fabric) xbarApplyShard(sh *shard) {
 	now := f.now
 	for i := range sh.moves {
@@ -514,6 +554,9 @@ func (f *Fabric) xbarApplyShard(sh *shard) {
 
 // clearXbar resets the popped-lane bitset and the speculative outcome
 // lists (capacity retained).
+//
+//stcc:serialonly
+//stcc:hotpath
 func (f *Fabric) clearXbar() {
 	for _, g := range f.poppedDirty {
 		f.popped[g>>6] &^= 1 << uint(g&63)
@@ -531,6 +574,9 @@ func (f *Fabric) clearXbar() {
 // routeShard runs the central arbiter for the shard's own nodes. Route
 // computation reads remote occupancy (cut-through credit), which is
 // stable during this round; all writes are own-node.
+//
+//stcc:shardstage
+//stcc:hotpath
 func (f *Fabric) routeShard(sh *shard) {
 	lo, hi := sh.shardWords()
 	words := f.actPending.actWords
@@ -543,6 +589,9 @@ func (f *Fabric) routeShard(sh *shard) {
 }
 
 // injectShard streams injection flits for the shard's own sources.
+//
+//stcc:shardstage
+//stcc:hotpath
 func (f *Fabric) injectShard(sh *shard) {
 	lo, hi := sh.shardWords()
 	words := f.actSrc.actWords
@@ -557,6 +606,9 @@ func (f *Fabric) injectShard(sh *shard) {
 // detectShard scans the shard's own nodes for deadlock timeouts; fresh
 // suspects collect per shard and are concatenated in shard order, the
 // serial append order.
+//
+//stcc:shardstage
+//stcc:hotpath
 func (f *Fabric) detectShard(sh *shard) {
 	lo, hi := sh.shardWords()
 	words := f.actOccupied.actWords
@@ -568,6 +620,11 @@ func (f *Fabric) detectShard(sh *shard) {
 	}
 }
 
+// mergeSuspects concatenates the shards' fresh suspects in shard order
+// (the serial append order) and clears the per-shard lists.
+//
+//stcc:serialonly
+//stcc:hotpath
 func (f *Fabric) mergeSuspects() {
 	for si := range f.shards {
 		sh := &f.shards[si]

@@ -63,6 +63,9 @@ type recoveryState struct {
 // draining. Past saturation most packets exceed the timeout, the token
 // queue grows, and frozen worms clog the network: this is the mechanism
 // behind the paper's throughput collapse in the recovery configuration.
+//
+//stcc:serialonly
+//stcc:hotpath
 func (f *Fabric) detectDeadlock() {
 	// An empty network (net.occupiedIns == 0) holds nothing blockable, but
 	// the suspect queue below must still be serviced: re-arm timers keep
@@ -81,6 +84,8 @@ func (f *Fabric) detectDeadlock() {
 
 // detectNode scans node ni's input lanes whose front flit is a header
 // and appends fresh timeouts to out (in lane order).
+//
+//stcc:hotpath
 func (f *Fabric) detectNode(ni int, out *[]suspect) {
 	now := f.now
 	timeout := f.cfg.DeadlockTimeout
@@ -105,6 +110,9 @@ func (f *Fabric) detectNode(ni int, out *[]suspect) {
 // presumed deadlock may have been plain congestion, so a re-armed packet
 // resumes normal routing with a fresh timer; without this, one
 // serialized token would freeze a saturated network forever.
+//
+//stcc:serialonly
+//stcc:hotpath
 func (f *Fabric) serviceSuspects() {
 	now := f.now
 	kept := f.suspects[:0]
@@ -133,6 +141,8 @@ func (f *Fabric) serviceSuspects() {
 // feedingLatch returns the output latch (and owning output VC) at the
 // upstream router that sends into input buffer b; nil for the injection
 // channel, which is fed directly from the source.
+//
+//stcc:hotpath
 func (f *Fabric) feedingLatch(b *vcBuffer) *outVC {
 	if b.port == f.injPort {
 		return nil
@@ -144,6 +154,9 @@ func (f *Fabric) feedingLatch(b *vcBuffer) *outVC {
 // startRecovery freezes the worm whose header sits at the front of head
 // and reconstructs its locations from the packet's trail. The recovery
 // state and its locations array are reused across recoveries.
+//
+//stcc:serialonly
+//stcc:hotpath
 func (f *Fabric) startRecovery(head *vcBuffer) {
 	pkt := head.front().pkt
 	pkt.Mode = packet.Recovering
@@ -189,6 +202,9 @@ func (f *Fabric) startRecovery(head *vcBuffer) {
 // cleanupBuffer releases the resources an input buffer held for the
 // recovered packet: its wormhole binding and the output VC its header
 // allocated at this router (whose downstream flits have already drained).
+//
+//stcc:serialonly
+//stcc:hotpath
 func (f *Fabric) cleanupBuffer(b *vcBuffer, pkt *packet.Packet) {
 	if b.bound && b.boundPkt == pkt {
 		o := &f.nodes[b.node].outs[b.outPort][b.outVC]
@@ -202,6 +218,9 @@ func (f *Fabric) cleanupBuffer(b *vcBuffer, pkt *packet.Packet) {
 // cleanupOutVC releases ownership of an output VC once the recovered
 // packet's flit has been evicted from its latch (the in-flight tail
 // case).
+//
+//stcc:serialonly
+//stcc:hotpath
 func (f *Fabric) cleanupOutVC(o *outVC, pkt *packet.Packet) {
 	if o.ownerPkt == pkt {
 		o.release(&f.net)
@@ -212,6 +231,9 @@ func (f *Fabric) cleanupOutVC(o *outVC, pkt *packet.Packet) {
 // into the deadlock-buffer lane and count lane arrivals at the
 // destination. Recovery always runs on the coordinator, before the
 // stages, so it works on the fabric-wide counters directly.
+//
+//stcc:serialonly
+//stcc:hotpath
 func (f *Fabric) recoveryStep() {
 	r := f.rec
 	if r == nil {

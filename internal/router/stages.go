@@ -22,6 +22,8 @@ import (
 // the delivery channel. Space downstream is guaranteed: the crossbar only
 // latched the flit after checking occupancy, and each buffer has exactly
 // one upstream source.
+//
+//stcc:hotpath
 func (f *Fabric) linkStage() {
 	if f.net.latched == 0 {
 		return // no latched flit anywhere in the network
@@ -37,6 +39,8 @@ func (f *Fabric) linkStage() {
 
 // linkNode drains node ni's latches: delivery lanes consume at this
 // node, physical lanes hand off to the downstream neighbor.
+//
+//stcc:hotpath
 func (f *Fabric) linkNode(ni int, ctx *stepCtx) {
 	now := f.now
 	base := ni * f.lanesOut
@@ -78,6 +82,8 @@ func (f *Fabric) linkNode(ni int, ctx *stepCtx) {
 // output port, at most one flit moves from the front of an owning input
 // VC into the output latch (one cycle per flit through the crossbar).
 // Winners are chosen round-robin over the port's output VCs.
+//
+//stcc:hotpath
 func (f *Fabric) crossbarStage() {
 	if f.net.ownedOuts == 0 {
 		return // no packet owns an output VC anywhere
@@ -93,6 +99,8 @@ func (f *Fabric) crossbarStage() {
 
 // crossbarNode runs switch allocation at node ni: owned-but-unlatched
 // lanes are the candidates, visited port by port.
+//
+//stcc:hotpath
 func (f *Fabric) crossbarNode(ni int) {
 	cm := f.ownedMask[ni] &^ f.latchMask[ni]
 	nd := &f.nodes[ni]
@@ -109,6 +117,8 @@ func (f *Fabric) crossbarNode(ni int) {
 // the port's output VCs, the first candidate with a buffered flit and a
 // downstream credit wins. One flit per physical port per cycle; each
 // delivery (consumption) channel drains independently.
+//
+//stcc:hotpath
 func (f *Fabric) crossbarPort(nd *node, ni, p, base, nvc int, ctx *stepCtx) {
 	now := f.now
 	pm := (f.ownedMask[ni] &^ f.latchMask[ni]) >> uint(base)
@@ -161,6 +171,8 @@ func (f *Fabric) crossbarPort(nd *node, ni, p, base, nvc int, ctx *stepCtx) {
 // most one routing decision per router per cycle (the paper's one-cycle
 // routing delay; body flits stream behind the header without consulting
 // the arbiter).
+//
+//stcc:hotpath
 func (f *Fabric) routingStage() {
 	if f.net.pendingIns == 0 {
 		return // no unrouted header anywhere
@@ -176,10 +188,13 @@ func (f *Fabric) routingStage() {
 
 // inputVCAt returns node nd's input VC buffer at flattened lane idx
 // (physical ports * VCs, then the injection channel).
+//
+//stcc:hotpath
 func (f *Fabric) inputVCAt(nd *node, idx int) *vcBuffer {
 	return &f.bufs[int(nd.id)*f.lanesIn+idx]
 }
 
+//stcc:hotpath
 func (f *Fabric) arbitrate(nd *node, ctx *stepCtx) {
 	ni := int(nd.id)
 	// Candidate lanes: occupied, unbound, head flit at the front. The
@@ -209,6 +224,8 @@ func (f *Fabric) arbitrate(nd *node, ctx *stepCtx) {
 // returns true when the candidate took the slot (whether or not output
 // VC allocation succeeded — demand-slotted round robin), false when the
 // candidate was ineligible this cycle and the scan continues.
+//
+//stcc:hotpath
 func (f *Fabric) tryArbSlot(nd *node, idx, total int, ctx *stepCtx) bool {
 	b := f.inputVCAt(nd, idx)
 	fl := b.front()
@@ -229,6 +246,8 @@ func (f *Fabric) tryArbSlot(nd *node, idx, total int, ctx *stepCtx) bool {
 // allocated to pkt: it must be unowned, and under virtual cut-through
 // the downstream buffer must have room for the entire packet (so a
 // blocked packet never spans routers).
+//
+//stcc:hotpath
 func (f *Fabric) vcAvailable(nd *node, port, vc int, pkt *packet.Packet) bool {
 	if !nd.outs[port][vc].free() {
 		return false
@@ -244,6 +263,8 @@ func (f *Fabric) vcAvailable(nd *node, port, vc int, pkt *packet.Packet) bool {
 // routeHeader attempts route computation and output VC allocation for the
 // header at the front of b. On failure the header retries on a later
 // arbiter slot.
+//
+//stcc:hotpath
 func (f *Fabric) routeHeader(nd *node, b *vcBuffer, pkt *packet.Packet, ctx *stepCtx) bool {
 	if pkt.Dst == nd.id {
 		for v := range nd.outs[f.dlvPort] {
@@ -276,6 +297,8 @@ func (f *Fabric) routeHeader(nd *node, b *vcBuffer, pkt *packet.Packet, ctx *ste
 // routeAdaptive tries the minimal output ports in the order the
 // configured selection policy prefers, and every virtual channel from
 // minVC up, taking the first free output VC.
+//
+//stcc:hotpath
 func (f *Fabric) routeAdaptive(nd *node, b *vcBuffer, pkt *packet.Packet, minVC int, ctx *stepCtx) bool {
 	ports := f.topo.MinimalPorts(nd.id, pkt.Dst, ctx.ports[:0])
 	ctx.ports = ports
@@ -315,6 +338,8 @@ func (f *Fabric) routeAdaptive(nd *node, b *vcBuffer, pkt *packet.Packet, minVC 
 }
 
 // routeEscape allocates escape VC 0 on the mesh dimension-order port.
+//
+//stcc:hotpath
 func (f *Fabric) routeEscape(nd *node, b *vcBuffer, pkt *packet.Packet, ctx *stepCtx) bool {
 	p, ok := f.topo.DORMeshNextPort(nd.id, pkt.Dst)
 	if !ok {
@@ -328,6 +353,8 @@ func (f *Fabric) routeEscape(nd *node, b *vcBuffer, pkt *packet.Packet, ctx *ste
 }
 
 // allocate binds input VC b to output VC (port, vc) for the packet.
+//
+//stcc:hotpath
 func (f *Fabric) allocate(nd *node, b *vcBuffer, pkt *packet.Packet, port, vc int, ctx *stepCtx) {
 	o := &nd.outs[port][vc]
 	if !o.free() {
@@ -342,6 +369,8 @@ func (f *Fabric) allocate(nd *node, b *vcBuffer, pkt *packet.Packet, port, vc in
 
 // injectionStage streams the current packet of each node's source slot
 // into the injection channel at one flit per cycle.
+//
+//stcc:hotpath
 func (f *Fabric) injectionStage() {
 	if f.net.srcActive == 0 {
 		return // no source is streaming a packet
@@ -356,6 +385,8 @@ func (f *Fabric) injectionStage() {
 }
 
 // injectNode streams one flit of node ni's current source packet.
+//
+//stcc:hotpath
 func (f *Fabric) injectNode(ni int, ctx *stepCtx) {
 	nd := &f.nodes[ni]
 	pkt := nd.src.pkt

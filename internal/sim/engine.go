@@ -37,12 +37,16 @@ type pendingQueue struct {
 	n    int
 }
 
+//stcc:hotpath
 func (q *pendingQueue) len() int { return q.n }
 
 // push appends p, doubling the ring when full (amortized O(1); at
 // steady state the ring reaches a fixed size and growth stops).
+//
+//stcc:hotpath
 func (q *pendingQueue) push(p pending) {
 	if q.n == len(q.buf) {
+		//stcc:hotalloc amortized ring doubling; steady state reuses vacated slots
 		grown := make([]pending, max(4, 2*len(q.buf)))
 		for i := 0; i < q.n; i++ {
 			grown[i] = q.at(i)
@@ -59,9 +63,13 @@ func (q *pendingQueue) push(p pending) {
 }
 
 // front returns the oldest entry; the queue must be non-empty.
+//
+//stcc:hotpath
 func (q *pendingQueue) front() pending { return q.buf[q.head] }
 
 // pop removes and returns the oldest entry in O(1).
+//
+//stcc:hotpath
 func (q *pendingQueue) pop() pending {
 	p := q.buf[q.head]
 	q.buf[q.head] = pending{}
@@ -74,6 +82,8 @@ func (q *pendingQueue) pop() pending {
 }
 
 // at returns the i-th oldest entry (0 is the front).
+//
+//stcc:hotpath
 func (q *pendingQueue) at(i int) pending {
 	j := q.head + i
 	if j >= len(q.buf) {
@@ -234,6 +244,7 @@ func (e *Engine) buildThrottler() (congestion.Throttler, *core.GlobalThrottler, 
 	return glob, glob, nil
 }
 
+//stcc:hotpath
 func (e *Engine) onDelivered(p *packet.Packet) {
 	e.delivered++
 	if p.CreatedAt >= e.warmup {
@@ -306,6 +317,8 @@ func (e *Engine) RunContext(ctx context.Context, every int64, fn func(now int64)
 // fabric between cycles. Statistics accumulate exactly as under Run;
 // mixing Step with a later Run is rejected by Run's already-run guard.
 // Step-driven engines with ShardWorkers > 1 should Close when done.
+//
+//stcc:hotpath
 func (e *Engine) Step() { e.step(e.fab.Now()) }
 
 // Close releases the fabric's worker goroutines, if any. Run and
@@ -324,6 +337,7 @@ func (e *Engine) CheckInvariants() error {
 	return e.pool.CheckInvariants()
 }
 
+//stcc:hotpath
 func (e *Engine) step(now int64) {
 	// 1. Global information gather and controller tick.
 	e.side.Tick(now)

@@ -81,6 +81,8 @@ func (t *Torus) Nodes() int { return t.nodes }
 func (t *Torus) PhysPorts() int { return 2 * t.n }
 
 // Coord returns node id's coordinate along dimension d.
+//
+//stcc:hotpath
 func (t *Torus) Coord(id NodeID, d int) int {
 	return (int(id) / t.strides[d]) % t.k
 }
@@ -116,6 +118,8 @@ func (t *Torus) ID(coords []int) NodeID {
 
 // Neighbor returns the node adjacent to id in dimension d, direction dir
 // (with wrap-around).
+//
+//stcc:hotpath
 func (t *Torus) Neighbor(id NodeID, d int, dir Dir) NodeID {
 	c := t.Coord(id, d)
 	nc := c + int(dir)
@@ -130,6 +134,8 @@ func (t *Torus) Neighbor(id NodeID, d int, dir Dir) NodeID {
 
 // Port numbers a router's physical channel for dimension d, direction dir.
 // Ports are dense in [0, PhysPorts()): +d is 2d, -d is 2d+1.
+//
+//stcc:hotpath
 func Port(d int, dir Dir) int {
 	if dir == Plus {
 		return 2 * d
@@ -138,9 +144,13 @@ func Port(d int, dir Dir) int {
 }
 
 // PortDim returns the dimension a physical port index belongs to.
+//
+//stcc:hotpath
 func PortDim(port int) int { return port / 2 }
 
 // PortDir returns the direction a physical port index points.
+//
+//stcc:hotpath
 func PortDir(port int) Dir {
 	if port%2 == 0 {
 		return Plus
@@ -150,11 +160,15 @@ func PortDir(port int) Dir {
 
 // OppositePort returns the port on the neighboring router that receives
 // flits sent out of port p: the same dimension, reversed direction.
+//
+//stcc:hotpath
 func OppositePort(p int) int { return p ^ 1 }
 
 // torusOffset returns the signed shortest offset from a to b along a ring
 // of size k, preferring the Plus direction on exact ties (offset k/2 for
 // even k). ties reports whether both directions are minimal.
+//
+//stcc:hotpath
 func (t *Torus) torusOffset(a, b int) (off int, ties bool) {
 	d := b - a
 	if d < 0 {
@@ -174,6 +188,8 @@ func (t *Torus) torusOffset(a, b int) (off int, ties bool) {
 }
 
 // Distance returns the minimal hop count between two nodes on the torus.
+//
+//stcc:hotpath
 func (t *Torus) Distance(a, b NodeID) int {
 	sum := 0
 	for d := 0; d < t.n; d++ {
@@ -188,6 +204,8 @@ func (t *Torus) Distance(a, b NodeID) int {
 
 // MeshDistance returns the hop count between two nodes when wrap-around
 // links are forbidden (the mesh sub-network used by escape and recovery).
+//
+//stcc:hotpath
 func (t *Torus) MeshDistance(a, b NodeID) int {
 	sum := 0
 	for d := 0; d < t.n; d++ {
@@ -205,6 +223,8 @@ func (t *Torus) MeshDistance(a, b NodeID) int {
 // result is empty iff cur == dstNode. When the two directions of a
 // dimension are equally short (offset exactly k/2), both ports are
 // included, giving the router full adaptivity.
+//
+//stcc:hotpath
 func (t *Torus) MinimalPorts(cur, dstNode NodeID, dst []int) []int {
 	for d := 0; d < t.n; d++ {
 		off, tie := t.torusOffset(t.Coord(cur, d), t.Coord(dstNode, d))
@@ -233,6 +253,8 @@ func (t *Torus) MinimalPorts(cur, dstNode NodeID, dst []int) []int {
 // deadlock free: the channel dependency graph is acyclic because
 // dependencies only go from lower to higher dimensions, and within a
 // dimension a packet never reverses.
+//
+//stcc:hotpath
 func (t *Torus) DORMeshNextPort(cur, dstNode NodeID) (port int, ok bool) {
 	for d := 0; d < t.n; d++ {
 		cc, dc := t.Coord(cur, d), t.Coord(dstNode, d)
