@@ -23,17 +23,18 @@ bench:
 # Regenerate the checked-in benchmark-trajectory report. Uses real
 # benchtime (minutes, not a smoke run); see README.md ("Benchmark
 # trajectory") for how to read BENCH_*.json.
-BENCH_LABEL ?= PR6
+BENCH_LABEL ?= PR8
 bench-json:
-	$(GO) run ./cmd/stcc-bench -label $(BENCH_LABEL) -out BENCH_$(BENCH_LABEL).json
+	$(GO) run ./cmd/stcc-bench -label $(BENCH_LABEL) -repeat 3 -out BENCH_$(BENCH_LABEL).json
 
 # The determinism gate CI runs as its own job: golden fingerprints, the
-# serial-vs-sharded twin comparison, and the registry-wide worker sweep,
+# serial-vs-sharded twin comparison (including mid-run hysteresis flips
+# of the adaptive dispatch policy), and the registry-wide worker sweep,
 # all under the race detector so the parallel stepper's barrier and
 # merge paths are checked for memory-model bugs, not just for byte-equal
 # results.
 determinism:
-	$(GO) test -race -run 'TestSharded|TestShardPartition|TestTracingForcesSerial' ./internal/router/
+	$(GO) test -race -run 'TestSharded|TestShardPartition|TestTracingForcesSerial|TestAdaptiveDispatchFlipsMidRun' ./internal/router/
 	$(GO) test -race -run 'TestDeterminism|TestShardedSteppingAcrossRegistry' .
 
 # lint is the full static gate: formatting, the standard vet suite, the

@@ -6,12 +6,26 @@
 //
 //	go run ./cmd/stcc-bench -label PR3 -out BENCH_PR3.json
 //
+// -shapes filters the measured shapes by regular expression, so a PR
+// touching only the torus path can re-measure just those points:
+//
+//	go run ./cmd/stcc-bench -shapes 'torus4096/low'
+//
+// -baseline diffs the fresh run against a checked-in report and exits
+// nonzero if any shared shape regressed past -tolerance, which is how
+// CI turns the trajectory into a gate:
+//
+//	go run ./cmd/stcc-bench -baseline BENCH_PR8.json -tolerance 0.5
+//
 // The 256-node shapes mirror BenchmarkFabricStep and BenchmarkEngineStep:
 // the bare router fabric and the full engine, each at idle, low load, and
 // saturation. The torus4096 shapes step a 16-ary 3-cube (4096 nodes)
-// through the same three regimes serially (w1) and with the deterministic
-// sharded stepper (wN) — the two are byte-identical in results, so the
-// pair isolates the parallel stepper's cost or benefit on this machine.
+// through the same three regimes serially (w1) and with shard workers
+// available (wN) — results are byte-identical either way, and since PR8
+// the wN fabric decides per cycle (occupancy-adaptive dispatch) whether
+// the barrier rounds actually pay, so the pair isolates what the
+// dispatch policy ships on this machine rather than the raw cost of an
+// always-on parallel stepper.
 // Every fabric and engine is stepped to steady state before the timed
 // region, so the numbers describe the recurring per-cycle cost — the
 // construction and ramp-up transients are excluded by design.
@@ -23,6 +37,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"regexp"
 	"runtime"
 	"testing"
 
@@ -78,12 +93,31 @@ type fabricShape struct {
 func main() {
 	label := flag.String("label", "dev", "trajectory label recorded in the report (e.g. PR3)")
 	out := flag.String("out", "", "output file (default stdout)")
+	shapesRE := flag.String("shapes", "", "regexp filtering which shapes to measure (default: all)")
+	baselineFile := flag.String("baseline", "", "checked-in BENCH_*.json to diff against; regressions past -tolerance exit nonzero")
+	tolerance := flag.Float64("tolerance", 0.5, "allowed fractional ns/op regression vs -baseline (0.5 = +50%)")
+	flag.IntVar(&repeats, "repeat", 1, "timed windows per shape; the report keeps the fastest (warmup runs once)")
 	flag.Parse()
+	if repeats < 1 {
+		repeats = 1
+	}
+
+	var filter *regexp.Regexp
+	if *shapesRE != "" {
+		re, err := regexp.Compile(*shapesRE)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stcc-bench: bad -shapes regexp: %v\n", err)
+			os.Exit(2)
+		}
+		filter = re
+	}
+	keep := func(name string) bool { return filter == nil || filter.MatchString(name) }
 
 	// The sharded operating point: every available CPU. On a single-CPU
-	// machine the workers still run (goroutines multiplexed onto one
-	// thread), so measure w8 there to record the stepper's coordination
-	// overhead rather than skipping the path entirely.
+	// machine the workers are still constructed, but the adaptive
+	// dispatch policy steps serially there (barrier rounds are pure
+	// coordination overhead with one core), so wN records what actually
+	// ships on this machine.
 	shardedWorkers := runtime.NumCPU()
 	if shardedWorkers < 2 {
 		shardedWorkers = 8
@@ -94,13 +128,14 @@ func main() {
 		GoVersion: runtime.Version(),
 		GOARCH:    runtime.GOARCH,
 		NumCPU:    runtime.NumCPU(),
-		Baseline:  pr3Baseline(),
+		Baseline:  pr6Baseline(),
 		Note: "steady-state per-cycle cost; warmup excluded. Baseline is " +
-			"BENCH_PR3.json (pre-SoA router, serial stepping only), which " +
-			"still carried a 25 B/op drain-bookkeeping leak on " +
-			"fabric/saturated. torus4096 shapes are new in PR6; wN uses " +
-			"every available CPU (w8 on a single-CPU machine, where it " +
-			"measures pure coordination overhead).",
+			"BENCH_PR6.json (SoA router, always-on sharded stepping, which " +
+			"made torus4096/low/w8 slower than w1 and leaked 7 B/op there). " +
+			"PR8 adds occupancy-adaptive dispatch, per-shard stage skipping, " +
+			"fused barrier rounds and an O(active) engine injection scan; " +
+			"wN uses every available CPU and the dispatch policy decides " +
+			"per cycle whether sharding pays.",
 	}
 
 	shapes := []fabricShape{
@@ -127,9 +162,14 @@ func main() {
 			})
 		}
 	}
+	type point struct {
+		name string
+		run  func() Shape
+	}
+	var points []point
 	for _, s := range shapes {
-		report.Shapes = append(report.Shapes, measureFabric(s))
-		fmt.Fprintf(os.Stderr, "%-30s done\n", s.name)
+		s := s
+		points = append(points, point{s.name, func() Shape { return measureFabric(s) }})
 	}
 	for _, tc := range []struct {
 		name string
@@ -139,8 +179,28 @@ func main() {
 		{"engine/low", 0.02},
 		{"engine/saturated", 0.06},
 	} {
-		report.Shapes = append(report.Shapes, measureEngine(tc.name, tc.rate))
-		fmt.Fprintf(os.Stderr, "%-30s done\n", tc.name)
+		tc := tc
+		points = append(points, point{tc.name, func() Shape { return measureEngine(tc.name, tc.rate) }})
+	}
+	merged := map[string]*Shape{}
+	var order []string
+	for round := 0; round < repeats; round++ {
+		for _, p := range points {
+			if !keep(p.name) {
+				continue
+			}
+			s := p.run()
+			if best, ok := merged[p.name]; ok {
+				mergeShape(best, s)
+			} else {
+				merged[p.name] = &s
+				order = append(order, p.name)
+			}
+			fmt.Fprintf(os.Stderr, "%-30s round %d/%d done\n", p.name, round+1, repeats)
+		}
+	}
+	for _, name := range order {
+		report.Shapes = append(report.Shapes, *merged[name])
 	}
 
 	w := os.Stdout
@@ -159,6 +219,96 @@ func main() {
 		fmt.Fprintf(os.Stderr, "stcc-bench: %v\n", err)
 		os.Exit(1)
 	}
+
+	if *baselineFile != "" {
+		regressions, err := compareBaseline(report.Shapes, *baselineFile, *tolerance)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stcc-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if regressions > 0 {
+			fmt.Fprintf(os.Stderr, "stcc-bench: %d shape(s) regressed past tolerance %.0f%%\n",
+				regressions, *tolerance*100)
+			os.Exit(1)
+		}
+	}
+}
+
+// compareBaseline diffs the fresh shapes against the report in path and
+// prints a per-shape delta line for every shape the two runs share.
+// A shape counts as a regression when its ns/op exceeds the baseline by
+// more than the tolerance fraction, when its allocs/op grew at all, or
+// when its bytes/op grew from an exact zero — the bytes and allocs gates
+// are strict because the hot path's contract is "no per-cycle growth",
+// not "bounded growth".
+func compareBaseline(fresh []Shape, path string, tol float64) (int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var base Report
+	if err := json.Unmarshal(data, &base); err != nil {
+		return 0, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	byName := make(map[string]Shape, len(base.Shapes))
+	for _, s := range base.Shapes {
+		byName[s.Name] = s
+	}
+	regressions := 0
+	for _, s := range fresh {
+		old, ok := byName[s.Name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "%-34s %12.1f ns/op (no baseline entry)\n", s.Name, s.NsPerOp)
+			continue
+		}
+		delta := 0.0
+		if old.NsPerOp > 0 {
+			delta = (s.NsPerOp - old.NsPerOp) / old.NsPerOp * 100
+		}
+		verdict := "ok"
+		switch {
+		case s.NsPerOp > old.NsPerOp*(1+tol):
+			verdict = "REGRESSION"
+			regressions++
+		case s.AllocsPerOp > old.AllocsPerOp:
+			verdict = "REGRESSION (allocs/op grew)"
+			regressions++
+		case old.BytesPerOp == 0 && s.BytesPerOp > 0:
+			verdict = "REGRESSION (bytes/op grew from zero)"
+			regressions++
+		case s.BytesPerOp > old.BytesPerOp && float64(s.BytesPerOp) > float64(old.BytesPerOp)*(1+tol):
+			verdict = "REGRESSION (bytes/op)"
+			regressions++
+		}
+		fmt.Fprintf(os.Stderr, "%-34s %12.1f ns/op vs %12.1f (%+6.1f%%)  %3d B/op vs %3d  %s\n",
+			s.Name, s.NsPerOp, old.NsPerOp, delta, s.BytesPerOp, old.BytesPerOp, verdict)
+	}
+	return regressions, nil
+}
+
+// repeats is how many measurement rounds the whole shape list runs
+// (-repeat). Shared machines drift on a scale of minutes, so repeating
+// one shape back-to-back just measures the same slow patch three
+// times; instead the FULL list is re-measured round-robin and each
+// shape keeps its fastest round — a slow patch hits every shape in a
+// round equally, and the per-shape minimum is the standard low-noise
+// estimator for a deterministic workload. Allocation stats take the
+// MAXIMUM across rounds instead: a leak must not hide behind a lucky
+// window.
+var repeats = 1
+
+// mergeShape folds a fresh round's measurement into the trajectory
+// (min ns/op, max B/op and allocs/op).
+func mergeShape(best *Shape, s Shape) {
+	if s.NsPerOp < best.NsPerOp {
+		best.NsPerOp, best.Iterations = s.NsPerOp, s.Iterations
+	}
+	if s.BytesPerOp > best.BytesPerOp {
+		best.BytesPerOp = s.BytesPerOp
+	}
+	if s.AllocsPerOp > best.AllocsPerOp {
+		best.AllocsPerOp = s.AllocsPerOp
+	}
 }
 
 func toShape(name string, r testing.BenchmarkResult) Shape {
@@ -173,9 +323,10 @@ func toShape(name string, r testing.BenchmarkResult) Shape {
 
 // measureFabric times one network cycle of a k-ary n-cube fabric with
 // pool-fed injection at the given per-node rate, stepping serially when
-// s.workers <= 1 and through the deterministic sharded stepper
-// otherwise. The pool is prefilled past the shape's peak in-flight
-// population so B/op reflects the fabric, not pool growth.
+// s.workers <= 1 and with shard workers (under the default adaptive
+// dispatch policy) otherwise. The pool is prefilled past the shape's
+// peak in-flight population so B/op reflects the fabric, not pool
+// growth.
 func measureFabric(s fabricShape) Shape {
 	topo := topology.MustNew(s.k, s.n)
 	fab := router.MustNew(router.Config{
@@ -240,17 +391,25 @@ func measureEngine(name string, rate float64) Shape {
 	}))
 }
 
-// pr3Baseline is the previous trajectory point: the checked-in
-// BENCH_PR3.json shape numbers (zero-allocation hot path, pre-SoA
-// array-of-structs router, serial stepping only). The seed-era origin
-// lives on in BENCH_PR3.json's own baseline block.
-func pr3Baseline() []Shape {
+// pr6Baseline is the previous trajectory point: the checked-in
+// BENCH_PR6.json shape numbers (SoA router with always-on sharded
+// stepping; its w8 torus shapes paid barrier rounds every cycle, which
+// on a single-CPU machine made torus4096/low/w8 slower than w1 and
+// carried a 7 B/op handoff-growth leak). The pre-SoA origin lives on in
+// BENCH_PR6.json's own baseline block.
+func pr6Baseline() []Shape {
 	return []Shape{
-		{Name: "fabric/idle", NsPerOp: 12.34, BytesPerOp: 0, AllocsPerOp: 0},
-		{Name: "fabric/low", NsPerOp: 14194.6, BytesPerOp: 0, AllocsPerOp: 0},
-		{Name: "fabric/saturated", NsPerOp: 114628.1, BytesPerOp: 25, AllocsPerOp: 0},
-		{Name: "engine/idle", NsPerOp: 3161.9, BytesPerOp: 3, AllocsPerOp: 0},
-		{Name: "engine/low", NsPerOp: 145722.1, BytesPerOp: 433, AllocsPerOp: 0},
-		{Name: "engine/saturated", NsPerOp: 200795.5, BytesPerOp: 753, AllocsPerOp: 0},
+		{Name: "fabric/idle", NsPerOp: 20.97, BytesPerOp: 0, AllocsPerOp: 0},
+		{Name: "fabric/low", NsPerOp: 12554.2, BytesPerOp: 0, AllocsPerOp: 0},
+		{Name: "fabric/saturated", NsPerOp: 91351.8, BytesPerOp: 0, AllocsPerOp: 0},
+		{Name: "fabric/torus4096/idle/w1", NsPerOp: 23.15, BytesPerOp: 0, AllocsPerOp: 0},
+		{Name: "fabric/torus4096/low/w1", NsPerOp: 529959.2, BytesPerOp: 0, AllocsPerOp: 0},
+		{Name: "fabric/torus4096/saturated/w1", NsPerOp: 7961472.6, BytesPerOp: 0, AllocsPerOp: 0},
+		{Name: "fabric/torus4096/idle/w8", NsPerOp: 14.07, BytesPerOp: 0, AllocsPerOp: 0},
+		{Name: "fabric/torus4096/low/w8", NsPerOp: 664650.1, BytesPerOp: 7, AllocsPerOp: 0},
+		{Name: "fabric/torus4096/saturated/w8", NsPerOp: 11164518.3, BytesPerOp: 0, AllocsPerOp: 0},
+		{Name: "engine/idle", NsPerOp: 3730.1, BytesPerOp: 3, AllocsPerOp: 0},
+		{Name: "engine/low", NsPerOp: 122964.6, BytesPerOp: 529, AllocsPerOp: 0},
+		{Name: "engine/saturated", NsPerOp: 154183.4, BytesPerOp: 1081, AllocsPerOp: 0},
 	}
 }

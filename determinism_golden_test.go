@@ -166,8 +166,11 @@ func TestDeterminismAcrossWorkerCounts(t *testing.T) {
 // every scheme kind, deadlock mode, traffic pattern and switching
 // discipline the paper's evaluation uses goes through the sharded
 // barrier/merge path and must be indistinguishable from serial.
-// It also pins the knob's fingerprint neutrality: two configs differing
-// only in ShardWorkers content-address identically.
+// It also pins the knobs' fingerprint neutrality: configs differing
+// only in ShardWorkers or ShardDispatch content-address identically.
+// The sharded run pins Dispatch to "sharded" so the parallel rounds are
+// actually exercised even on a single-CPU runner, where the default
+// adaptive policy would (correctly) step everything serially.
 func TestShardedSteppingAcrossRegistry(t *testing.T) {
 	tiny := experiments.Scale{Warmup: 200, Measure: 1000, BurstLow: 300, BurstHigh: 450}
 	seen := map[string]bool{}
@@ -206,8 +209,10 @@ func TestShardedSteppingAcrossRegistry(t *testing.T) {
 			t.Parallel()
 			serCfg := cfg
 			serCfg.ShardWorkers = 1
+			serCfg.ShardDispatch = router.DispatchSerial
 			shCfg := cfg
 			shCfg.ShardWorkers = 8
+			shCfg.ShardDispatch = router.DispatchSharded
 			serFP, err := serCfg.Fingerprint()
 			if err != nil {
 				t.Fatal(err)
@@ -217,7 +222,16 @@ func TestShardedSteppingAcrossRegistry(t *testing.T) {
 				t.Fatal(err)
 			}
 			if serFP != shFP {
-				t.Fatalf("config fingerprint depends on ShardWorkers: %s vs %s", serFP, shFP)
+				t.Fatalf("config fingerprint depends on ShardWorkers/ShardDispatch: %s vs %s", serFP, shFP)
+			}
+			adCfg := cfg
+			adCfg.ShardDispatch = router.DispatchAdaptive
+			adFP, err := adCfg.Fingerprint()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if adFP != serFP {
+				t.Fatalf("config fingerprint depends on ShardDispatch: %s vs %s", adFP, serFP)
 			}
 			serial, err := sim.Run(serCfg)
 			if err != nil {

@@ -30,10 +30,11 @@ var CounterGuard = &framework.Analyzer{
 The incremental netCounters sums (fullBuffers, latched, ownedOuts,
 occupiedIns, pendingIns, srcActive), the per-lane occupancy array (occ),
 the per-node lane masks (occMask, boundMask, headMask, latchMask,
-ownedMask) and the active bitsets (actWords) are denormalized views of
-router state. They stay consistent only if every state transition
-updates them exactly once; that discipline lives in buffer.go, and this
-analyzer rejects writes from any other file.`,
+ownedMask) and the active bitsets with their summary level (actWords,
+sumWords) are denormalized views of router state. They stay consistent
+only if every state transition updates them exactly once; that
+discipline lives in buffer.go, and this analyzer rejects writes from
+any other file.`,
 	Run: runCounterGuard,
 }
 
@@ -56,6 +57,10 @@ var guardedCounters = map[string]bool{
 	"latchMask": true,
 	"ownedMask": true,
 	"actWords":  true,
+	// The bitset summary level: bit w mirrors actWords[w] != 0. A stage
+	// writing it directly (or taking its address for an atomic op) would
+	// let the two levels disagree, silently skipping shard rounds.
+	"sumWords": true,
 }
 
 // counterAccessorFile is the only file allowed to mutate the guarded

@@ -23,13 +23,33 @@ func (nc *netCounters) add(d *netCounters) {
 	nc.srcActive += d.srcActive
 }
 
-// activeWords mirrors the node-level active bitsets.
+// activeWords mirrors the node-level active bitsets and their summary
+// level (bit w of sumWords set iff actWords[w] != 0). Maintaining both
+// in lockstep — including through an address taken for an atomic op —
+// is legal here and only here.
 type activeWords struct {
 	actWords []uint64
+	sumWords []uint64
 }
 
-func (a *activeWords) set(i int32)      { a.actWords[i>>6] |= 1 << uint(i&63) }
-func (a *activeWords) clearBit(i int32) { a.actWords[i>>6] &^= 1 << uint(i&63) }
+func (a *activeWords) set(i int32) {
+	w := i >> 6
+	if a.actWords[w] == 0 {
+		atomicOr(&a.sumWords[w>>6], 1<<uint(w&63))
+	}
+	a.actWords[w] |= 1 << uint(i&63)
+}
+
+func (a *activeWords) clearBit(i int32) {
+	w := i >> 6
+	if a.actWords[w] &^= 1 << uint(i&63); a.actWords[w] == 0 {
+		a.sumWords[w>>6] &^= 1 << uint(w&63)
+	}
+}
+
+// atomicOr stands in for sync/atomic.OrUint64 (fixture packages avoid
+// real imports).
+func atomicOr(p *uint64, v uint64) { *p |= v }
 
 // Fabric mirrors the router fabric's counter-bearing struct: the SoA
 // occupancy array, the per-node lane masks, a bitset, and the sums.
@@ -60,6 +80,7 @@ func (f *Fabric) initSoA(nodes, lanes int) {
 	f.latchMask = make([]uint64, nodes)
 	f.ownedMask = make([]uint64, nodes)
 	f.actOcc.actWords = make([]uint64, (nodes+63)>>6)
+	f.actOcc.sumWords = make([]uint64, 1)
 }
 
 // push is an accessor: counter, array and mask writes here are legal.

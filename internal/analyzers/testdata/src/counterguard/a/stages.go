@@ -66,7 +66,18 @@ func (f *Fabric) badArrayWrites(gid int32, ni int) {
 	f.latchMask[ni] = 0      // want `direct write to active-set counter latchMask outside buffer\.go`
 	f.ownedMask[ni] ^= 1     // want `direct write to active-set counter ownedMask outside buffer\.go`
 	f.actOcc.actWords[0] = 0 // want `direct write to active-set counter actWords outside buffer\.go`
+	f.actOcc.sumWords[0] = 0 // want `direct write to active-set counter sumWords outside buffer\.go`
 	f.occ = nil              // want `direct write to active-set counter occ outside buffer\.go`
+}
+
+// A stage updating the summary level by hand — even "correctly", even
+// atomically via an address — would let sumWords drift from actWords
+// under a future edit, so both the write and the address-taking are
+// flagged.
+func (f *Fabric) badSummaryMaintenance(w int) {
+	f.actOcc.sumWords[w>>6] |= 1 << uint(w&63)  // want `direct write to active-set counter sumWords outside buffer\.go`
+	atomicOr(&f.actOcc.sumWords[w>>6], 1)       // want `taking the address of active-set counter sumWords outside buffer\.go`
+	f.actOcc.sumWords[w>>6] &^= 1 << uint(w&63) // want `direct write to active-set counter sumWords outside buffer\.go`
 }
 
 func (f *Fabric) badAddress(nc *netCounters) *int {

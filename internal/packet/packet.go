@@ -251,6 +251,18 @@ func (p *Packet) BlockedFor(now int64) int64 {
 	return now - p.LastProgress
 }
 
+// BlockedForAtomic is BlockedFor for a detection scan that shares a
+// parallel round with injection at other shards. The racing stores all
+// carry the current cycle, and any packet they touch made progress no
+// earlier than the previous cycle, so whichever value the load observes
+// the packet reads as blocked for at most one cycle — far below any
+// valid timeout. The atomic load only keeps the race detector honest.
+//
+//stcc:hotpath
+func (p *Packet) BlockedForAtomic(now int64) int64 {
+	return now - atomic.LoadInt64(&p.LastProgress)
+}
+
 // PushTrail records that the head flit entered loc.
 //
 //stcc:hotpath

@@ -10,6 +10,7 @@ package router
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/packet"
 	"repro/internal/topology"
@@ -18,7 +19,8 @@ import (
 // This file is the only place the fabric's structure-of-arrays hot state
 // may be written: the per-lane occupancy array (occ), the per-node lane
 // masks (occMask, boundMask, headMask, latchMask, ownedMask), the
-// node-level active bitsets (actWords), and the netCounters sums. The
+// node-level active bitsets (actWords) with their per-shard summary
+// level (sumWords), and the netCounters sums. The
 // counterguard analyzer enforces the restriction; every transition goes
 // through the accessors below so the masks, the bitsets and the counters
 // can never drift apart, in serial or in sharded stepping.
@@ -70,18 +72,69 @@ func (f *Fabric) initSoA(nodes int) {
 // activeWords is a bitset with one bit per node ("active words"): the
 // per-cycle stages iterate set bits with trailing-zero scans instead of
 // walking every router. Shard partitions are aligned to 64-node
-// boundaries, so two shards never write the same word.
+// boundaries, so two shards never write the same actWords word. sumWords
+// is the second level of the hierarchy — bit w is set iff actWords[w] is
+// non-zero — and lets the coordinator decide in O(shards) which shards
+// have any work for a round (see anyIn). One sumWords word spans 64
+// actWords words (4096 nodes), so shards DO share summary words; the
+// summary updates are atomic Or/And, which is deterministic because
+// concurrent shards touch distinct bits and bit set/clear commutes.
+// The coordinator only reads sumWords between phases, after the barrier,
+// so plain loads in anyIn are ordered. Both levels are maintained in
+// lockstep here so they can never disagree; counterguard pins every
+// write to this file.
 type activeWords struct {
 	actWords []uint64
+	sumWords []uint64
 }
 
-func (a *activeWords) init(nodes int) { a.actWords = make([]uint64, (nodes+63)>>6) }
+func (a *activeWords) init(nodes int) {
+	words := (nodes + 63) >> 6
+	a.actWords = make([]uint64, words)
+	a.sumWords = make([]uint64, (words+63)>>6)
+}
 
 //stcc:hotpath
-func (a *activeWords) set(i int32) { a.actWords[i>>6] |= 1 << uint(i&63) }
+func (a *activeWords) set(i int32) {
+	w := i >> 6
+	if a.actWords[w] == 0 {
+		atomic.OrUint64(&a.sumWords[w>>6], 1<<uint(w&63))
+	}
+	a.actWords[w] |= 1 << uint(i&63)
+}
 
 //stcc:hotpath
-func (a *activeWords) clearBit(i int32) { a.actWords[i>>6] &^= 1 << uint(i&63) }
+func (a *activeWords) clearBit(i int32) {
+	w := i >> 6
+	if a.actWords[w] &^= 1 << uint(i&63); a.actWords[w] == 0 {
+		atomic.AndUint64(&a.sumWords[w>>6], ^(uint64(1) << uint(w&63)))
+	}
+}
+
+// anyIn reports whether any node in [lo, hi) is active, reading only
+// the summary level. lo must be 64-aligned (shard partitions are); hi
+// may be ragged, but because a shard owns its trailing partial word
+// exclusively, rounding hi up to the word boundary is exact.
+//
+//stcc:hotpath
+func (a *activeWords) anyIn(lo, hi int) bool {
+	wlo, whi := lo>>6, (hi+63)>>6 // active-word index range [wlo, whi)
+	slo, shi := wlo>>6, (whi-1)>>6
+	first := ^uint64(0) << uint(wlo&63)
+	last := ^uint64(0) >> uint(63-((whi-1)&63))
+	if slo == shi {
+		return a.sumWords[slo]&first&last != 0
+	}
+	if a.sumWords[slo]&first != 0 {
+		return true
+	}
+	for si := slo + 1; si < shi; si++ {
+		if a.sumWords[si] != 0 {
+			return true
+		}
+	}
+	return a.sumWords[shi]&last != 0
+}
 
 // flit is one flow-control unit: the idx-th flit of pkt. arrived is the
 // cycle the flit entered its current buffer; the routing arbiter uses it

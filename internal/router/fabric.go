@@ -2,6 +2,7 @@ package router
 
 import (
 	"fmt"
+	"runtime"
 
 	"repro/internal/packet"
 	"repro/internal/topology"
@@ -93,6 +94,43 @@ func (s Switching) String() string {
 	}
 }
 
+// DispatchPolicy selects how a fabric built with Workers > 1 schedules
+// each cycle. Like Workers itself it is scheduling-only: serial and
+// sharded stepping are byte-identical, so the policy never changes
+// results and is excluded from simulation fingerprints.
+type DispatchPolicy uint8
+
+const (
+	// DispatchAdaptive (the default) picks serial or sharded execution
+	// each cycle from the network's active population with hysteresis:
+	// barrier rounds only pay off once enough lanes are live, so a
+	// lightly loaded (or warming-up) network steps serially and flips to
+	// the shard workers as occupancy builds. On a single-CPU host it
+	// always steps serially — there is no parallel hardware to amortize
+	// the round dispatch.
+	DispatchAdaptive DispatchPolicy = iota
+	// DispatchSharded always uses the sharded stepper when shards exist
+	// (the pre-adaptive behavior; also what the twin tests force so the
+	// parallel machinery is exercised regardless of host shape).
+	DispatchSharded
+	// DispatchSerial always steps serially while keeping the shard
+	// partition built (diagnostic).
+	DispatchSerial
+)
+
+func (d DispatchPolicy) String() string {
+	switch d {
+	case DispatchAdaptive:
+		return "adaptive"
+	case DispatchSharded:
+		return "sharded"
+	case DispatchSerial:
+		return "serial"
+	default:
+		return fmt.Sprintf("DispatchPolicy(%d)", uint8(d))
+	}
+}
+
 // Config describes the router fabric. The paper's configuration is a
 // 16-ary 2-cube with 3 VCs of depth 8 and 16-flit packets.
 type Config struct {
@@ -128,6 +166,15 @@ type Config struct {
 	// never changes results: sharded stepping is byte-identical to
 	// serial, so it is excluded from simulation fingerprints.
 	Workers int
+	// Dispatch selects how a sharded fabric schedules each cycle
+	// (adaptive hysteresis by default). Scheduling-only, like Workers.
+	Dispatch DispatchPolicy
+	// AdaptHigh and AdaptLow override the adaptive dispatch hysteresis
+	// thresholds (active lanes network-wide): serial stepping flips to
+	// sharded at AdaptHigh and back below AdaptLow. Zero selects
+	// defaults scaled by the shard count. Setting AdaptLow requires
+	// AdaptHigh >= AdaptLow.
+	AdaptHigh, AdaptLow int
 }
 
 // Validate checks the configuration.
@@ -155,6 +202,17 @@ func (c Config) Validate() error {
 	}
 	if c.Workers < 0 {
 		return fmt.Errorf("router: negative worker count %d", c.Workers)
+	}
+	switch c.Dispatch {
+	case DispatchAdaptive, DispatchSharded, DispatchSerial:
+	default:
+		return fmt.Errorf("router: unknown dispatch policy %d", c.Dispatch)
+	}
+	if c.AdaptHigh < 0 || c.AdaptLow < 0 {
+		return fmt.Errorf("router: negative adaptive dispatch threshold (%d, %d)", c.AdaptHigh, c.AdaptLow)
+	}
+	if c.AdaptLow > c.AdaptHigh {
+		return fmt.Errorf("router: AdaptLow %d exceeds AdaptHigh %d", c.AdaptLow, c.AdaptHigh)
 	}
 	dlv := c.DeliveryChannels
 	if dlv == 0 {
@@ -223,6 +281,12 @@ type node struct {
 type stepCtx struct {
 	nc    *netCounters
 	ports []int // routeAdaptive scratch
+	// atomic marks a shard worker's context: the fused
+	// route/inject/detect round runs injection progress stores
+	// concurrently with detection loads at other shards, so stamps must
+	// go through the atomic store (same-value, hence order-free). Serial
+	// stepping keeps the plain store.
+	atomic bool
 }
 
 // Fabric is the whole network of routers plus global bookkeeping. It is
@@ -285,6 +349,13 @@ type Fabric struct {
 	outPortBase  []int
 	outPortWidth []int
 
+	// dstGid maps every output lane (node*lanesOut+lane) to the global
+	// input-lane index (gid) of the downstream buffer it feeds, or -1
+	// for delivery lanes. Precomputed so the link and crossbar hot paths
+	// read one table element instead of recomputing the torus neighbor
+	// (per-dimension divisions) on every flit movement and credit check.
+	dstGid []int32
+
 	// Delivery accounting.
 	deliveredFlits  int64 // all-time
 	deliveredWindow int64 // since last TakeDeliveredFlits
@@ -316,6 +387,24 @@ type Fabric struct {
 	shards    []shard
 	shardSpan int // nodes per shard, a multiple of 64
 	workers   *workerPool
+
+	// shardActive is the coordinator's per-round dispatch mask: the
+	// mark* helpers derive it from the active-bitset summaries (or the
+	// per-shard scratch lists) and runPhaseMasked wakes only the marked
+	// workers.
+	shardActive []bool
+	// dstShard maps every output lane to the shard owning its
+	// downstream node (-1 for delivery lanes), so the link stage stages
+	// a handoff without dividing by the shard span.
+	dstShard []int16
+
+	// Adaptive dispatch (Config.Dispatch): hysteresis state and
+	// resolved thresholds. maxProcs is captured at construction; on a
+	// single-CPU host the adaptive policy never shards.
+	maxProcs   int
+	useSharded bool
+	adaptHi    int
+	adaptLo    int
 
 	// popped marks input lanes whose buffer has already been popped by a
 	// committed crossbar move this stage (one bit per lane, poppedDirty
@@ -382,6 +471,22 @@ func New(cfg Config) (*Fabric, error) {
 	for v := 0; v < dlv; v++ {
 		f.laneOutPort[phys*cfg.VCs+v] = uint8(phys)
 	}
+
+	f.dstGid = make([]int32, nodes*f.lanesOut)
+	for ni := 0; ni < nodes; ni++ {
+		base := ni * f.lanesOut
+		for p := 0; p < phys; p++ {
+			nb := int(cfg.Topo.Neighbor(topology.NodeID(ni), topology.PortDim(p), topology.PortDir(p)))
+			op := topology.OppositePort(p)
+			for v := 0; v < cfg.VCs; v++ {
+				f.dstGid[base+p*cfg.VCs+v] = int32(nb*f.lanesIn + op*cfg.VCs + v)
+			}
+		}
+		for v := 0; v < dlv; v++ {
+			f.dstGid[base+phys*cfg.VCs+v] = -1
+		}
+	}
+	f.maxProcs = runtime.GOMAXPROCS(0)
 
 	nextBuf, nextFlit, nextOut := 0, 0, 0
 	takeBuf := func(n int) []vcBuffer {
@@ -556,12 +661,14 @@ func (f *Fabric) StartInjection(pkt *packet.Packet) {
 //
 // With Workers > 1 the stages run as deterministic parallel rounds over
 // a fixed node partition (see parallel.go); the results are
-// byte-identical to serial stepping. Tracing (OnEvent) forces the serial
-// path so event order stays the serial interleaving.
+// byte-identical to serial stepping, and the dispatch policy (adaptive
+// by default) decides per cycle whether the rounds pay for their
+// barriers. Tracing (OnEvent) forces the serial path so event order
+// stays the serial interleaving.
 //
 //stcc:hotpath
 func (f *Fabric) Step() {
-	if len(f.shards) > 1 && f.OnEvent == nil {
+	if len(f.shards) > 1 && f.OnEvent == nil && f.dispatchSharded() {
 		f.stepSharded()
 		return
 	}

@@ -72,6 +72,38 @@ func (p *SelectionPolicy) UnmarshalText(text []byte) error {
 	return nil
 }
 
+// ParseDispatchPolicy returns the DispatchPolicy named by String().
+func ParseDispatchPolicy(s string) (DispatchPolicy, error) {
+	switch s {
+	case DispatchAdaptive.String():
+		return DispatchAdaptive, nil
+	case DispatchSharded.String():
+		return DispatchSharded, nil
+	case DispatchSerial.String():
+		return DispatchSerial, nil
+	}
+	return 0, fmt.Errorf("router: unknown dispatch policy %q (want adaptive, sharded or serial)", s)
+}
+
+// MarshalText implements encoding.TextMarshaler.
+func (d DispatchPolicy) MarshalText() ([]byte, error) {
+	switch d {
+	case DispatchAdaptive, DispatchSharded, DispatchSerial:
+		return []byte(d.String()), nil
+	}
+	return nil, fmt.Errorf("router: cannot marshal invalid dispatch policy %d", uint8(d))
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (d *DispatchPolicy) UnmarshalText(text []byte) error {
+	v, err := ParseDispatchPolicy(string(text))
+	if err != nil {
+		return err
+	}
+	*d = v
+	return nil
+}
+
 // ParseSwitching returns the Switching discipline named by String().
 func ParseSwitching(s string) (Switching, error) {
 	switch s {

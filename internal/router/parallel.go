@@ -6,7 +6,6 @@ import (
 	"sync"
 
 	"repro/internal/packet"
-	"repro/internal/topology"
 )
 
 // Deterministic sharded stepping.
@@ -41,19 +40,43 @@ import (
 // interaction is either commutative (same-value stores) or serialized in
 // node-index order. Workers park on channels between rounds (no
 // spinning), so a single-CPU host degrades gracefully.
+//
+// Per-cycle cost tracks the active population, not the network size:
+//
+//   - Every round is dispatched through a per-shard mask (shardActive)
+//     derived from the activeWords summary bitsets or the per-shard
+//     scratch lists; a shard with no relevant work is never woken.
+//   - The own-nodes-only rounds are fused. Link traversals that stay
+//     inside the source shard are pushed directly during phLinkLocal
+//     (each buffer has exactly one upstream latch, so it receives at
+//     most one handoff per cycle and the push order cannot matter);
+//     the merge round only runs when a handoff actually crossed a shard
+//     boundary. In Recovery mode routing, injection and detection
+//     collapse into one phRouteInjectDetect round — legal because all
+//     their writes are own-node except the packet progress stamps
+//     (atomic, same-value) and the detection scan reads those stamps
+//     through the matching atomic load; a packet injection touches made
+//     progress no earlier than the previous cycle, so the racing read
+//     cannot flip a timeout verdict. Avoidance mode keeps phRoute and
+//     phInject separate: routeHeader may demote a packet to the escape
+//     lane (a packet.Mode write) while another shard's injection reads
+//     Mode of the same packet.
+//   - The coordinator picks serial vs sharded execution per cycle from
+//     the active-lane count with hysteresis (Config.Dispatch); both
+//     paths are byte-identical, so the decision is scheduling-only.
 
 // phaseID names one parallel round.
 type phaseID uint8
 
 const (
-	phLinkLocal phaseID = iota // clear own latches; stage handoffs; consume deliveries
-	phLinkMerge                // push staged handoffs into own nodes
-	phXbarScan                 // speculative switch allocation against the snapshot
-	phXbarApply                // pop/latch the committed moves
-	phRoute                    // central arbiter, own nodes only
-	phInject                   // injection streaming, own nodes only
-	phDetect                   // deadlock timeout scan, own nodes only
-	phExit                     // shut the worker down
+	phLinkLocal         phaseID = iota // clear own latches; push same-shard, stage cross-shard
+	phLinkMerge                        // push cross-shard handoffs into own nodes
+	phXbarScan                         // speculative switch allocation against the snapshot
+	phXbarApply                        // pop/latch the committed moves
+	phRoute                            // central arbiter, own nodes only (Avoidance)
+	phInject                           // injection streaming, own nodes only (Avoidance)
+	phRouteInjectDetect                // fused route+inject+detect, own nodes only (Recovery)
+	phExit                             // shut the worker down
 )
 
 // handoff is one link traversal crossing into another shard's node: the
@@ -114,6 +137,12 @@ type workerPool struct {
 // initShards fixes the node partition at construction time. The span is
 // rounded up to a multiple of 64 nodes so no two shards touch the same
 // active-bitset word; networks smaller than two spans step serially.
+//
+// All per-shard scratch is pre-sized to its structural per-cycle bound
+// here, so sharded stepping never grows a slice mid-run: a high-water
+// mark that creeps up logarithmically under random traffic otherwise
+// shows up as a few bytes/op that no warmup length can amortize away
+// (the 7 B/op residue on torus4096/low in BENCH_PR6.json).
 func (f *Fabric) initShards() {
 	w := f.cfg.Workers
 	nodes := len(f.nodes)
@@ -131,14 +160,99 @@ func (f *Fabric) initShards() {
 	}
 	f.shardSpan = span
 	f.shards = make([]shard, ns)
+	phys := f.topo.PhysPorts()
+	dlv := f.cfg.DeliveryChannels
+	if dlv == 0 {
+		dlv = 1
+	}
+	f.dstShard = make([]int16, len(f.dstGid))
+	for i, g := range f.dstGid {
+		if g < 0 {
+			f.dstShard[i] = -1
+		} else {
+			f.dstShard[i] = int16(int(g) / f.lanesIn / span)
+		}
+	}
 	for i := range f.shards {
 		sh := &f.shards[i]
 		sh.lo = i * span
 		sh.hi = min((i+1)*span, nodes)
+		sh.ctx = stepCtx{nc: &sh.delta, atomic: true}
+		n := sh.hi - sh.lo
+		// Crossbar scan: at most one candidate (or flagged placeholder)
+		// per physical port plus one per delivery channel, per node;
+		// committed moves are a subset of candidates.
+		sh.cands = make([]xbCand, 0, n*(phys+dlv))
+		sh.moves = make([]xbMove, 0, n*(phys+dlv))
+		// Link stage: at most one tail per delivery channel per cycle.
+		sh.delivered = make([]*packet.Packet, 0, n*dlv)
+		sh.suspects = make([]suspect, 0, n)
+		// Mailboxes sized to the boundary-crossing lane count per
+		// destination shard: with same-shard traversals pushed directly,
+		// only lanes whose downstream neighbor lives in another shard
+		// ever stage a handoff, at most one per output lane per cycle.
+		cross := make([]int, ns)
+		for ni := sh.lo; ni < sh.hi; ni++ {
+			base := ni * f.lanesOut
+			for p := 0; p < phys; p++ {
+				if d := f.dstShard[base+p*f.cfg.VCs]; int(d) != i {
+					cross[d] += f.cfg.VCs
+				}
+			}
+		}
 		sh.hand = make([][]handoff, ns)
-		sh.ctx = stepCtx{nc: &sh.delta}
+		for d, c := range cross {
+			if c > 0 {
+				sh.hand[d] = make([]handoff, 0, c)
+			}
+		}
 	}
+	f.shardActive = make([]bool, ns)
 	f.popped = make([]uint64, (len(f.bufs)+63)>>6)
+	// Referee scratch: one committed pop per committed move.
+	f.poppedDirty = make([]int32, 0, nodes*(phys+dlv))
+	f.adaptHi = f.cfg.AdaptHigh
+	if f.adaptHi == 0 {
+		f.adaptHi = 64 * ns
+	}
+	f.adaptLo = f.cfg.AdaptLow
+	if f.adaptLo == 0 {
+		f.adaptLo = f.adaptHi / 2
+	}
+}
+
+// dispatchSharded is the per-cycle scheduling decision for a fabric
+// with shards: whether the coming cycle runs the parallel rounds or the
+// serial stages. Both paths produce byte-identical results, so this is
+// pure scheduling. The adaptive policy flips to sharded once the active
+// lane population crosses adaptHi and back to serial below adaptLo —
+// hysteresis keeps a load hovering near one threshold from thrashing —
+// and never shards on a single-CPU host, where barrier rounds are pure
+// coordination overhead.
+//
+//stcc:hotpath
+func (f *Fabric) dispatchSharded() bool {
+	switch f.cfg.Dispatch {
+	case DispatchSharded:
+		return true
+	case DispatchSerial:
+		return false
+	}
+	if f.maxProcs <= 1 {
+		return false
+	}
+	active := f.net.latched + f.net.ownedOuts + f.net.pendingIns + f.net.srcActive
+	if f.cfg.Mode == Recovery {
+		active += f.net.occupiedIns
+	}
+	if f.useSharded {
+		if active < f.adaptLo {
+			f.useSharded = false
+		}
+	} else if active >= f.adaptHi {
+		f.useSharded = true
+	}
+	return f.useSharded
 }
 
 // shardOf returns the shard owning node ni.
@@ -187,17 +301,91 @@ func (f *Fabric) Close() {
 	f.workers = nil
 }
 
-// runPhase executes one round on every shard and waits for the barrier.
+// markActive derives the round dispatch mask from one active bitset's
+// summary level: a shard participates iff any of its nodes is active.
+//
+//stcc:serialonly
+//stcc:hotpath
+func (f *Fabric) markActive(aw *activeWords) {
+	for si := range f.shards {
+		sh := &f.shards[si]
+		f.shardActive[si] = aw.anyIn(sh.lo, sh.hi)
+	}
+}
+
+// markActiveUnion is markActive over the three bitsets the fused
+// route/inject/detect round walks.
+//
+//stcc:serialonly
+//stcc:hotpath
+func (f *Fabric) markActiveUnion(a, b, c *activeWords) {
+	for si := range f.shards {
+		sh := &f.shards[si]
+		f.shardActive[si] = a.anyIn(sh.lo, sh.hi) || b.anyIn(sh.lo, sh.hi) || c.anyIn(sh.lo, sh.hi)
+	}
+}
+
+// markMailboxes masks the merge round: shard d participates iff some
+// mailbox hand[s][d] is non-empty. Returns false when no handoff
+// crossed a shard boundary this cycle — with same-shard traversals
+// pushed directly during phLinkLocal, an entirely skippable round is
+// the common case.
+//
+//stcc:serialonly
+//stcc:hotpath
+func (f *Fabric) markMailboxes() bool {
+	any := false
+	for d := range f.shards {
+		act := false
+		for s := range f.shards {
+			if len(f.shards[s].hand[d]) > 0 {
+				act = true
+				break
+			}
+		}
+		f.shardActive[d] = act
+		any = any || act
+	}
+	return any
+}
+
+// markMoves masks the crossbar apply round on the committed move lists.
+//
+//stcc:serialonly
+//stcc:hotpath
+func (f *Fabric) markMoves() {
+	for si := range f.shards {
+		f.shardActive[si] = len(f.shards[si].moves) > 0
+	}
+}
+
+// runPhaseMasked executes one round on the shards marked active and
+// waits for the barrier. Idle shards stay parked: their relevant bitset
+// words (or scratch lists) are empty, so the round would visit nothing.
 //
 //stcc:hotpath
-func (f *Fabric) runPhase(ph phaseID) {
+func (f *Fabric) runPhaseMasked(ph phaseID) {
 	wp := f.workers
-	wp.wg.Add(len(wp.phase))
-	for _, ch := range wp.phase {
-		ch <- ph
+	n := 0
+	for si := 1; si < len(f.shards); si++ {
+		if f.shardActive[si] {
+			n++
+		}
 	}
-	f.runShardPhase(ph, 0)
-	wp.wg.Wait()
+	if n > 0 {
+		wp.wg.Add(n)
+		for si := 1; si < len(f.shards); si++ {
+			if f.shardActive[si] {
+				wp.phase[si-1] <- ph
+			}
+		}
+	}
+	if f.shardActive[0] {
+		f.runShardPhase(ph, 0)
+	}
+	if n > 0 {
+		wp.wg.Wait()
+	}
 }
 
 //stcc:hotpath
@@ -205,7 +393,7 @@ func (f *Fabric) runShardPhase(ph phaseID, si int) {
 	sh := &f.shards[si]
 	switch ph {
 	case phLinkLocal:
-		f.linkLocalShard(sh)
+		f.linkLocalShard(sh, si)
 	case phLinkMerge:
 		f.linkMergeShard(si)
 	case phXbarScan:
@@ -216,14 +404,20 @@ func (f *Fabric) runShardPhase(ph phaseID, si int) {
 		f.routeShard(sh)
 	case phInject:
 		f.injectShard(sh)
-	case phDetect:
+	case phRouteInjectDetect:
+		f.routeShard(sh)
+		f.injectShard(sh)
 		f.detectShard(sh)
 	}
 }
 
 // stepSharded is Step's parallel form: the same stage order, each stage
 // expanded into its rounds. Recovery, merges and the suspect queue stay
-// on the coordinator.
+// on the coordinator. A stage's rounds only go to shards with relevant
+// work (the mark*/runPhaseMasked pair), and a saturated Recovery-mode
+// cycle costs four barriers (link, scan, apply, fused
+// route/inject/detect) plus an occasional merge when a flit crosses a
+// shard boundary — down from seven blanket rounds.
 //
 //stcc:hotpath
 func (f *Fabric) stepSharded() {
@@ -232,31 +426,41 @@ func (f *Fabric) stepSharded() {
 	}
 	f.recoveryStep()
 	if f.net.latched > 0 {
-		f.runPhase(phLinkLocal)
-		f.runPhase(phLinkMerge)
+		f.markActive(&f.actLatched)
+		f.runPhaseMasked(phLinkLocal)
+		if f.markMailboxes() {
+			f.runPhaseMasked(phLinkMerge)
+		}
 		f.mergeLink()
 	}
 	if f.net.ownedOuts > 0 {
-		f.runPhase(phXbarScan)
+		f.markActive(&f.actOwned)
+		f.runPhaseMasked(phXbarScan)
 		f.finalizeXbar()
-		f.runPhase(phXbarApply)
+		f.markMoves()
+		f.runPhaseMasked(phXbarApply)
 		f.foldDeltas()
 		f.clearXbar()
 	}
-	if f.net.pendingIns > 0 {
-		f.runPhase(phRoute)
-		f.foldDeltas()
-	}
-	if f.net.srcActive > 0 {
-		f.runPhase(phInject)
-		f.foldDeltas()
-	}
 	if f.cfg.Mode == Recovery {
-		if f.net.occupiedIns > 0 {
-			f.runPhase(phDetect)
+		if f.net.pendingIns > 0 || f.net.srcActive > 0 || f.net.occupiedIns > 0 {
+			f.markActiveUnion(&f.actPending, &f.actSrc, &f.actOccupied)
+			f.runPhaseMasked(phRouteInjectDetect)
+			f.foldDeltas()
 			f.mergeSuspects()
 		}
 		f.serviceSuspects()
+	} else {
+		if f.net.pendingIns > 0 {
+			f.markActive(&f.actPending)
+			f.runPhaseMasked(phRoute)
+			f.foldDeltas()
+		}
+		if f.net.srcActive > 0 {
+			f.markActive(&f.actSrc)
+			f.runPhaseMasked(phInject)
+			f.foldDeltas()
+		}
 	}
 	f.now++
 }
@@ -281,11 +485,14 @@ func (sh *shard) shardWords() (int, int) { return sh.lo >> 6, (sh.hi + 63) >> 6 
 
 // linkLocalShard drains the shard's own latches: delivery lanes consume
 // here (the delivered tails queue for the coordinator), physical lanes
+// whose downstream buffer lives in this shard push directly (a buffer
+// has exactly one upstream latch, so it sees at most one push per cycle
+// and the push order cannot matter), and only boundary-crossing lanes
 // stage a handoff in the destination shard's mailbox.
 //
 //stcc:shardstage
 //stcc:hotpath
-func (f *Fabric) linkLocalShard(sh *shard) {
+func (f *Fabric) linkLocalShard(sh *shard, si int) {
 	now := f.now
 	lo, hi := sh.shardWords()
 	words := f.actLatched.actWords
@@ -301,8 +508,7 @@ func (f *Fabric) linkLocalShard(sh *shard) {
 				}
 				fl := o.lat.clear(sh.ctx.nc)
 				fl.pkt.ProgressAtomic(now)
-				p := o.lat.port
-				if p == f.dlvPort {
+				if o.lat.port == f.dlvPort {
 					sh.deliveredFlits++
 					fl.pkt.Consumed++
 					if fl.isTail() {
@@ -311,11 +517,19 @@ func (f *Fabric) linkLocalShard(sh *shard) {
 					}
 					continue
 				}
-				nb := f.topo.Neighbor(topology.NodeID(ni), topology.PortDim(p), topology.PortDir(p))
-				tb := &f.bufs[int(nb)*f.lanesIn+topology.OppositePort(p)*f.cfg.VCs+o.lat.vc]
+				tb := &f.bufs[f.dstGid[base+lane]]
 				fl.arrived = now
-				ds := f.shardOf(int(nb))
-				sh.hand[ds] = append(sh.hand[ds], handoff{tb: tb, fl: fl})
+				if ds := int(f.dstShard[base+lane]); ds != si {
+					sh.hand[ds] = append(sh.hand[ds], handoff{tb: tb, fl: fl})
+				} else {
+					if tb.full() {
+						panic(fmt.Sprintf("router: link overflow into %v at cycle %d", tb, now))
+					}
+					tb.push(fl, sh.ctx.nc)
+					if fl.isHead() {
+						fl.pkt.PushTrail(tb)
+					}
+				}
 				if fl.isTail() {
 					o.release(sh.ctx.nc)
 				}
@@ -428,8 +642,7 @@ func (f *Fabric) xbarScanPort(ni, p, base, nvc int, sh *shard) {
 			continue // worm stretched thin; occupancy is stable this stage
 		}
 		if !dlv {
-			nb := f.topo.Neighbor(topology.NodeID(ni), topology.PortDim(p), topology.PortDir(p))
-			tg := int32(int(nb)*f.lanesIn + topology.OppositePort(p)*f.cfg.VCs + vi)
+			tg := f.dstGid[ni*f.lanesOut+base+vi]
 			if int(f.occ[tg]) == f.cfg.BufDepth {
 				flagged = true // a same-cycle pop downstream could free this
 				continue
@@ -507,8 +720,7 @@ func (f *Fabric) refereePort(sh *shard, c *xbCand) {
 		if f.occ[b.gid] == 0 {
 			continue
 		}
-		nb := f.topo.Neighbor(topology.NodeID(ni), topology.PortDim(p), topology.PortDir(p))
-		tg := int32(int(nb)*f.lanesIn + topology.OppositePort(p)*f.cfg.VCs + vi)
+		tg := f.dstGid[ni*f.lanesOut+base+vi]
 		n := int(f.occ[tg])
 		if f.popped[tg>>6]&(1<<uint(tg&63)) != 0 {
 			n-- // a committed pop at an earlier node freed one credit
@@ -604,8 +816,13 @@ func (f *Fabric) injectShard(sh *shard) {
 }
 
 // detectShard scans the shard's own nodes for deadlock timeouts; fresh
-// suspects collect per shard and are concatenated in shard order, the
-// serial append order.
+// suspects collect per shard and are concatenated — and only then
+// frozen — in shard order, the serial append order. Deferring the
+// packet.Mode write to the coordinator keeps this round free of Mode
+// races against concurrent routing and injection (detection shares the
+// fused phRouteInjectDetect round), and changes nothing else: a
+// packet's head flit fronts exactly one lane network-wide, so no other
+// detect decision this cycle could have observed the earlier write.
 //
 //stcc:shardstage
 //stcc:hotpath
@@ -620,14 +837,16 @@ func (f *Fabric) detectShard(sh *shard) {
 	}
 }
 
-// mergeSuspects concatenates the shards' fresh suspects in shard order
-// (the serial append order) and clears the per-shard lists.
+// mergeSuspects freezes the shards' fresh suspects and concatenates
+// them onto the token queue in shard order (the serial append order),
+// then clears the per-shard lists.
 //
 //stcc:serialonly
 //stcc:hotpath
 func (f *Fabric) mergeSuspects() {
 	for si := range f.shards {
 		sh := &f.shards[si]
+		f.freezeSuspects(sh.suspects)
 		f.suspects = append(f.suspects, sh.suspects...)
 		for i := range sh.suspects {
 			sh.suspects[i] = suspect{}

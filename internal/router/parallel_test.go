@@ -12,7 +12,9 @@ import (
 // twinConfig is a 16-ary 2-cube: 256 nodes, which splits into four
 // 64-node shards at Workers=8 (the per-shard span is 64-aligned, so the
 // 64-node test topologies collapse to one shard and never exercise the
-// parallel path). BufDepth 4 saturates quickly.
+// parallel path). BufDepth 4 saturates quickly. Dispatch is pinned to
+// DispatchSharded so the twins exercise the parallel path even on a
+// single-CPU runner, where adaptive dispatch would always pick serial.
 func twinConfig(mode DeadlockMode, workers int) Config {
 	return Config{
 		Topo:            topology.MustNew(16, 2),
@@ -21,6 +23,7 @@ func twinConfig(mode DeadlockMode, workers int) Config {
 		Mode:            mode,
 		DeadlockTimeout: 64,
 		Workers:         workers,
+		Dispatch:        DispatchSharded,
 	}
 }
 
@@ -115,6 +118,102 @@ func TestShardedStepMatchesSerial(t *testing.T) {
 			}
 			if mode == Recovery && serial.Recoveries() == 0 {
 				t.Error("load never triggered a recovery; the test is not exercising the recovery merge path")
+			}
+		})
+	}
+}
+
+// TestAdaptiveDispatchFlipsMidRun drives an adaptive-dispatch fabric
+// through a bursty ramp schedule — injection bursts that push the active
+// population over AdaptHigh, then idle stretches that drain it below
+// AdaptLow — and requires cycle-for-cycle agreement with a pure-serial
+// twin across the serial->sharded and sharded->serial hysteresis flips.
+// The fabric's maxProcs is pinned to 8 so the adaptive policy actually
+// shards on a single-CPU runner; the test fails if the schedule never
+// produced at least one flip in each direction, because then the
+// mid-run transition (the state handed from serial stages to the
+// barrier rounds and back) was not exercised at all.
+func TestAdaptiveDispatchFlipsMidRun(t *testing.T) {
+	for _, mode := range []DeadlockMode{Avoidance, Recovery} {
+		t.Run(mode.String(), func(t *testing.T) {
+			cfg := twinConfig(mode, 8)
+			cfg.Dispatch = DispatchAdaptive
+			cfg.AdaptHigh = 48
+			cfg.AdaptLow = 24
+			serial := MustNew(twinConfig(mode, 0))
+			adaptive := MustNew(cfg)
+			defer adaptive.Close()
+			adaptive.maxProcs = 8 // pretend multi-core; GOMAXPROCS may be 1 in CI
+
+			var serSeq, adSeq []packet.ID
+			serial.OnDelivered = func(p *packet.Packet) { serSeq = append(serSeq, p.ID) }
+			adaptive.OnDelivered = func(p *packet.Packet) { adSeq = append(adSeq, p.ID) }
+
+			rng := rand.New(rand.NewSource(23))
+			nodes := serial.topo.Nodes()
+			var id packet.ID
+			var flipsUp, flipsDown int
+			wasSharded := false
+			cycles := 1600
+			if testing.Short() {
+				cycles = 800
+			}
+			for cyc := 0; cyc < cycles; cyc++ {
+				rate := 0.0
+				if (cyc/200)%2 == 0 {
+					rate = 0.15 // burst phase; odd windows are drain phases
+				}
+				for n := 0; n < nodes; n++ {
+					if rng.Float64() >= rate {
+						continue
+					}
+					dst := topology.NodeID(rng.Intn(nodes))
+					if dst == topology.NodeID(n) || !serial.CanStartInjection(topology.NodeID(n)) {
+						continue
+					}
+					serial.StartInjection(packet.New(id, topology.NodeID(n), dst, 8, serial.Now()))
+					adaptive.StartInjection(packet.New(id, topology.NodeID(n), dst, 8, adaptive.Now()))
+					id++
+				}
+				serial.Step()
+				adaptive.Step()
+				if adaptive.useSharded != wasSharded {
+					if adaptive.useSharded {
+						flipsUp++
+					} else {
+						flipsDown++
+					}
+					wasSharded = adaptive.useSharded
+				}
+				if len(serSeq) != len(adSeq) {
+					t.Fatalf("cycle %d: %d serial deliveries, %d adaptive", cyc, len(serSeq), len(adSeq))
+				}
+				for i := range serSeq {
+					if serSeq[i] != adSeq[i] {
+						t.Fatalf("cycle %d: delivery %d is packet %d serial, %d adaptive",
+							cyc, i, serSeq[i], adSeq[i])
+					}
+				}
+				serSeq, adSeq = serSeq[:0], adSeq[:0]
+				if serial.net != adaptive.net {
+					t.Fatalf("cycle %d: counters diverge: serial %+v, adaptive %+v",
+						cyc, serial.net, adaptive.net)
+				}
+				if cyc%100 == 0 {
+					if err := adaptive.CheckInvariants(); err != nil {
+						t.Fatalf("adaptive invariants at cycle %d: %v", cyc, err)
+					}
+				}
+			}
+			if flipsUp == 0 || flipsDown == 0 {
+				t.Fatalf("schedule produced %d serial->sharded and %d sharded->serial flips; want at least one each",
+					flipsUp, flipsDown)
+			}
+			if adaptive.workers == nil {
+				t.Fatal("adaptive fabric never started shard workers")
+			}
+			if a, b := serial.DeliveredFlits(), adaptive.DeliveredFlits(); a != b {
+				t.Fatalf("delivered flits %d serial, %d adaptive", a, b)
 			}
 		})
 	}

@@ -71,6 +71,7 @@ func (f *Fabric) detectDeadlock() {
 	// the suspect queue below must still be serviced: re-arm timers keep
 	// running for frozen packets whose flits sit outside input buffers.
 	if f.net.occupiedIns > 0 {
+		start := len(f.suspects)
 		for wi, w := range f.actOccupied.actWords {
 			for w != 0 {
 				ni := wi<<6 + bits.TrailingZeros64(w)
@@ -78,12 +79,19 @@ func (f *Fabric) detectDeadlock() {
 				f.detectNode(ni, &f.suspects)
 			}
 		}
+		f.freezeSuspects(f.suspects[start:])
 	}
 	f.serviceSuspects()
 }
 
 // detectNode scans node ni's input lanes whose front flit is a header
-// and appends fresh timeouts to out (in lane order).
+// and appends fresh timeouts to out (in lane order). It only reads: the
+// caller freezes the collected suspects afterwards (freezeSuspects), so
+// the same scan can run inside the fused parallel round, where a Mode
+// write here would race with concurrent routing and injection reading
+// Mode at other shards. A packet's head flit fronts exactly one lane
+// network-wide, so deferring the freeze cannot change any other detect
+// decision within the cycle.
 //
 //stcc:hotpath
 func (f *Fabric) detectNode(ni int, out *[]suspect) {
@@ -97,11 +105,24 @@ func (f *Fabric) detectNode(ni int, out *[]suspect) {
 		if fl.pkt.Mode.Frozen() {
 			continue
 		}
-		if fl.pkt.BlockedFor(now) > timeout {
-			fl.pkt.Mode = packet.Suspected
+		if fl.pkt.BlockedForAtomic(now) > timeout {
 			*out = append(*out, suspect{buf: b, pkt: fl.pkt, at: now})
-			f.emit(trace.Suspected, fl.pkt, b.node)
 		}
+	}
+}
+
+// freezeSuspects commits a batch of fresh suspects: each packet freezes
+// in place and the suspicion event is emitted, in the order the scan
+// found them — identical to the order the pre-deferral serial scan
+// wrote Mode and emitted inline.
+//
+//stcc:serialonly
+//stcc:hotpath
+func (f *Fabric) freezeSuspects(fresh []suspect) {
+	for i := range fresh {
+		s := &fresh[i]
+		s.pkt.Mode = packet.Suspected
+		f.emit(trace.Suspected, s.pkt, s.buf.node)
 	}
 }
 

@@ -5,7 +5,6 @@ import (
 	"math/bits"
 
 	"repro/internal/packet"
-	"repro/internal/topology"
 	"repro/internal/trace"
 )
 
@@ -62,8 +61,7 @@ func (f *Fabric) linkNode(ni int, ctx *stepCtx) {
 			}
 			continue
 		}
-		nb := f.topo.Neighbor(topology.NodeID(ni), topology.PortDim(p), topology.PortDir(p))
-		tb := &f.bufs[int(nb)*f.lanesIn+topology.OppositePort(p)*f.cfg.VCs+o.lat.vc]
+		tb := &f.bufs[f.dstGid[base+lane]]
 		if tb.full() {
 			panic(fmt.Sprintf("router: link overflow into %v at cycle %d", tb, now))
 		}
@@ -142,8 +140,7 @@ func (f *Fabric) crossbarPort(nd *node, ni, p, base, nvc int, ctx *stepCtx) {
 			continue // worm stretched thin: no flit buffered here yet
 		}
 		if !dlv {
-			nb := f.topo.Neighbor(nd.id, topology.PortDim(p), topology.PortDir(p))
-			tg := int32(int(nb)*f.lanesIn + topology.OppositePort(p)*f.cfg.VCs + vi)
+			tg := f.dstGid[ni*f.lanesOut+base+vi]
 			if int(f.occ[tg]) == f.cfg.BufDepth {
 				continue // no downstream credit
 			}
@@ -255,8 +252,7 @@ func (f *Fabric) vcAvailable(nd *node, port, vc int, pkt *packet.Packet) bool {
 	if f.cfg.Switching != CutThrough || port == f.dlvPort {
 		return true
 	}
-	nb := f.topo.Neighbor(nd.id, topology.PortDim(port), topology.PortDir(port))
-	tg := int(nb)*f.lanesIn + topology.OppositePort(port)*f.cfg.VCs + vc
+	tg := f.dstGid[int(nd.id)*f.lanesOut+port*f.cfg.VCs+vc]
 	return f.cfg.BufDepth-int(f.occ[tg]) >= pkt.Length
 }
 
@@ -363,7 +359,11 @@ func (f *Fabric) allocate(nd *node, b *vcBuffer, pkt *packet.Packet, port, vc in
 	b.setBinding(pkt, port, vc, ctx.nc)
 	o.acquire(b, pkt, ctx.nc)
 	pkt.Hops++
-	pkt.Progress(f.now)
+	if ctx.atomic {
+		pkt.ProgressAtomic(f.now)
+	} else {
+		pkt.Progress(f.now)
+	}
 	f.emit(trace.Routed, pkt, nd.id)
 }
 
@@ -401,7 +401,11 @@ func (f *Fabric) injectNode(ni int, ctx *stepCtx) {
 	idx := pkt.Length - pkt.SrcRemaining
 	b.push(flit{pkt: pkt, idx: idx, arrived: now}, ctx.nc)
 	pkt.SrcRemaining--
-	pkt.Progress(now)
+	if ctx.atomic {
+		pkt.ProgressAtomic(now)
+	} else {
+		pkt.Progress(now)
+	}
 	if idx == 0 {
 		pkt.InjectedAt = now
 		pkt.PushTrail(b)

@@ -130,6 +130,12 @@ type Config struct {
 	// two runs differing only here share cached results.
 	ShardWorkers int
 
+	// ShardDispatch selects how a sharded fabric schedules each cycle:
+	// adaptive occupancy hysteresis (default), always sharded, or
+	// always serial. Scheduling-only like ShardWorkers — byte-identical
+	// results either way — so it too is excluded from Fingerprint.
+	ShardDispatch router.DispatchPolicy
+
 	// Durations. Statistics cover [WarmupCycles, WarmupCycles+MeasureCycles).
 	WarmupCycles  int64
 	MeasureCycles int64
@@ -192,7 +198,7 @@ func (c Config) Validate() error {
 	rc := router.Config{Topo: topo, VCs: c.VCs, BufDepth: c.BufDepth,
 		Mode: c.Mode, DeadlockTimeout: c.DeadlockTimeout, TokenWaitTimeout: c.TokenWaitTimeout,
 		DeliveryChannels: c.DeliveryChannels, Selection: c.Selection, Switching: c.Switching,
-		Workers: c.ShardWorkers}
+		Workers: c.ShardWorkers, Dispatch: c.ShardDispatch}
 	if err := rc.Validate(); err != nil {
 		return err
 	}

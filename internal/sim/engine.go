@@ -3,6 +3,7 @@ package sim
 import (
 	"context"
 	"fmt"
+	"math/bits"
 	"math/rand"
 
 	"repro/internal/congestion"
@@ -104,6 +105,7 @@ type Engine struct {
 	rng   *rand.Rand
 
 	queues   []pendingQueue // per-node source queues
+	qActive  []uint64       // bitset of nodes with a non-empty source queue
 	pool     *packet.Pool   // free list; delivered packets are recycled here
 	nextID   packet.ID
 	created  int64
@@ -143,6 +145,7 @@ func New(cfg Config) (*Engine, error) {
 		TokenWaitTimeout: cfg.TokenWaitTimeout,
 		DeliveryChannels: cfg.DeliveryChannels, Selection: cfg.Selection,
 		Switching: cfg.Switching, Workers: cfg.ShardWorkers,
+		Dispatch: cfg.ShardDispatch,
 	})
 	if err != nil {
 		return nil, err
@@ -154,16 +157,17 @@ func New(cfg Config) (*Engine, error) {
 	}
 
 	e := &Engine{
-		cfg:    cfg,
-		topo:   topo,
-		fab:    fab,
-		side:   side,
-		sched:  sched,
-		rng:    rand.New(rand.NewSource(cfg.Seed)),
-		queues: make([]pendingQueue, topo.Nodes()),
-		pool:   packet.NewPool(),
-		warmup: cfg.WarmupCycles,
-		total:  cfg.TotalCycles(),
+		cfg:     cfg,
+		topo:    topo,
+		fab:     fab,
+		side:    side,
+		sched:   sched,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		queues:  make([]pendingQueue, topo.Nodes()),
+		qActive: make([]uint64, (topo.Nodes()+63)>>6),
+		pool:    packet.NewPool(),
+		warmup:  cfg.WarmupCycles,
+		total:   cfg.TotalCycles(),
 	}
 	interval := cfg.SampleInterval
 	if interval == 0 {
@@ -343,48 +347,32 @@ func (e *Engine) step(now int64) {
 	e.side.Tick(now)
 	e.thr.Tick(now)
 
-	// 2. Packet generation into source queues.
+	// 2. Packet generation into source queues. This loop stays O(nodes):
+	// the traffic schedule consumes RNG draws per node per cycle, and
+	// that consumption order is pinned by the determinism goldens.
 	nodes := e.topo.Nodes()
 	for n := 0; n < nodes; n++ {
 		if dst, ok := e.sched.Generate(now, topology.NodeID(n), e.rng); ok {
 			e.created++
 			e.queues[n].push(pending{created: now, dst: dst})
+			e.qActive[n>>6] |= 1 << uint(n&63)
 		}
 	}
 
-	// 3. Injection, gated by the throttler. The scan starts at a node
-	// that rotates each cycle (mirroring the router's RotatePorts
-	// policy): a fixed start would hand low-numbered nodes every
-	// contended injection slot when the throttler rations per-cycle
-	// injections.
+	// 3. Injection, gated by the throttler. Only nodes with a non-empty
+	// source queue are visited (the qActive bitset), in the same order
+	// the full scan used: starting at a node that rotates each cycle
+	// (mirroring the router's RotatePorts policy — a fixed start would
+	// hand low-numbered nodes every contended injection slot when the
+	// throttler rations per-cycle injections) and wrapping once.
 	throttledThisCycle := false
 	start := e.injStart
 	e.injStart++
 	if e.injStart == nodes {
 		e.injStart = 0
 	}
-	for i := 0; i < nodes; i++ {
-		n := start + i
-		if n >= nodes {
-			n -= nodes
-		}
-		q := &e.queues[n]
-		if q.len() == 0 || !e.fab.CanStartInjection(topology.NodeID(n)) {
-			continue
-		}
-		head := q.front()
-		if !e.thr.AllowInjection(now, topology.NodeID(n), head.dst) {
-			e.throttleDenials++
-			throttledThisCycle = true
-			continue
-		}
-		q.pop()
-		p := e.pool.Get(e.nextID, topology.NodeID(n), head.dst, e.cfg.PacketLength, head.created)
-		e.nextID++
-		p.Progress(now)
-		e.fab.StartInjection(p)
-		e.injected++
-	}
+	e.injectRange(now, start, nodes, &throttledThisCycle)
+	e.injectRange(now, 0, start, &throttledThisCycle)
 	if throttledThisCycle {
 		e.throttledCycles++
 	}
@@ -402,6 +390,55 @@ func (e *Engine) step(now int64) {
 		e.fullSeries.Append(e.fullAccum / float64(e.fullAccumCycles))
 		e.fullAccum, e.fullAccumCycles = 0, 0
 	}
+}
+
+// injectRange attempts injection at every node in [lo, hi) whose source
+// queue is non-empty, in ascending node order — exactly the nodes the
+// old full scan would not have skipped, visited in the same order, so
+// throttler consultation and denial accounting are unchanged.
+//
+//stcc:hotpath
+func (e *Engine) injectRange(now int64, lo, hi int, throttled *bool) {
+	for wi := lo >> 6; wi<<6 < hi; wi++ {
+		w := e.qActive[wi]
+		base := wi << 6
+		if base < lo {
+			w &= ^uint64(0) << uint(lo-base)
+		}
+		if hi-base < 64 {
+			w &= ^uint64(0) >> uint(64-(hi-base))
+		}
+		for ; w != 0; w &= w - 1 {
+			e.injectNode(now, base+bits.TrailingZeros64(w), throttled)
+		}
+	}
+}
+
+// injectNode offers node n's oldest pending packet to the fabric,
+// consulting the throttler. The qActive bit clears when the pop empties
+// the queue, keeping the bitset exact: bit set iff queue non-empty.
+//
+//stcc:hotpath
+func (e *Engine) injectNode(now int64, n int, throttled *bool) {
+	q := &e.queues[n]
+	if !e.fab.CanStartInjection(topology.NodeID(n)) {
+		return
+	}
+	head := q.front()
+	if !e.thr.AllowInjection(now, topology.NodeID(n), head.dst) {
+		e.throttleDenials++
+		*throttled = true
+		return
+	}
+	q.pop()
+	if q.len() == 0 {
+		e.qActive[n>>6] &^= 1 << uint(n&63)
+	}
+	p := e.pool.Get(e.nextID, topology.NodeID(n), head.dst, e.cfg.PacketLength, head.created)
+	e.nextID++
+	p.Progress(now)
+	e.fab.StartInjection(p)
+	e.injected++
 }
 
 // Fabric exposes the underlying fabric (tests and experiment drivers).

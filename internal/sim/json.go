@@ -52,10 +52,12 @@ type configJSON struct {
 
 	Scheme schemeJSON `json:"scheme"`
 
-	// shard_workers is carried on the wire (a spec can pin it) but is
-	// excluded from Fingerprint: sharded stepping is byte-identical to
-	// serial, so it must not split the result cache.
-	ShardWorkers int `json:"shard_workers,omitempty"`
+	// shard_workers and shard_dispatch are carried on the wire (a spec
+	// can pin them) but are excluded from Fingerprint: sharded stepping
+	// is byte-identical to serial, so they must not split the result
+	// cache.
+	ShardWorkers  int                   `json:"shard_workers,omitempty"`
+	ShardDispatch router.DispatchPolicy `json:"shard_dispatch,omitempty"`
 
 	WarmupCycles   int64 `json:"warmup_cycles"`
 	MeasureCycles  int64 `json:"measure_cycles"`
@@ -129,6 +131,7 @@ func (c Config) MarshalJSON() ([]byte, error) {
 			KeepTrace:       c.Scheme.KeepTrace,
 		},
 		ShardWorkers:   c.ShardWorkers,
+		ShardDispatch:  c.ShardDispatch,
 		WarmupCycles:   c.WarmupCycles,
 		MeasureCycles:  c.MeasureCycles,
 		SampleInterval: c.SampleInterval,
@@ -209,6 +212,7 @@ func (c *Config) UnmarshalJSON(data []byte) error {
 			KeepTrace:       w.Scheme.KeepTrace,
 		},
 		ShardWorkers:   w.ShardWorkers,
+		ShardDispatch:  w.ShardDispatch,
 		WarmupCycles:   w.WarmupCycles,
 		MeasureCycles:  w.MeasureCycles,
 		SampleInterval: w.SampleInterval,
@@ -238,11 +242,13 @@ func (c *Config) UnmarshalJSON(data []byte) error {
 // keys the result cache and the spec-integrity checks. Configs with no
 // wire form (live Schedule, custom throttler) have no fingerprint.
 //
-// ShardWorkers is zeroed before hashing: sharded stepping is
-// byte-identical to serial, so runs differing only in worker count are
-// the same experiment and must share cache entries.
+// ShardWorkers and ShardDispatch are zeroed before hashing: sharded
+// stepping is byte-identical to serial, so runs differing only in
+// worker count or dispatch policy are the same experiment and must
+// share cache entries.
 func (c Config) Fingerprint() (string, error) {
 	c.ShardWorkers = 0
+	c.ShardDispatch = 0
 	data, err := json.Marshal(c)
 	if err != nil {
 		return "", err
