@@ -31,16 +31,22 @@ const steadyStateWarmup = 8000
 // ramp and its sharded scratch-list high-water marks at the gated rate.
 const torusSteadyStateWarmup = 2500
 
-// engineShapes are the three operating points the gate (and
+// engineShapes are the operating points the gate (and
 // BenchmarkEngineStep) cover: an idle network, a low offered load, and
-// deep saturation with Disha recoveries and throttling active.
+// deep saturation with Disha recoveries and throttling active — the
+// saturated point additionally under each feedback-driven controller,
+// so the DECbit marking path, the AIMD window machinery and the
+// notification wheel are all inside the zero-alloc contract.
 var engineShapes = []struct {
-	name string
-	rate float64
+	name   string
+	rate   float64
+	scheme sim.Scheme
 }{
-	{"idle", 0.0001},
-	{"low", 0.02},
-	{"saturated", 0.06},
+	{"idle", 0.0001, sim.Scheme{Kind: sim.SelfTuned}},
+	{"low", 0.02, sim.Scheme{Kind: sim.SelfTuned}},
+	{"saturated", 0.06, sim.Scheme{Kind: sim.SelfTuned}},
+	{"aimd-saturated", 0.06, sim.Scheme{Kind: sim.AIMD}},
+	{"notify-saturated", 0.06, sim.Scheme{Kind: sim.Notify}},
 }
 
 // engineBytesPerOpCeiling bounds the engine shapes' amortized bytes/op.
@@ -68,7 +74,7 @@ func TestEngineStepZeroSteadyStateAllocs(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			cfg := sim.NewConfig()
 			cfg.Rate = tc.rate
-			cfg.Scheme = sim.Scheme{Kind: sim.SelfTuned}
+			cfg.Scheme = tc.scheme
 			cfg.WarmupCycles = 1
 			cfg.MeasureCycles = 1 << 40 // the loops below pace the cycles
 			e, err := sim.New(cfg)

@@ -172,15 +172,23 @@ func main() {
 		points = append(points, point{s.name, func() Shape { return measureFabric(s) }})
 	}
 	for _, tc := range []struct {
-		name string
-		rate float64
+		name   string
+		rate   float64
+		scheme sim.Scheme
 	}{
-		{"engine/idle", 0.0001},
-		{"engine/low", 0.02},
-		{"engine/saturated", 0.06},
+		{"engine/idle", 0.0001, sim.Scheme{Kind: sim.SelfTuned}},
+		{"engine/low", 0.02, sim.Scheme{Kind: sim.SelfTuned}},
+		{"engine/saturated", 0.06, sim.Scheme{Kind: sim.SelfTuned}},
+		// The feedback-driven controllers at the same saturated point:
+		// these carry the DECbit marking fold, the per-packet feedback
+		// events, and (for notify) the side-band notification wheel, so
+		// their per-cycle cost relative to engine/saturated is the price
+		// of the feedback path itself.
+		{"engine/aimd-saturated", 0.06, sim.Scheme{Kind: sim.AIMD}},
+		{"engine/notify-saturated", 0.06, sim.Scheme{Kind: sim.Notify}},
 	} {
 		tc := tc
-		points = append(points, point{tc.name, func() Shape { return measureEngine(tc.name, tc.rate) }})
+		points = append(points, point{tc.name, func() Shape { return measureEngine(tc.name, tc.rate, tc.scheme) }})
 	}
 	merged := map[string]*Shape{}
 	var order []string
@@ -368,11 +376,11 @@ func measureFabric(s fabricShape) Shape {
 }
 
 // measureEngine times a full engine cycle (generation, throttling,
-// injection, network step, sampling) of the self-tuned configuration.
-func measureEngine(name string, rate float64) Shape {
+// injection, network step, sampling) under the given scheme.
+func measureEngine(name string, rate float64, scheme sim.Scheme) Shape {
 	cfg := sim.NewConfig()
 	cfg.Rate = rate
-	cfg.Scheme = sim.Scheme{Kind: sim.SelfTuned}
+	cfg.Scheme = scheme
 	cfg.WarmupCycles = 1
 	cfg.MeasureCycles = 1 << 40 // the loops below pace the cycles
 	e, err := sim.New(cfg)

@@ -87,6 +87,17 @@ func goldenCases() []goldenCase {
 			func(c *sim.Config) {
 				c.Scheme = sim.Scheme{Kind: sim.StaticGlobal, StaticThreshold: 120}
 			}},
+		// AIMD window controller: the fingerprint covers the DECbit
+		// marking path (router occupancy fold, cycle-stable snapshot,
+		// header marks) and the per-source window state machine fed by
+		// the injection/delivery feedback events.
+		{"aimd-recovery", "16c6f2bad737ca24",
+			func(c *sim.Config) { c.Scheme = sim.Scheme{Kind: sim.AIMD} }},
+		// Notification-based throttling: the fingerprint additionally
+		// covers the side-band notification wheel (rising-edge broadcast,
+		// hop-delay-scaled delivery) and staleness-gated injection.
+		{"notify-recovery", "8a1f4217cb170064",
+			func(c *sim.Config) { c.Scheme = sim.Scheme{Kind: sim.Notify} }},
 	}
 }
 
@@ -245,6 +256,46 @@ func TestShardedSteppingAcrossRegistry(t *testing.T) {
 				t.Errorf("ShardWorkers=1 fingerprint %s != ShardWorkers=8 fingerprint %s (delivered %d vs %d, recoveries %d vs %d)",
 					a, b, serial.PacketsDelivered, sharded.PacketsDelivered,
 					serial.Recoveries, sharded.Recoveries)
+			}
+		})
+	}
+}
+
+// TestDeterminismNewSchemesSaturatedSharded is the sharded-twin gate
+// for the feedback-driven controllers at a deliberately saturated
+// operating point: a 256-node network (four 64-node shards at 8
+// workers) driven past saturation, where the congestion bits toggle
+// constantly, AIMD windows halve and regrow, and the notification wheel
+// carries steady traffic. ShardWorkers=8 must reproduce the serial run
+// bit for bit — the proof that DECbit maintenance and feedback delivery
+// are order-free across the shard barrier.
+func TestDeterminismNewSchemesSaturatedSharded(t *testing.T) {
+	for _, sch := range []sim.Scheme{{Kind: sim.AIMD}, {Kind: sim.Notify}} {
+		sch := sch
+		t.Run(string(sch.Kind), func(t *testing.T) {
+			t.Parallel()
+			cfg := sim.NewConfig()
+			cfg.WarmupCycles, cfg.MeasureCycles = 200, 1200
+			cfg.Rate = 0.06
+			cfg.Seed = 11
+			cfg.Scheme = sch
+			serCfg := cfg
+			serCfg.ShardWorkers = 1
+			serCfg.ShardDispatch = router.DispatchSerial
+			shCfg := cfg
+			shCfg.ShardWorkers = 8
+			shCfg.ShardDispatch = router.DispatchSharded
+			serial, err := sim.Run(serCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sharded, err := sim.Run(shCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a, b := resultFingerprint(serial), resultFingerprint(sharded); a != b {
+				t.Errorf("ShardWorkers=1 fingerprint %s != ShardWorkers=8 fingerprint %s (delivered %d vs %d)",
+					a, b, serial.PacketsDelivered, sharded.PacketsDelivered)
 			}
 		})
 	}

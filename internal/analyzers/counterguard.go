@@ -30,8 +30,9 @@ var CounterGuard = &framework.Analyzer{
 The incremental netCounters sums (fullBuffers, latched, ownedOuts,
 occupiedIns, pendingIns, srcActive), the per-lane occupancy array (occ),
 the per-node lane masks (occMask, boundMask, headMask, latchMask,
-ownedMask) and the active bitsets with their summary level (actWords,
-sumWords) are denormalized views of router state. They stay consistent
+ownedMask), the active bitsets with their summary level (actWords,
+sumWords) and the DECbit congestion-marking state (nodeOcc, congWords,
+congStable) are denormalized views of router state. They stay consistent
 only if every state transition updates them exactly once; that
 discipline lives in buffer.go, and this analyzer rejects writes from
 any other file.`,
@@ -61,6 +62,15 @@ var guardedCounters = map[string]bool{
 	// writing it directly (or taking its address for an atomic op) would
 	// let the two levels disagree, silently skipping shard rounds.
 	"sumWords": true,
+	// DECbit congestion marking: the per-node buffered-flit fold, the
+	// live congestion bitset it drives (hysteresis state), and the
+	// cycle-stable snapshot header pushes mark packets against. A
+	// controller (or stage) writing any of these directly would desync
+	// the fold from the occ array it summarizes or leak intra-cycle
+	// marking order into results.
+	"nodeOcc":    true,
+	"congWords":  true,
+	"congStable": true,
 }
 
 // counterAccessorFile is the only file allowed to mutate the guarded

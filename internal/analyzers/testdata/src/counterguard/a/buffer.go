@@ -52,16 +52,22 @@ func (a *activeWords) clearBit(i int32) {
 func atomicOr(p *uint64, v uint64) { *p |= v }
 
 // Fabric mirrors the router fabric's counter-bearing struct: the SoA
-// occupancy array, the per-node lane masks, a bitset, and the sums.
+// occupancy array, the per-node lane masks, a bitset, the sums, and
+// the DECbit congestion-marking state (per-node occupancy fold, live
+// congestion bitset, cycle-stable snapshot).
 type Fabric struct {
-	occ       []int32
-	occMask   []uint64
-	boundMask []uint64
-	headMask  []uint64
-	latchMask []uint64
-	ownedMask []uint64
-	actOcc    activeWords
-	net       netCounters
+	occ        []int32
+	occMask    []uint64
+	boundMask  []uint64
+	headMask   []uint64
+	latchMask  []uint64
+	ownedMask  []uint64
+	actOcc     activeWords
+	net        netCounters
+	nodeOcc    []int32
+	congWords  []uint64
+	congStable []uint64
+	markHi     int32
 }
 
 type vcBuffer struct {
@@ -81,7 +87,14 @@ func (f *Fabric) initSoA(nodes, lanes int) {
 	f.ownedMask = make([]uint64, nodes)
 	f.actOcc.actWords = make([]uint64, (nodes+63)>>6)
 	f.actOcc.sumWords = make([]uint64, 1)
+	f.nodeOcc = make([]int32, nodes)
+	f.congWords = make([]uint64, (nodes+63)>>6)
+	f.congStable = make([]uint64, (nodes+63)>>6)
 }
+
+// snapshotCongestion copies the live congestion bits into the
+// cycle-stable snapshot: legal here.
+func (f *Fabric) snapshotCongestion() { copy(f.congStable, f.congWords) }
 
 // push is an accessor: counter, array and mask writes here are legal.
 func (b *vcBuffer) push(nc *netCounters) {
@@ -95,6 +108,12 @@ func (b *vcBuffer) push(nc *netCounters) {
 		nc.pendingIns++
 	}
 	nc.fullBuffers++
+	// DECbit maintenance rides the same accessor: legal here.
+	no := fab.nodeOcc[b.node] + 1
+	fab.nodeOcc[b.node] = no
+	if no >= fab.markHi {
+		fab.congWords[b.node>>6] |= 1 << uint(b.node&63)
+	}
 }
 
 // pop is an accessor: counter writes here are legal.

@@ -70,6 +70,33 @@ func (f *Fabric) badArrayWrites(gid int32, ni int) {
 	f.occ = nil              // want `direct write to active-set counter occ outside buffer\.go`
 }
 
+// A controller (or stage) maintaining the congestion-marking state by
+// hand would desync the occupancy fold from the occ array it summarizes
+// or leak intra-cycle marking order into results: every write path is
+// flagged, including "helpfully" refreshing the snapshot mid-cycle.
+func (f *Fabric) badCongestionWrites(ni int32) {
+	f.nodeOcc[ni]++                          // want `direct write to active-set counter nodeOcc outside buffer\.go`
+	f.nodeOcc[ni] = 0                        // want `direct write to active-set counter nodeOcc outside buffer\.go`
+	f.congWords[ni>>6] |= 1 << uint(ni&63)   // want `direct write to active-set counter congWords outside buffer\.go`
+	f.congWords[ni>>6] &^= 1 << uint(ni&63)  // want `direct write to active-set counter congWords outside buffer\.go`
+	f.congStable[ni>>6] = f.congWords[ni>>6] // want `direct write to active-set counter congStable outside buffer\.go`
+	atomicOr(&f.congWords[0], 1)             // want `taking the address of active-set counter congWords outside buffer\.go`
+	f.congStable = nil                       // want `direct write to active-set counter congStable outside buffer\.go`
+}
+
+// Reading the congestion state is fine: the engine's edge scan and the
+// invariant checker do it constantly.
+func (f *Fabric) congestedRouters() int {
+	total := 0
+	for _, w := range f.congWords {
+		for w != 0 {
+			total++
+			w &= w - 1
+		}
+	}
+	return total
+}
+
 // A stage updating the summary level by hand — even "correctly", even
 // atomically via an address — would let sumWords drift from actWords
 // under a future edit, so both the write and the address-taking are

@@ -24,6 +24,10 @@ type Fabric struct {
 	now      int64
 	shards   []shard
 	suspects []int
+	// feedback mirrors a controller's shared feedback-event buffer (the
+	// stream Observe consumes): coordinator-owned, merged between
+	// rounds, never written from inside one.
+	feedback []int
 }
 
 var stepCount int
@@ -72,6 +76,21 @@ func (f *Fabric) badStage(sh *shard) {
 	stepCount++                  // want `package-level variable stepCount`
 	//stcc:shardguard reviewed cross-shard mailbox handshake, applied in source order
 	f.shards[1].moves = f.shards[1].moves[:0]
+}
+
+// badControllerStage is a congestion controller wired into a parallel
+// round by mistake: it mutates the shared feedback buffer and pokes
+// router occupancy state owned by other shards. Feedback events must be
+// collected per shard and merged in node-index order at the barrier —
+// appending to the shared stream mid-round races the other workers and
+// makes delivery order depend on scheduling.
+//
+//stcc:shardstage
+func (f *Fabric) badControllerStage(sh *shard) {
+	f.feedback = append(f.feedback, sh.lo) // want `shard stage write to shared Fabric state f\.feedback`
+	f.feedback[0] = 7                      // want `shard stage write to shared Fabric state f\.feedback\[0\]`
+	q := &f.feedback                       // want `shard stage address-take of shared Fabric state f\.feedback`
+	_ = q
 }
 
 // mergeAll folds shard scratch into the fabric-wide sums between

@@ -1,0 +1,108 @@
+package congestion
+
+import (
+	"testing"
+
+	"repro/internal/topology"
+)
+
+// TestAIMDWindowTrace drives one source through a scripted sequence of
+// injections and (marked/unmarked) deliveries and asserts the exact
+// window value after every event: additive growth by 1/w per unmarked
+// delivery, one halving per congestion episode (the guard swallows the
+// rest of the mark burst), and the wmin clamp. Every expected value is
+// exact in float64, so the comparison is equality, not tolerance.
+func TestAIMDWindowTrace(t *testing.T) {
+	a := NewAIMD(2, 1, 64)
+	const s = topology.NodeID(0)
+	inject := func() FeedbackEvent { return FeedbackEvent{Kind: PacketInjected, Source: s} }
+	deliver := func(marked bool) FeedbackEvent {
+		return FeedbackEvent{Kind: PacketDelivered, Source: s, Marked: marked}
+	}
+
+	steps := []struct {
+		name     string
+		ev       FeedbackEvent
+		win      float64
+		inflight int
+	}{
+		{"inject-1", inject(), 1, 1},
+		{"inject-2", inject(), 1, 2},
+		{"inject-3", inject(), 1, 3},
+		{"inject-4", inject(), 1, 4},
+		// Unmarked delivery at w=1 grows by 1/1.
+		{"grow-to-2", deliver(false), 2, 3},
+		// First mark halves (2 -> 1) and arms the guard at the two
+		// still-outstanding packets.
+		{"halve-to-1", deliver(true), 1, 2},
+		// The rest of the mark burst drains the guard without further
+		// decrease (one halving per window in flight).
+		{"guarded-mark-1", deliver(true), 1, 1},
+		{"guarded-mark-2", deliver(true), 1, 0},
+		{"inject-5", inject(), 1, 1},
+		{"inject-6", inject(), 1, 2},
+		// Guard cleared: growth resumes, 1 -> 2 -> 2.5.
+		{"grow-to-2-again", deliver(false), 2, 1},
+		{"grow-to-2.5", deliver(false), 2.5, 0},
+		{"inject-7", inject(), 2.5, 1},
+		// Mark with nothing else outstanding: halve 2.5 -> 1.25, guard 0.
+		{"halve-to-1.25", deliver(true), 1.25, 0},
+		{"inject-8", inject(), 1.25, 1},
+		// 1.25/2 = 0.625 clamps to wmin.
+		{"halve-clamps-to-wmin", deliver(true), 1, 0},
+	}
+	for _, st := range steps {
+		a.Observe(st.ev)
+		if got := a.Window(s); got != st.win {
+			t.Fatalf("%s: window %g, want %g", st.name, got, st.win)
+		}
+		if got := a.InFlight(s); got != st.inflight {
+			t.Fatalf("%s: inflight %d, want %d", st.name, got, st.inflight)
+		}
+	}
+}
+
+// TestAIMDAllowInjection pins the throttle boundary: a source may have
+// floor(window) packets in flight, no more, and windows are per source.
+func TestAIMDAllowInjection(t *testing.T) {
+	a := NewAIMD(2, 2, 8)
+	if !a.AllowInjection(0, 0, 1) {
+		t.Fatal("fresh source refused injection")
+	}
+	a.Observe(FeedbackEvent{Kind: PacketInjected, Source: 0})
+	if !a.AllowInjection(0, 0, 1) {
+		t.Fatal("one in flight under window 2 refused")
+	}
+	a.Observe(FeedbackEvent{Kind: PacketInjected, Source: 0})
+	if a.AllowInjection(0, 0, 1) {
+		t.Fatal("window 2 allowed a third packet in flight")
+	}
+	// Fractional windows truncate: 2 deliveries grow the window to
+	// 2 + 1/2 + 1/2.5 = 2.9, which still admits only two packets.
+	a.Observe(FeedbackEvent{Kind: PacketDelivered, Source: 0})
+	a.Observe(FeedbackEvent{Kind: PacketDelivered, Source: 0})
+	a.Observe(FeedbackEvent{Kind: PacketInjected, Source: 0})
+	a.Observe(FeedbackEvent{Kind: PacketInjected, Source: 0})
+	if a.AllowInjection(0, 0, 1) {
+		t.Fatalf("window %g admitted a third packet", a.Window(0))
+	}
+	// Source 1 is untouched by source 0's history.
+	if got := a.Window(1); got != 2 {
+		t.Fatalf("source 1 window %g, want untouched 2", got)
+	}
+	if !a.AllowInjection(0, 1, 0) {
+		t.Fatal("source 1 refused injection")
+	}
+}
+
+// TestAIMDWindowCap pins the wmax clamp on additive growth.
+func TestAIMDWindowCap(t *testing.T) {
+	a := NewAIMD(1, 1, 2)
+	for i := 0; i < 5; i++ {
+		a.Observe(FeedbackEvent{Kind: PacketInjected, Source: 0})
+		a.Observe(FeedbackEvent{Kind: PacketDelivered, Source: 0})
+	}
+	if got := a.Window(0); got != 2 {
+		t.Fatalf("window %g exceeded cap 2", got)
+	}
+}

@@ -1,8 +1,11 @@
-// Package congestion defines the source-throttling interface the
-// simulator consults before letting a node inject a new packet, plus the
-// baseline controllers the paper compares against: no control (Base) and
-// the At-Least-One local-estimation scheme (ALO, Baydal, López & Duato).
-// The paper's global self-tuned controller lives in package core.
+// Package congestion defines the source-throttling contract the
+// simulator consults before letting a node inject a new packet, the
+// name-keyed factory registry every scheme constructs through, and the
+// local controllers: no control (base), the At-Least-One
+// local-estimation scheme (alo, Baydal, López & Duato), the busy-VC
+// limit (busyvc), the AIMD injection window (aimd) and
+// notification-based throttling (notify). The paper's global self-tuned
+// controller lives in package core and registers itself there.
 package congestion
 
 import (
@@ -22,6 +25,55 @@ type Throttler interface {
 	Name() string
 }
 
+// FeedbackKind discriminates the feedback events the engine delivers to
+// a Controller.
+type FeedbackKind uint8
+
+// Feedback event kinds.
+const (
+	// PacketInjected fires when a source's packet enters its injection
+	// channel (after the controller itself allowed it).
+	PacketInjected FeedbackKind = iota
+	// PacketDelivered fires when a packet reaches its destination;
+	// Marked echoes whether any router buffered one of its flits while
+	// congestion-marked (DECbit-style end-to-end feedback).
+	PacketDelivered
+	// Notification fires when a side-band congestion notification from
+	// a marked router arrives at a source, after the hop-delay-scaled
+	// propagation latency.
+	Notification
+)
+
+// FeedbackEvent is one observation delivered to a Controller. Events are
+// delivered deterministically at cycle boundaries: injection events in
+// the engine's node-visit order, delivery events in the fabric's
+// delivery order (which the sharded stepper merges in node-index
+// order), and notifications in side-band arrival order. Controllers may
+// therefore keep per-source state without any synchronization.
+type FeedbackEvent struct {
+	Kind FeedbackKind
+	// Cycle is when the event was observed at the source.
+	Cycle int64
+	// Source is the injecting node the event concerns.
+	Source topology.NodeID
+	// Router is the remote node involved: the delivering destination
+	// (PacketDelivered) or the marked router that sent a notification.
+	Router topology.NodeID
+	// Marked carries the DECbit congestion mark.
+	Marked bool
+}
+
+// Controller is the full decision-layer contract: a Throttler that also
+// consumes feedback. Schemes with per-source state (aimd's windows,
+// notify's staleness clocks) live entirely behind Observe; stateless
+// gates implement it as a no-op.
+type Controller interface {
+	Throttler
+	// Observe delivers one feedback event. Called from the engine's
+	// cycle loop; must not allocate in steady state.
+	Observe(ev FeedbackEvent)
+}
+
 // LocalView exposes the router-local channel state that locally-estimating
 // throttlers (such as ALO) inspect. The simulation engine implements it.
 type LocalView interface {
@@ -31,6 +83,60 @@ type LocalView interface {
 	// VCsPerPort returns the number of virtual channels per physical
 	// channel.
 	VCsPerPort() int
+}
+
+// GlobalView exposes network-wide aggregates alongside LocalView. The
+// router fabric implements it; factories use it for sizing per-source
+// state and controllers may consult it for instantaneous global
+// estimates (the realistic, delayed path is the side-band).
+type GlobalView interface {
+	// Nodes returns the network size.
+	Nodes() int
+	// FullVCBuffers returns the network-wide count of full VC buffers.
+	FullVCBuffers() int
+	// CongestedRouters returns how many routers currently have their
+	// congestion bit set (zero unless marking is enabled).
+	CongestedRouters() int
+}
+
+// NotificationUser marks controllers that consume Notification feedback
+// events. The engine builds the side-band notification path (and the
+// per-cycle congestion-bit edge scan feeding it) only when the
+// configured controller asks for it.
+type NotificationUser interface {
+	UsesNotifications()
+}
+
+// AsController adapts a plain Throttler (for example a user-supplied
+// custom scheme) to the Controller contract with a no-op feedback hook.
+// A value that already implements Controller is returned unwrapped.
+func AsController(t Throttler) Controller {
+	if c, ok := t.(Controller); ok {
+		return c
+	}
+	return noFeedback{t}
+}
+
+// noFeedback is AsController's adapter.
+type noFeedback struct{ Throttler }
+
+// Observe implements Controller.
+func (noFeedback) Observe(FeedbackEvent) {}
+
+// The local schemes self-register; the global ones register from
+// package core, next to their implementation.
+func init() {
+	Register("base", func(Env) (Controller, error) { return None{}, nil })
+	Register("alo", func(env Env) (Controller, error) {
+		return NewALO(env.Topo, env.Local), nil
+	})
+	Register("busyvc", func(env Env) (Controller, error) {
+		limit := env.Params.BusyLimit
+		if limit == 0 {
+			limit = env.Topo.PhysPorts() * env.Local.VCsPerPort() / 2
+		}
+		return NewBusyVC(env.Topo, env.Local, limit), nil
+	})
 }
 
 // None is the Base configuration: never throttle.
@@ -44,6 +150,9 @@ func (None) Tick(int64) {}
 
 // Name implements Throttler.
 func (None) Name() string { return "base" }
+
+// Observe implements Controller.
+func (None) Observe(FeedbackEvent) {}
 
 // ALO is the At-Least-One congestion control scheme: a node may inject
 // when, considering the physical channels useful to the new packet (those
@@ -93,6 +202,9 @@ func (a *ALO) Tick(int64) {}
 // Name implements Throttler.
 func (a *ALO) Name() string { return "alo" }
 
+// Observe implements Controller.
+func (a *ALO) Observe(FeedbackEvent) {}
+
 // BusyVC is the López et al. local throttling heuristic the paper cites:
 // a node estimates congestion from the number of busy output virtual
 // channels on its own router and throttles injection when the busy count
@@ -125,3 +237,6 @@ func (l *BusyVC) Tick(int64) {}
 
 // Name implements Throttler.
 func (l *BusyVC) Name() string { return "busyvc" }
+
+// Observe implements Controller.
+func (l *BusyVC) Observe(FeedbackEvent) {}

@@ -1,0 +1,79 @@
+package congestion
+
+import (
+	"fmt"
+
+	"repro/internal/topology"
+)
+
+func init() {
+	Register("notify", func(env Env) (Controller, error) {
+		staleness := env.Params.Staleness
+		if staleness == 0 {
+			// Two gather durations: long enough that a persistently
+			// marked router (one rising edge, no refresh) gates its
+			// neighborhood for a control-loop round trip, short enough
+			// that a cleared hotspot releases sources quickly.
+			staleness = 2 * env.Side.GatherDuration()
+		}
+		if staleness < 1 {
+			return nil, fmt.Errorf("congestion: notify staleness %d must be >= 1", staleness)
+		}
+		return NewNotify(env.Global.Nodes(), staleness), nil
+	})
+}
+
+// Notify is notification-based throttling (the adaptive-routing
+// notification family): a router whose congestion bit rises broadcasts
+// a side-band notification, each source receives it after the hop-delay
+// scaled propagation latency, and a notified source stops injecting
+// until the notification goes stale. Staleness decay is the only
+// release path — there are no "clear" messages — so a transient hotspot
+// gates sources for exactly one staleness window past its last rising
+// edge, and a persistent one keeps refreshing the gate.
+type Notify struct {
+	staleness int64
+	until     []int64 // per-source: injection gated while now < until
+}
+
+// NewNotify returns a Notify controller for nodes sources with the
+// given staleness window in cycles.
+func NewNotify(nodes int, staleness int64) *Notify {
+	return &Notify{staleness: staleness, until: make([]int64, nodes)}
+}
+
+// UsesNotifications implements NotificationUser: the engine builds the
+// side-band notification path for this controller.
+func (t *Notify) UsesNotifications() {}
+
+// AllowInjection implements Throttler: a source injects freely unless a
+// congestion notification younger than the staleness window gates it.
+//
+//stcc:hotpath
+func (t *Notify) AllowInjection(now int64, node, _ topology.NodeID) bool {
+	return now >= t.until[node]
+}
+
+// Observe implements Controller: each arriving notification extends the
+// source's gate to the notification's arrival plus the staleness
+// window. Later-arriving but older news never shortens the gate.
+//
+//stcc:hotpath
+func (t *Notify) Observe(ev FeedbackEvent) {
+	if ev.Kind != Notification || !ev.Marked {
+		return
+	}
+	if until := ev.Cycle + t.staleness; until > t.until[ev.Source] {
+		t.until[ev.Source] = until
+	}
+}
+
+// Tick implements Throttler.
+func (t *Notify) Tick(int64) {}
+
+// Name implements Throttler.
+func (t *Notify) Name() string { return "notify" }
+
+// GatedUntil returns the cycle before which source node may not inject
+// (tests and traces).
+func (t *Notify) GatedUntil(node topology.NodeID) int64 { return t.until[node] }

@@ -1,0 +1,58 @@
+package congestion
+
+import (
+	"testing"
+)
+
+// TestNotifyStalenessExpiry pins the gate arithmetic: a marked
+// notification arriving at cycle c gates its source until c+staleness
+// exactly, refreshes extend the gate, and stale (earlier-cycle) news
+// arriving late never shortens it.
+func TestNotifyStalenessExpiry(t *testing.T) {
+	n := NewNotify(4, 10)
+	if !n.AllowInjection(0, 2, 0) {
+		t.Fatal("unnotified source refused injection")
+	}
+	n.Observe(FeedbackEvent{Kind: Notification, Cycle: 5, Source: 2, Router: 7, Marked: true})
+	if got := n.GatedUntil(2); got != 15 {
+		t.Fatalf("gated until %d, want 15", got)
+	}
+	if n.AllowInjection(14, 2, 0) {
+		t.Fatal("gated source injected one cycle early")
+	}
+	if !n.AllowInjection(15, 2, 0) {
+		t.Fatal("gate outlived its staleness window")
+	}
+	// Older news delivered late (a longer side-band route) must not
+	// shorten the gate.
+	n.Observe(FeedbackEvent{Kind: Notification, Cycle: 3, Source: 2, Router: 9, Marked: true})
+	if got := n.GatedUntil(2); got != 15 {
+		t.Fatalf("stale notification moved the gate to %d, want 15", got)
+	}
+	// A refresh extends it.
+	n.Observe(FeedbackEvent{Kind: Notification, Cycle: 12, Source: 2, Router: 7, Marked: true})
+	if got := n.GatedUntil(2); got != 22 {
+		t.Fatalf("refresh moved the gate to %d, want 22", got)
+	}
+	// Other sources are unaffected.
+	if !n.AllowInjection(13, 1, 0) {
+		t.Fatal("notification for source 2 gated source 1")
+	}
+}
+
+// TestNotifyIgnoresOtherFeedback checks the controller reacts only to
+// marked notifications: unmarked notices and the injection/delivery
+// stream other controllers consume leave the gates untouched.
+func TestNotifyIgnoresOtherFeedback(t *testing.T) {
+	n := NewNotify(2, 10)
+	for _, ev := range []FeedbackEvent{
+		{Kind: Notification, Cycle: 5, Source: 0, Marked: false},
+		{Kind: PacketInjected, Cycle: 5, Source: 0},
+		{Kind: PacketDelivered, Cycle: 5, Source: 0, Marked: true},
+	} {
+		n.Observe(ev)
+	}
+	if got := n.GatedUntil(0); got != 0 {
+		t.Fatalf("non-notification feedback gated the source until %d", got)
+	}
+}

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/traffic"
+)
+
+// Ext13ControllerZoo compares the AIMD window controller against the
+// paper's self-tuned global scheme and the ALO local baseline across
+// three workloads: steady uniform random, steady butterfly, and the
+// Figure 6 bursty schedule. AIMD reacts per source to DECbit marks from
+// its own packets, so it needs no side-band at all; the comparison
+// shows what that end-to-end feedback loop costs (and buys) relative
+// to global full-buffer tuning under each traffic shape.
+func Ext13ControllerZoo(s Scale, rate float64) ([]AblationPoint, error) {
+	return Runner{}.Ext13ControllerZoo(s, rate)
+}
+
+// Ext13Spec is the controller-comparison grid: one group per workload,
+// one point per scheme, labelled "<workload>/<scheme>".
+func Ext13Spec(s Scale, rate float64) *Spec {
+	if rate == 0 {
+		rate = 0.04
+	}
+	schemes := []sim.Scheme{
+		{Kind: sim.AIMD},
+		{Kind: sim.SelfTuned},
+		{Kind: sim.ALO},
+	}
+	spec := NewSpec("ext13", "controller zoo: aimd vs tune vs alo")
+	for _, pat := range []traffic.PatternKind{traffic.UniformRandom, traffic.Butterfly} {
+		g := Group{Name: string(pat)}
+		for _, sch := range schemes {
+			cfg := baseConfig(s)
+			cfg.Pattern = pat
+			cfg.Rate = rate
+			cfg.Scheme = sch
+			g.Points = append(g.Points, Point{
+				Label: string(pat) + "/" + string(sch.Kind), Config: cfg,
+			})
+		}
+		spec.Groups = append(spec.Groups, g)
+	}
+	sched := Fig6ScheduleSpec(s)
+	g := Group{Name: "bursty"}
+	for _, sch := range schemes {
+		cfg := baseConfig(s)
+		cfg.ScheduleSpec = sched
+		cfg.WarmupCycles = 0
+		cfg.MeasureCycles = sched.TotalDuration()
+		cfg.Scheme = sch
+		g.Points = append(g.Points, Point{
+			Label: "bursty/" + string(sch.Kind), Config: cfg,
+		})
+	}
+	spec.Groups = append(spec.Groups, g)
+	return spec
+}
+
+// Ext13ControllerZoo runs the controller comparison on this runner's
+// pool.
+func (r Runner) Ext13ControllerZoo(s Scale, rate float64) ([]AblationPoint, error) {
+	return r.runAblation(Ext13Spec(s, rate))
+}
+
+// Ext14NotifyHopDelay sweeps the side-band hop delay under the
+// notification-based controller. Unlike ext5 (where delay only stales
+// the tuner's global view), here the hop delay sets the latency of
+// every congestion notification and — through the staleness default of
+// two gather durations — how long a notified source stays gated, so
+// the sweep measures the control loop's sensitivity to its own
+// feedback latency.
+func Ext14NotifyHopDelay(s Scale, rate float64) ([]AblationPoint, error) {
+	return Runner{}.Ext14NotifyHopDelay(s, rate)
+}
+
+// Ext14Spec is the notification hop-delay sweep's declarative grid.
+func Ext14Spec(s Scale, rate float64) *Spec {
+	if rate == 0 {
+		rate = 0.04
+	}
+	var points []Point
+	for _, h := range []int{1, 2, 4, 8} {
+		cfg := baseConfig(s)
+		cfg.Rate = rate
+		cfg.SidebandHopDelay = h
+		cfg.Scheme = sim.Scheme{Kind: sim.Notify}
+		points = append(points, Point{
+			Label: fmt.Sprintf("h=%d (g=%d)", h, cfg.GatherDuration()), Config: cfg,
+		})
+	}
+	return ablationSpec("ext14", "notification hop-delay sensitivity", points...)
+}
+
+// Ext14NotifyHopDelay runs the notification hop-delay sweep on this
+// runner's pool.
+func (r Runner) Ext14NotifyHopDelay(s Scale, rate float64) ([]AblationPoint, error) {
+	return r.runAblation(Ext14Spec(s, rate))
+}

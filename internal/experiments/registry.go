@@ -63,7 +63,7 @@ var registry = make(map[string]Entry)
 var PaperOrder = []string{
 	"tab1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
 	"ext1", "ext2", "ext3", "ext4", "ext5", "ext6", "ext7", "ext8",
-	"ext9", "ext10", "ext11", "ext12",
+	"ext9", "ext10", "ext11", "ext12", "ext13", "ext14",
 }
 
 // Lookup returns the named experiment.
@@ -305,6 +305,20 @@ func init() {
 				"generalizes across network dimensionality.",
 			func(s Scale) *Spec { return Ext12Spec(s, 0) },
 			func(r Runner, s Scale) ([]AblationPoint, error) { return r.Ext12ThreeCube(s, 0) }},
+		{"ext13", "controller zoo: aimd vs tune vs alo",
+			"The AIMD window controller (per-source end-to-end feedback from " +
+				"DECbit marks, no side-band) against the self-tuned global scheme " +
+				"and the ALO local baseline, on uniform random, butterfly and the " +
+				"Figure 6 bursty workload.",
+			func(s Scale) *Spec { return Ext13Spec(s, 0) },
+			func(r Runner, s Scale) ([]AblationPoint, error) { return r.Ext13ControllerZoo(s, 0) }},
+		{"ext14", "notification hop-delay sensitivity",
+			"Sweeps the side-band hop delay under the notification-based " +
+				"controller: the delay sets both notification latency and the " +
+				"staleness window gating sources, so it directly scales the " +
+				"feedback loop the controller closes.",
+			func(s Scale) *Spec { return Ext14Spec(s, 0) },
+			func(r Runner, s Scale) ([]AblationPoint, error) { return r.Ext14NotifyHopDelay(s, 0) }},
 	} {
 		a := a
 		register(Entry{

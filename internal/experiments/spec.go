@@ -63,6 +63,14 @@ func (s *Spec) Validate() error {
 	}
 	for gi, g := range s.Groups {
 		for pi, p := range g.Points {
+			// Specs are the serializable form of an experiment, so a point
+			// carrying in-process-only state (a live Schedule, a custom
+			// throttler) is rejected even when assembled in memory — it
+			// could never round-trip, cache, or re-run from disk.
+			if err := p.Config.Serializable(); err != nil {
+				return fmt.Errorf("experiments: spec %s group %d point %d (%s): %w",
+					s.Name, gi, pi, p.Label, err)
+			}
 			if err := p.Config.Validate(); err != nil {
 				return fmt.Errorf("experiments: spec %s group %d point %d (%s): %w",
 					s.Name, gi, pi, p.Label, err)

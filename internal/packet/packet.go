@@ -135,6 +135,13 @@ type Packet struct {
 	// engine; Consumed == Length once the packet is delivered.
 	Consumed int
 
+	// Marked is the DECbit congestion mark: set when the packet's header
+	// was buffered at a router whose congestion bit was up, carried to
+	// the destination and echoed to the source in the delivery feedback.
+	// Managed by the router engine; always false unless marking is
+	// enabled (router.Config.CongestMark).
+	Marked bool
+
 	// Trail is the sequence of buffer locations the head flit has
 	// entered, in order (injection channel first). Managed by the router
 	// engine; deadlock recovery walks it backwards to drain the worm.

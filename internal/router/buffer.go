@@ -67,6 +67,23 @@ func (f *Fabric) initSoA(nodes int) {
 	f.actLatched.init(nodes)
 	f.actOwned.init(nodes)
 	f.actSrc.init(nodes)
+	if f.markHi > 0 {
+		words := (nodes + 63) >> 6
+		f.nodeOcc = make([]int32, nodes)
+		f.congWords = make([]uint64, words)
+		f.congStable = make([]uint64, words)
+	}
+}
+
+// snapshotCongestion copies the live congestion bits into the stable
+// set that header pushes mark packets against. The coordinator calls it
+// at the top of every Step, before any stage runs — the only congStable
+// write site, so the marking decision for the whole cycle is frozen at
+// the cycle boundary.
+//
+//stcc:hotpath
+func (f *Fabric) snapshotCongestion() {
+	copy(f.congStable, f.congWords)
 }
 
 // activeWords is a bitset with one bit per node ("active words"): the
@@ -235,6 +252,22 @@ func (b *vcBuffer) push(f flit, nc *netCounters) {
 	if b.countable && int(n)+1 == len(b.buf) {
 		nc.fullBuffers++
 	}
+	if fab.markHi > 0 && b.countable {
+		// DECbit maintenance. The bit raises against the live per-node
+		// occupancy (order-free within a cycle: pushes only grow it, so
+		// the crossing happens iff the phase's final occupancy crosses),
+		// but the packet mark reads the cycle-stable snapshot, and only
+		// on the header flit — a packet's header is in exactly one
+		// buffer, so exactly one shard writes the packet per cycle.
+		no := fab.nodeOcc[b.node] + 1
+		fab.nodeOcc[b.node] = no
+		if no >= fab.markHi {
+			fab.congWords[b.node>>6] |= 1 << uint(b.node&63)
+		}
+		if f.idx == 0 && fab.congStable[b.node>>6]&(1<<uint(b.node&63)) != 0 {
+			f.pkt.Marked = true
+		}
+	}
 }
 
 //stcc:hotpath
@@ -273,6 +306,16 @@ func (b *vcBuffer) pop(nc *netCounters) flit {
 		fab.headMask[b.node] |= bit
 	} else {
 		fab.headMask[b.node] &^= bit
+	}
+	if fab.markHi > 0 && b.countable {
+		// DECbit hysteresis: the bit lowers only once the router has
+		// drained to half its mark. Pops only shrink the occupancy
+		// within their phase, so clearing is as order-free as setting.
+		no := fab.nodeOcc[b.node] - 1
+		fab.nodeOcc[b.node] = no
+		if no <= fab.markLo {
+			fab.congWords[b.node>>6] &^= 1 << uint(b.node&63)
+		}
 	}
 	return f
 }

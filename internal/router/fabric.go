@@ -2,6 +2,8 @@ package router
 
 import (
 	"fmt"
+	"math"
+	"math/bits"
 	"runtime"
 
 	"repro/internal/packet"
@@ -175,6 +177,18 @@ type Config struct {
 	// defaults scaled by the shard count. Setting AdaptLow requires
 	// AdaptHigh >= AdaptLow.
 	AdaptHigh, AdaptLow int
+	// CongestMark enables DECbit-style congestion marking when positive:
+	// a router raises its congestion bit while the buffered-flit
+	// occupancy across its physical-channel VC buffers is at least
+	// CongestMark of their total capacity, and lowers it again only at
+	// half the mark (hysteresis, so the bit does not chatter at the
+	// threshold). While the bit is up, every packet whose header the
+	// router accepts is marked, and the mark travels with the packet to
+	// its destination (the feedback the aimd scheme consumes); rising
+	// bit edges also feed the side-band notification path (notify).
+	// Zero (the default) disables marking entirely: no occupancy
+	// tracking, no marks, byte-identical to builds without the feature.
+	CongestMark float64
 }
 
 // Validate checks the configuration.
@@ -210,6 +224,9 @@ func (c Config) Validate() error {
 	}
 	if c.AdaptHigh < 0 || c.AdaptLow < 0 {
 		return fmt.Errorf("router: negative adaptive dispatch threshold (%d, %d)", c.AdaptHigh, c.AdaptLow)
+	}
+	if c.CongestMark < 0 || c.CongestMark > 1 {
+		return fmt.Errorf("router: congestion mark %g out of [0,1]", c.CongestMark)
 	}
 	if c.AdaptLow > c.AdaptHigh {
 		return fmt.Errorf("router: AdaptLow %d exceeds AdaptHigh %d", c.AdaptLow, c.AdaptHigh)
@@ -337,6 +354,23 @@ type Fabric struct {
 	actOwned    activeWords
 	actSrc      activeWords
 
+	// DECbit congestion marking (enabled when markHi > 0). nodeOcc is
+	// each router's buffered-flit count over its countable lanes — a
+	// per-node fold of the occ array maintained at the same push/pop
+	// sites. congWords is the live congestion bitset (bit = node):
+	// raised when nodeOcc crosses markHi, lowered at markLo (half the
+	// mark). congStable is the coordinator's copy from the last cycle
+	// boundary; header pushes mark packets against it, so the marking
+	// decision never depends on intra-cycle push order and sharded
+	// stepping stays byte-identical. All three are node-indexed and
+	// shard partitions are 64-node aligned, so shards never share a
+	// word; every write lives in buffer.go under counterguard.
+	nodeOcc    []int32
+	congWords  []uint64
+	congStable []uint64
+	markHi     int32 // set threshold in flits; 0 disables marking
+	markLo     int32 // clear threshold (markHi / 2)
+
 	// Network-wide active-set sums, maintained at the same buffer.go
 	// transition sites: each stage consults its counter to skip the
 	// whole sweep in O(1) on an idle fabric.
@@ -454,6 +488,17 @@ func New(cfg Config) (*Fabric, error) {
 	outPorts := make([][]outVC, nodes*(phys+1))
 	swArena := make([]int, nodes*(phys+1))
 
+	if cfg.CongestMark > 0 {
+		// Set threshold: the mark fraction of one router's countable
+		// buffer capacity, rounded up (never zero, so an enabled mark
+		// always needs at least one buffered flit); clear at half.
+		capacity := phys * cfg.VCs * cfg.BufDepth
+		f.markHi = int32(math.Ceil(cfg.CongestMark * float64(capacity)))
+		if f.markHi < 1 {
+			f.markHi = 1
+		}
+		f.markLo = f.markHi / 2
+	}
 	f.initSoA(nodes)
 
 	f.laneOutPort = make([]uint8, f.lanesOut)
@@ -570,6 +615,52 @@ func (f *Fabric) Now() int64 { return f.now }
 // of completely full physical-channel VC buffers network-wide.
 func (f *Fabric) FullVCBuffers() int { return f.net.fullBuffers }
 
+// Nodes implements congestion.GlobalView: the network size.
+func (f *Fabric) Nodes() int { return len(f.nodes) }
+
+// CongestedAt reports whether node's DECbit congestion bit is currently
+// set. Always false when marking is disabled (Config.CongestMark zero).
+func (f *Fabric) CongestedAt(node topology.NodeID) bool {
+	if f.markHi == 0 {
+		return false
+	}
+	return f.congWords[node>>6]&(1<<uint(node&63)) != 0
+}
+
+// CongestedRouters implements congestion.GlobalView: how many routers
+// currently have their congestion bit set. O(nodes/64).
+func (f *Fabric) CongestedRouters() int {
+	total := 0
+	for _, w := range f.congWords {
+		total += bits.OnesCount64(w)
+	}
+	return total
+}
+
+// CongestionBits returns the live congestion bitset, one bit per node,
+// or nil when marking is disabled. The words are valid between Steps
+// and must be treated as read-only; the engine's notification path
+// edge-scans them after each cycle.
+//
+//stcc:hotpath
+func (f *Fabric) CongestionBits() []uint64 { return f.congWords }
+
+// CongestMarks returns the marking thresholds in buffered flits: the
+// bit sets at hi and clears at lo. Both zero when marking is disabled.
+func (f *Fabric) CongestMarks() (hi, lo int) {
+	return int(f.markHi), int(f.markLo)
+}
+
+// BufferedFlitsAt returns node's buffered-flit count over its
+// physical-channel VC buffers, from the incrementally maintained
+// per-node fold (only available while marking is enabled).
+func (f *Fabric) BufferedFlitsAt(node topology.NodeID) int {
+	if f.markHi == 0 {
+		return 0
+	}
+	return int(f.nodeOcc[node])
+}
+
 // FullVCBuffersAt returns the number of completely full physical-channel
 // VC buffers at one node. O(ports x VCs); intended for visualization and
 // analysis, not the per-cycle hot path (which uses the incremental
@@ -668,6 +759,14 @@ func (f *Fabric) StartInjection(pkt *packet.Packet) {
 //
 //stcc:hotpath
 func (f *Fabric) Step() {
+	if f.markHi > 0 {
+		// Refresh the cycle-stable congestion bits the marking decision
+		// reads: packets arriving during cycle t are marked against the
+		// bits as of the end of t-1, so the decision never depends on
+		// intra-cycle push order and sharded stepping stays
+		// byte-identical to serial.
+		f.snapshotCongestion()
+	}
 	if len(f.shards) > 1 && f.OnEvent == nil && f.dispatchSharded() {
 		f.stepSharded()
 		return

@@ -26,12 +26,16 @@ func (f *Fabric) CheckInvariants() error {
 	for ni := range f.nodes {
 		nd := &f.nodes[ni]
 		var occMask, boundMask, headMask, latchMask, ownedMask uint64
+		countableFlits := 0
 		for _, port := range nd.inputs {
 			for bi := range port {
 				b := &port[bi]
 				n := int(f.occ[b.gid])
 				if n < 0 || n > len(b.buf) {
 					return fmt.Errorf("%v occupancy %d out of range", b, n)
+				}
+				if b.countable {
+					countableFlits += n
 				}
 				if int(b.gid) != int(b.node)*f.lanesIn+int(b.lane) {
 					return fmt.Errorf("%v lane identity mismatch (gid %d, lane %d)", b, b.gid, b.lane)
@@ -125,6 +129,24 @@ func (f *Fabric) CheckInvariants() error {
 		for _, c := range checks {
 			if got := c.a.actWords[ni>>6]&bit != 0; got != c.want {
 				return fmt.Errorf("node %d active bitset %s = %v, want %v", nd.id, c.name, got, c.want)
+			}
+		}
+		if f.markHi > 0 {
+			// The per-node occupancy fold must match a recount, and the
+			// congestion bit must respect the hysteresis band: forced on
+			// at or above markHi, forced off at or below markLo, and
+			// path-dependent (either value legal) in between.
+			if got := int(f.nodeOcc[ni]); got != countableFlits {
+				return fmt.Errorf("node %d buffered-flit fold %d, recount %d", nd.id, got, countableFlits)
+			}
+			congested := f.congWords[ni>>6]&bit != 0
+			if countableFlits >= int(f.markHi) && !congested {
+				return fmt.Errorf("node %d occupancy %d >= mark %d but congestion bit clear",
+					nd.id, countableFlits, f.markHi)
+			}
+			if countableFlits <= int(f.markLo) && congested {
+				return fmt.Errorf("node %d occupancy %d <= clear threshold %d but congestion bit set",
+					nd.id, countableFlits, f.markLo)
 			}
 		}
 	}

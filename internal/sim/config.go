@@ -8,6 +8,7 @@ package sim
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/congestion"
 	"repro/internal/core"
@@ -38,9 +39,26 @@ const (
 	// HillClimbOnly is SelfTuned without the local-maximum avoidance
 	// mechanism (the Figure 4 ablation).
 	HillClimbOnly SchemeKind = "tune-hillclimb"
+	// AIMD is the window-based controller (Jain/Ramakrishnan/Chiu):
+	// per-source injection windows with additive growth and
+	// multiplicative halving on DECbit congestion marks.
+	AIMD SchemeKind = "aimd"
+	// Notify is notification-based throttling: routers whose congestion
+	// bit rises broadcast side-band notifications that gate source
+	// injection until they go stale.
+	Notify SchemeKind = "notify"
 	// Custom runs a user-supplied congestion.Throttler (Scheme.Custom).
+	// In-process only: a custom scheme has no wire form, so spec-driven
+	// runs must use a registered scheme.
 	Custom SchemeKind = "custom"
 )
+
+// DefaultMarkThreshold is the router occupancy fraction at which the
+// DECbit congestion bit sets for the mark-based schemes when
+// Scheme.MarkThreshold is unset. Three quarters of a router's buffer
+// capacity: well past any transient burst, well before wormhole
+// back-pressure makes the marks redundant.
+const DefaultMarkThreshold = 0.75
 
 // EstimatorKind selects how global congestion is predicted between
 // side-band snapshots.
@@ -73,10 +91,57 @@ type Scheme struct {
 	Tuner *core.TunerConfig
 	// KeepTrace retains the per-tuning-period threshold trace.
 	KeepTrace bool
+	// WindowMin and WindowMax bound the AIMD per-source injection
+	// window, in packets; zero selects the scheme defaults (1 and 64).
+	WindowMin int
+	WindowMax int
+	// MarkThreshold is the router occupancy fraction at which the
+	// DECbit congestion bit sets, for the mark-based schemes (AIMD,
+	// Notify); zero selects DefaultMarkThreshold. The bit clears at
+	// half the mark (hysteresis).
+	MarkThreshold float64
+	// Staleness is how long a delivered congestion notification keeps
+	// gating injection (Notify), in cycles; zero selects two gather
+	// durations.
+	Staleness int64
 	// Custom is the throttler to run when Kind is Custom. If it
 	// implements sideband.Sink it is subscribed to global snapshots; if
 	// it implements ViewBinder it receives the router-local view.
 	Custom congestion.Throttler
+}
+
+// params maps the Scheme to the congestion registry's parameter struct.
+func (s Scheme) params() congestion.Params {
+	p := congestion.Params{
+		BusyLimit:       s.BusyLimit,
+		StaticThreshold: s.StaticThreshold,
+		Estimator:       string(s.Estimator),
+		TuningPeriod:    s.TuningPeriod,
+		KeepTrace:       s.KeepTrace,
+		WindowMin:       s.WindowMin,
+		WindowMax:       s.WindowMax,
+		Staleness:       s.Staleness,
+	}
+	// Params.Tuner is an untyped any: assign only a live override, so a
+	// nil *core.TunerConfig never becomes a non-nil interface.
+	if s.Tuner != nil {
+		p.Tuner = s.Tuner
+	}
+	return p
+}
+
+// markFraction resolves the router's congestion-mark fraction: the
+// explicit MarkThreshold when set, the DECbit default for the schemes
+// that consume marks, and zero (marking disabled, zero router overhead)
+// for every other scheme.
+func (s Scheme) markFraction() float64 {
+	if s.MarkThreshold != 0 {
+		return s.MarkThreshold
+	}
+	if s.Kind == AIMD || s.Kind == Notify {
+		return DefaultMarkThreshold
+	}
+	return 0
 }
 
 // ViewBinder is implemented by custom throttlers that want the
@@ -198,7 +263,8 @@ func (c Config) Validate() error {
 	rc := router.Config{Topo: topo, VCs: c.VCs, BufDepth: c.BufDepth,
 		Mode: c.Mode, DeadlockTimeout: c.DeadlockTimeout, TokenWaitTimeout: c.TokenWaitTimeout,
 		DeliveryChannels: c.DeliveryChannels, Selection: c.Selection, Switching: c.Switching,
-		Workers: c.ShardWorkers, Dispatch: c.ShardDispatch}
+		Workers: c.ShardWorkers, Dispatch: c.ShardDispatch,
+		CongestMark: c.Scheme.markFraction()}
 	if err := rc.Validate(); err != nil {
 		return err
 	}
@@ -233,8 +299,24 @@ func (c Config) Validate() error {
 	if c.SampleInterval < 0 {
 		return fmt.Errorf("sim: negative sample interval")
 	}
+	// Scheme-kind validity derives from the congestion registry: a kind
+	// is runnable exactly when a factory self-registered under its name.
+	// Custom is the one non-registry kind — an in-process escape hatch
+	// with no wire form.
 	switch c.Scheme.Kind {
-	case Base, ALO, SelfTuned, HillClimbOnly:
+	case Custom:
+		if c.Scheme.Custom == nil {
+			return fmt.Errorf("sim: custom scheme needs a live throttler; spec-driven runs cannot carry one and must use a registered scheme (%s)",
+				strings.Join(congestion.Names(), ", "))
+		}
+	default:
+		if !congestion.Registered(string(c.Scheme.Kind)) {
+			return fmt.Errorf("sim: unknown scheme %q (registered: %s)",
+				c.Scheme.Kind, strings.Join(congestion.Names(), ", "))
+		}
+	}
+	// Per-kind parameter rules.
+	switch c.Scheme.Kind {
 	case BusyVC:
 		if c.Scheme.BusyLimit < 0 {
 			return fmt.Errorf("sim: negative busy-VC limit")
@@ -243,12 +325,17 @@ func (c Config) Validate() error {
 		if c.Scheme.StaticThreshold <= 0 {
 			return fmt.Errorf("sim: static scheme needs a positive threshold")
 		}
-	case Custom:
-		if c.Scheme.Custom == nil {
-			return fmt.Errorf("sim: custom scheme needs a throttler")
-		}
-	default:
-		return fmt.Errorf("sim: unknown scheme %q", c.Scheme.Kind)
+	}
+	if wmin, wmax := c.Scheme.WindowMin, c.Scheme.WindowMax; wmin < 0 || wmax < 0 {
+		return fmt.Errorf("sim: negative AIMD window bound (min %d, max %d)", wmin, wmax)
+	} else if wmin != 0 && wmax != 0 && wmax < wmin {
+		return fmt.Errorf("sim: AIMD window max %d below min %d", wmax, wmin)
+	}
+	if mt := c.Scheme.MarkThreshold; mt < 0 || mt > 1 {
+		return fmt.Errorf("sim: mark threshold %g out of [0,1]", mt)
+	}
+	if c.Scheme.Staleness < 0 {
+		return fmt.Errorf("sim: negative notification staleness %d", c.Scheme.Staleness)
 	}
 	switch c.Scheme.Estimator {
 	case "", LinearEstimator, LastValueEstimator:

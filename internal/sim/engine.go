@@ -99,10 +99,19 @@ type Engine struct {
 	topo  *topology.Torus
 	fab   *router.Fabric
 	side  *sideband.Network
-	thr   congestion.Throttler
+	thr   congestion.Controller
 	glob  *core.GlobalThrottler // nil for local schemes
 	sched *traffic.Schedule
 	rng   *rand.Rand
+
+	// Notification feedback path, built only when the controller asks
+	// for it (congestion.NotificationUser): the side-band notifier, the
+	// previous cycle's congestion bits for the rising-edge scan, and the
+	// delivery closure (bound once so the per-cycle Deliver call passes
+	// a live func value without allocating).
+	notifier *sideband.Notifier
+	prevCong []uint64
+	notifyFn func(to, from topology.NodeID, marked bool)
 
 	queues   []pendingQueue // per-node source queues
 	qActive  []uint64       // bitset of nodes with a non-empty source queue
@@ -145,7 +154,8 @@ func New(cfg Config) (*Engine, error) {
 		TokenWaitTimeout: cfg.TokenWaitTimeout,
 		DeliveryChannels: cfg.DeliveryChannels, Selection: cfg.Selection,
 		Switching: cfg.Switching, Workers: cfg.ShardWorkers,
-		Dispatch: cfg.ShardDispatch,
+		Dispatch:    cfg.ShardDispatch,
+		CongestMark: cfg.Scheme.markFraction(),
 	})
 	if err != nil {
 		return nil, err
@@ -179,73 +189,60 @@ func New(cfg Config) (*Engine, error) {
 	if e.thr, e.glob, err = e.buildThrottler(); err != nil {
 		return nil, err
 	}
+	if _, ok := e.thr.(congestion.NotificationUser); ok {
+		e.notifier = sideband.NewNotifier(topo, cfg.SidebandHopDelay)
+		e.prevCong = make([]uint64, (topo.Nodes()+63)>>6)
+		thr := e.thr
+		e.notifyFn = func(to, from topology.NodeID, marked bool) {
+			thr.Observe(congestion.FeedbackEvent{
+				Kind:   congestion.Notification,
+				Cycle:  fab.Now(),
+				Source: to,
+				Router: from,
+				Marked: marked,
+			})
+		}
+	}
 	fab.OnDelivered = e.onDelivered
 	return e, nil
 }
 
-// buildThrottler constructs the configured congestion controller and
-// subscribes global ones to the side-band.
-func (e *Engine) buildThrottler() (congestion.Throttler, *core.GlobalThrottler, error) {
+// buildThrottler constructs the configured congestion controller: a
+// registry lookup plus generic environment wiring, with no per-scheme
+// construction logic — every registered scheme (the paper's six and the
+// controller-zoo additions) assembles itself from the Env its factory
+// receives. The one exception is Custom, which carries an already-built
+// instance and only needs its optional bindings. The returned
+// *core.GlobalThrottler is non-nil when the controller is the global
+// scheme family (the threshold trace in Result reads it).
+func (e *Engine) buildThrottler() (congestion.Controller, *core.GlobalThrottler, error) {
 	s := e.cfg.Scheme
-	switch s.Kind {
-	case Base:
-		return congestion.None{}, nil, nil
-	case ALO:
-		return congestion.NewALO(e.topo, e.fab), nil, nil
-	case BusyVC:
-		limit := s.BusyLimit
-		if limit == 0 {
-			limit = e.topo.PhysPorts() * e.cfg.VCs / 2
-		}
-		return congestion.NewBusyVC(e.topo, e.fab, limit), nil, nil
-	case Custom:
+	if s.Kind == Custom {
 		if sink, ok := s.Custom.(sideband.Sink); ok {
 			e.side.Subscribe(sink)
 		}
 		if vb, ok := s.Custom.(ViewBinder); ok {
 			vb.BindView(e.fab)
 		}
-		return s.Custom, nil, nil
+		return congestion.AsController(s.Custom), nil, nil
 	}
-
-	// Global schemes.
-	var est core.Estimator
-	if s.Estimator == LastValueEstimator {
-		est = &core.LastValue{}
-	} else {
-		est = &core.LinearExtrapolation{}
+	factory, ok := congestion.Lookup(string(s.Kind))
+	if !ok {
+		return nil, nil, fmt.Errorf("sim: no registered controller for scheme %q", s.Kind)
 	}
-	g := e.cfg.GatherDuration()
-	period := s.TuningPeriod
-	if period == 0 {
-		period = 3 * g
-	}
-	var policy core.ThresholdPolicy
-	switch s.Kind {
-	case StaticGlobal:
-		policy = core.StaticThreshold(s.StaticThreshold)
-	default: // SelfTuned, HillClimbOnly
-		tc := core.DefaultTunerConfig(e.topo.TotalVCBuffers(e.cfg.VCs))
-		if s.Tuner != nil {
-			tc = *s.Tuner
-		}
-		tc.AvoidLocalMaxima = s.Kind != HillClimbOnly
-		tuner, err := core.NewTuner(tc)
-		if err != nil {
-			return nil, nil, err
-		}
-		policy = tuner
-	}
-	glob, err := core.NewGlobalThrottler(core.GlobalConfig{
-		TuningPeriod:   period,
-		GatherDuration: g,
-		KeepTrace:      s.KeepTrace,
-	}, est, policy)
+	ctrl, err := factory(congestion.Env{
+		Kind:   string(s.Kind),
+		Topo:   e.topo,
+		Local:  e.fab,
+		Global: e.fab,
+		Side:   e.side,
+		Params: s.params(),
+	})
 	if err != nil {
 		return nil, nil, err
 	}
-	e.side.Subscribe(glob)
-	return glob, glob, nil
+	glob, _ := ctrl.(*core.GlobalThrottler)
+	return ctrl, glob, nil
 }
 
 //stcc:hotpath
@@ -257,6 +254,17 @@ func (e *Engine) onDelivered(p *packet.Packet) {
 		e.totLatency.Add(float64(p.TotalLatency()))
 		e.hops.Add(float64(p.Hops))
 	}
+	// End-to-end feedback to the controller, echoing the DECbit mark.
+	// Delivery callbacks fire in a deterministic order (the sharded
+	// stepper finalizes deliveries in node-index order), so per-source
+	// controller state evolves identically at any worker count.
+	e.thr.Observe(congestion.FeedbackEvent{
+		Kind:   congestion.PacketDelivered,
+		Cycle:  p.DeliveredAt,
+		Source: p.Src,
+		Router: p.Dst,
+		Marked: p.Marked,
+	})
 	// The fabric releases every reference to a packet before it reports
 	// delivery (trace sinks receive packet IDs, not pointers), so the
 	// struct and its Trail capacity can go straight back to the free
@@ -343,8 +351,14 @@ func (e *Engine) CheckInvariants() error {
 
 //stcc:hotpath
 func (e *Engine) step(now int64) {
-	// 1. Global information gather and controller tick.
+	// 1. Global information gather, notification delivery and controller
+	// tick. Feedback events land at the cycle boundary, before any
+	// injection decision, so a cycle's decisions all see the same
+	// controller state.
 	e.side.Tick(now)
+	if e.notifier != nil {
+		e.notifier.Deliver(now, e.notifyFn)
+	}
 	e.thr.Tick(now)
 
 	// 2. Packet generation into source queues. This loop stays O(nodes):
@@ -377,8 +391,15 @@ func (e *Engine) step(now int64) {
 		e.throttledCycles++
 	}
 
-	// 4. Network cycle.
+	// 4. Network cycle, then the congestion-bit edge scan: routers whose
+	// bit rose this cycle broadcast a side-band notification. Reading
+	// the bits here — after the step, from the coordinator — keeps the
+	// scan off the sharded stages entirely (shardguard-clean) and sees
+	// the same deterministic end-of-cycle state at any worker count.
 	e.fab.Step()
+	if e.notifier != nil {
+		e.scanCongestionEdges(now)
+	}
 
 	// 5. Sampling.
 	e.fullAccum += float64(e.fab.FullVCBuffers())
@@ -439,6 +460,28 @@ func (e *Engine) injectNode(now int64, n int, throttled *bool) {
 	p.Progress(now)
 	e.fab.StartInjection(p)
 	e.injected++
+	e.thr.Observe(congestion.FeedbackEvent{
+		Kind:   congestion.PacketInjected,
+		Cycle:  now,
+		Source: topology.NodeID(n),
+	})
+}
+
+// scanCongestionEdges broadcasts a notification for every router whose
+// congestion bit rose during the cycle that just ran. Only rising edges
+// broadcast — release is by staleness decay at the sources — so a
+// persistently marked router costs one broadcast, not one per cycle.
+//
+//stcc:hotpath
+func (e *Engine) scanCongestionEdges(now int64) {
+	words := e.fab.CongestionBits()
+	for wi, cur := range words {
+		rise := cur &^ e.prevCong[wi]
+		e.prevCong[wi] = cur
+		for base := wi << 6; rise != 0; rise &= rise - 1 {
+			e.notifier.Broadcast(now, topology.NodeID(base+bits.TrailingZeros64(rise)), true)
+		}
+	}
 }
 
 // Fabric exposes the underlying fabric (tests and experiment drivers).

@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"repro/internal/congestion"
 	"repro/internal/core"
 	"repro/internal/router"
 	"repro/internal/sideband"
@@ -66,7 +67,10 @@ type configJSON struct {
 	Seed int64 `json:"seed"`
 }
 
-// schemeJSON is the wire form of Scheme.
+// schemeJSON is the wire form of Scheme. The controller-zoo fields
+// (window bounds, mark threshold, staleness) are omitempty like every
+// other optional knob, so configs predating them keep their canonical
+// encoding — and therefore their fingerprints — unchanged.
 type schemeJSON struct {
 	Kind            SchemeKind    `json:"kind"`
 	StaticThreshold float64       `json:"static_threshold,omitempty"`
@@ -75,6 +79,10 @@ type schemeJSON struct {
 	TuningPeriod    int64         `json:"tuning_period,omitempty"`
 	Tuner           *tunerJSON    `json:"tuner,omitempty"`
 	KeepTrace       bool          `json:"keep_trace,omitempty"`
+	WindowMin       int           `json:"window_min,omitempty"`
+	WindowMax       int           `json:"window_max,omitempty"`
+	MarkThreshold   float64       `json:"mark_threshold,omitempty"`
+	Staleness       int64         `json:"staleness,omitempty"`
 }
 
 // tunerJSON is the wire form of core.TunerConfig.
@@ -89,18 +97,30 @@ type tunerJSON struct {
 	AvoidLocalMaxima  bool    `json:"avoid_local_maxima"`
 }
 
+// Serializable reports whether the Config has a wire form. Two values
+// are in-process only — a live *traffic.Schedule and a Scheme.Custom
+// throttler (the custom scheme kind exists only to carry one) — and a
+// Config holding either cannot be marshalled, fingerprinted, cached,
+// or placed in an experiment Spec.
+func (c Config) Serializable() error {
+	if c.Schedule != nil {
+		return fmt.Errorf("sim: a live *traffic.Schedule is not serializable; use Config.ScheduleSpec")
+	}
+	if c.Scheme.Custom != nil {
+		return fmt.Errorf("sim: a custom throttler is not serializable")
+	}
+	if c.Scheme.Kind == Custom {
+		return fmt.Errorf("sim: scheme %q is not serializable", Custom)
+	}
+	return nil
+}
+
 // MarshalJSON implements json.Marshaler with the versioned wire form.
 // Configs carrying in-process-only values (a live Schedule or a custom
 // throttler) have no serializable representation and return an error.
 func (c Config) MarshalJSON() ([]byte, error) {
-	if c.Schedule != nil {
-		return nil, fmt.Errorf("sim: a live *traffic.Schedule is not serializable; use Config.ScheduleSpec")
-	}
-	if c.Scheme.Custom != nil {
-		return nil, fmt.Errorf("sim: a custom throttler is not serializable")
-	}
-	if c.Scheme.Kind == Custom {
-		return nil, fmt.Errorf("sim: scheme %q is not serializable", Custom)
+	if err := c.Serializable(); err != nil {
+		return nil, err
 	}
 	w := configJSON{
 		Version:           ConfigVersion,
@@ -129,6 +149,10 @@ func (c Config) MarshalJSON() ([]byte, error) {
 			Estimator:       c.Scheme.Estimator,
 			TuningPeriod:    c.Scheme.TuningPeriod,
 			KeepTrace:       c.Scheme.KeepTrace,
+			WindowMin:       c.Scheme.WindowMin,
+			WindowMax:       c.Scheme.WindowMax,
+			MarkThreshold:   c.Scheme.MarkThreshold,
+			Staleness:       c.Scheme.Staleness,
 		},
 		ShardWorkers:   c.ShardWorkers,
 		ShardDispatch:  c.ShardDispatch,
@@ -152,12 +176,12 @@ func (c Config) MarshalJSON() ([]byte, error) {
 	return json.Marshal(w)
 }
 
-// knownSchemeKinds are the serializable scheme names.
-var knownSchemeKinds = []SchemeKind{Base, ALO, BusyVC, StaticGlobal, SelfTuned, HillClimbOnly}
-
 // UnmarshalJSON implements json.Unmarshaler. Parsing is strict: unknown
 // fields, unknown enum names, and unsupported versions are errors, so a
-// typo in a spec file cannot silently become a default.
+// typo in a spec file cannot silently become a default. The set of
+// serializable scheme kinds is the congestion registry — a scheme is on
+// the wire exactly when a factory self-registered under its name
+// (Custom never registers, so it is rejected here by construction).
 func (c *Config) UnmarshalJSON(data []byte) error {
 	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.DisallowUnknownFields()
@@ -169,14 +193,7 @@ func (c *Config) UnmarshalJSON(data []byte) error {
 		return fmt.Errorf("sim: unsupported config version %d (this build reads version %d)",
 			w.Version, ConfigVersion)
 	}
-	kindKnown := false
-	for _, k := range knownSchemeKinds {
-		if w.Scheme.Kind == k {
-			kindKnown = true
-			break
-		}
-	}
-	if !kindKnown {
+	if !congestion.Registered(string(w.Scheme.Kind)) {
 		return fmt.Errorf("sim: unknown scheme kind %q", w.Scheme.Kind)
 	}
 	switch w.Scheme.Estimator {
@@ -210,6 +227,10 @@ func (c *Config) UnmarshalJSON(data []byte) error {
 			Estimator:       w.Scheme.Estimator,
 			TuningPeriod:    w.Scheme.TuningPeriod,
 			KeepTrace:       w.Scheme.KeepTrace,
+			WindowMin:       w.Scheme.WindowMin,
+			WindowMax:       w.Scheme.WindowMax,
+			MarkThreshold:   w.Scheme.MarkThreshold,
+			Staleness:       w.Scheme.Staleness,
 		},
 		ShardWorkers:   w.ShardWorkers,
 		ShardDispatch:  w.ShardDispatch,

@@ -56,6 +56,25 @@ func TestValidateRejections(t *testing.T) {
 		{"busyvc-negative-limit", func(c *Config) { c.Scheme = Scheme{Kind: BusyVC, BusyLimit: -1} }, "busy-VC"},
 		{"static-needs-threshold", func(c *Config) { c.Scheme = Scheme{Kind: StaticGlobal} }, "threshold"},
 		{"custom-needs-throttler", func(c *Config) { c.Scheme = Scheme{Kind: Custom} }, "throttler"},
+		{"custom-lists-registered", func(c *Config) { c.Scheme = Scheme{Kind: Custom} }, "registered scheme"},
+		{"aimd-negative-window-min", func(c *Config) {
+			c.Scheme = Scheme{Kind: AIMD, WindowMin: -1}
+		}, "window"},
+		{"aimd-negative-window-max", func(c *Config) {
+			c.Scheme = Scheme{Kind: AIMD, WindowMax: -4}
+		}, "window"},
+		{"aimd-window-max-below-min", func(c *Config) {
+			c.Scheme = Scheme{Kind: AIMD, WindowMin: 8, WindowMax: 4}
+		}, "window max"},
+		{"mark-threshold-above-one", func(c *Config) {
+			c.Scheme = Scheme{Kind: AIMD, MarkThreshold: 1.5}
+		}, "mark"},
+		{"mark-threshold-negative", func(c *Config) {
+			c.Scheme = Scheme{Kind: Notify, MarkThreshold: -0.1}
+		}, "mark"},
+		{"notify-negative-staleness", func(c *Config) {
+			c.Scheme = Scheme{Kind: Notify, Staleness: -1}
+		}, "staleness"},
 		{"unknown-estimator", func(c *Config) { c.Scheme.Estimator = "psychic" }, "estimator"},
 		{"negative-tuning-period", func(c *Config) { c.Scheme.TuningPeriod = -96 }, "tuning period"},
 		{"misaligned-tuning-period", func(c *Config) { c.Scheme.TuningPeriod = 97 }, "gather duration"},
@@ -118,6 +137,10 @@ func TestValidateAccepts(t *testing.T) {
 			tc := core.DefaultTunerConfig(3072)
 			c.Scheme = Scheme{Kind: SelfTuned, Tuner: &tc}
 		},
+		"aimd":         func(c *Config) { c.Scheme = Scheme{Kind: AIMD} },
+		"aimd-bounded": func(c *Config) { c.Scheme = Scheme{Kind: AIMD, WindowMin: 2, WindowMax: 32, MarkThreshold: 0.5} },
+		"notify":       func(c *Config) { c.Scheme = Scheme{Kind: Notify} },
+		"notify-tuned": func(c *Config) { c.Scheme = Scheme{Kind: Notify, Staleness: 128, MarkThreshold: 0.9} },
 		"schedule-spec": func(c *Config) {
 			c.ScheduleSpec = traffic.SteadySpec(traffic.UniformRandom,
 				traffic.ProcessSpec{Kind: traffic.PeriodicProcess, Interval: 50})

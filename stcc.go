@@ -76,8 +76,28 @@ const (
 	SelfTuned = sim.SelfTuned
 	// HillClimbOnly disables the local-maximum avoidance mechanism.
 	HillClimbOnly = sim.HillClimbOnly
+	// AIMD throttles with a per-source additive-increase /
+	// multiplicative-decrease injection window driven by DECbit
+	// congestion marks echoed on packet delivery.
+	AIMD = sim.AIMD
+	// Notify gates sources on side-band congestion notifications from
+	// marked routers, with a staleness horizon.
+	Notify = sim.Notify
 	// CustomScheme runs a user-supplied Throttler (Scheme.Custom).
 	CustomScheme = sim.Custom
+)
+
+// Feedback event kinds delivered to Controllers.
+const (
+	// PacketInjected fires when a source's packet enters its injection
+	// channel.
+	PacketInjected = congestion.PacketInjected
+	// PacketDelivered fires when a packet reaches its destination;
+	// Marked echoes the DECbit congestion mark.
+	PacketDelivered = congestion.PacketDelivered
+	// Notification fires when a side-band congestion notification
+	// arrives at a source.
+	Notification = congestion.Notification
 )
 
 // Congestion estimators.
@@ -163,8 +183,20 @@ type (
 	// Throttler is the congestion-control interface consulted before
 	// each packet injection.
 	Throttler = congestion.Throttler
+	// Controller is a Throttler that also consumes feedback events;
+	// all registered schemes implement it.
+	Controller = congestion.Controller
+	// FeedbackEvent is one observation delivered to a Controller at a
+	// cycle boundary (injection, delivery with DECbit mark, or a
+	// side-band congestion notification).
+	FeedbackEvent = congestion.FeedbackEvent
+	// FeedbackKind discriminates feedback events.
+	FeedbackKind = congestion.FeedbackKind
 	// LocalView exposes router-local channel state to throttlers.
 	LocalView = congestion.LocalView
+	// GlobalView exposes network-wide aggregates (size, full buffers,
+	// congested-router count) alongside LocalView.
+	GlobalView = congestion.GlobalView
 	// ViewBinder lets a custom Throttler receive the LocalView.
 	ViewBinder = sim.ViewBinder
 	// Snapshot is one globally gathered side-band aggregate; custom
@@ -364,4 +396,10 @@ var (
 	Ext11LocalBaselines = experiments.Ext11LocalBaselines
 	// Ext12ThreeCube checks generality on an 8-ary 3-cube.
 	Ext12ThreeCube = experiments.Ext12ThreeCube
+	// Ext13ControllerZoo compares AIMD, the self-tuned scheme and ALO
+	// across uniform, butterfly and bursty workloads.
+	Ext13ControllerZoo = experiments.Ext13ControllerZoo
+	// Ext14NotifyHopDelay sweeps the notification controller's
+	// side-band hop delay.
+	Ext14NotifyHopDelay = experiments.Ext14NotifyHopDelay
 )
