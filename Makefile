@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race bench bench-json determinism lint fmt-check vet stcc-vet vet-json govulncheck fuzz-smoke spec-roundtrip experiments-doc serve serve-smoke
+.PHONY: all build test race bench bench-json determinism lint fmt-check vet stcc-vet vet-json govulncheck fuzz-smoke spec-roundtrip experiments-doc serve serve-smoke cluster-smoke
 
 all: build lint test
 
@@ -23,7 +23,7 @@ bench:
 # Regenerate the checked-in benchmark-trajectory report. Uses real
 # benchtime (minutes, not a smoke run); see README.md ("Benchmark
 # trajectory") for how to read BENCH_*.json.
-BENCH_LABEL ?= PR8
+BENCH_LABEL ?= PR10
 bench-json:
 	$(GO) run ./cmd/stcc-bench -label $(BENCH_LABEL) -repeat 3 -out BENCH_$(BENCH_LABEL).json
 
@@ -62,6 +62,13 @@ serve:
 # (CI runs this after the unit tests).
 serve-smoke:
 	bash scripts/serve_smoke.sh
+
+# Boot two peer daemons, farm a sweep across them, and require the
+# merged output byte-identical to a local run — healthy, degraded (one
+# dead peer), and remote-result-store paths. See README.md ("Running a
+# cluster").
+cluster-smoke:
+	bash scripts/cluster_smoke.sh
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \

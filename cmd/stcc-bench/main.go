@@ -128,14 +128,14 @@ func main() {
 		GoVersion: runtime.Version(),
 		GOARCH:    runtime.GOARCH,
 		NumCPU:    runtime.NumCPU(),
-		Baseline:  pr6Baseline(),
-		Note: "steady-state per-cycle cost; warmup excluded. Baseline is " +
-			"BENCH_PR6.json (SoA router, always-on sharded stepping, which " +
-			"made torus4096/low/w8 slower than w1 and leaked 7 B/op there). " +
-			"PR8 adds occupancy-adaptive dispatch, per-shard stage skipping, " +
-			"fused barrier rounds and an O(active) engine injection scan; " +
-			"wN uses every available CPU and the dispatch policy decides " +
-			"per cycle whether sharding pays.",
+		Baseline:  pr8Baseline(),
+		Note: "steady-state per-cycle cost; warmup excluded (store/* shapes " +
+			"measure one Put+Get of a real result per op instead). Baseline " +
+			"is BENCH_PR8.json (occupancy-adaptive sharded stepping and the " +
+			"O(active) engine loop). PR10 adds the distributed sweep fabric " +
+			"and with it the store/{fs,mem,remote} result-store shapes: mem " +
+			"is the marshal floor, fs adds file I/O plus an atomic rename, " +
+			"remote adds a loopback HTTP round trip to a peer daemon.",
 	}
 
 	shapes := []fabricShape{
@@ -189,6 +189,10 @@ func main() {
 	} {
 		tc := tc
 		points = append(points, point{tc.name, func() Shape { return measureEngine(tc.name, tc.rate, tc.scheme) }})
+	}
+	for _, sp := range storePoints() {
+		sp := sp
+		points = append(points, point{sp.Name, sp.Run})
 	}
 	merged := map[string]*Shape{}
 	var order []string
@@ -399,25 +403,25 @@ func measureEngine(name string, rate float64, scheme sim.Scheme) Shape {
 	}))
 }
 
-// pr6Baseline is the previous trajectory point: the checked-in
-// BENCH_PR6.json shape numbers (SoA router with always-on sharded
-// stepping; its w8 torus shapes paid barrier rounds every cycle, which
-// on a single-CPU machine made torus4096/low/w8 slower than w1 and
-// carried a 7 B/op handoff-growth leak). The pre-SoA origin lives on in
-// BENCH_PR6.json's own baseline block.
-func pr6Baseline() []Shape {
+// pr8Baseline is the previous trajectory point: the checked-in
+// BENCH_PR8.json shape numbers (occupancy-adaptive dispatch, per-shard
+// stage skipping, fused barrier rounds, O(active) engine injection
+// scan; first point where the w8 torus shapes beat w1). The store/*
+// shapes are new in PR10 and have no prior point. Older history lives
+// on in each BENCH_*.json's own baseline block.
+func pr8Baseline() []Shape {
 	return []Shape{
-		{Name: "fabric/idle", NsPerOp: 20.97, BytesPerOp: 0, AllocsPerOp: 0},
-		{Name: "fabric/low", NsPerOp: 12554.2, BytesPerOp: 0, AllocsPerOp: 0},
-		{Name: "fabric/saturated", NsPerOp: 91351.8, BytesPerOp: 0, AllocsPerOp: 0},
-		{Name: "fabric/torus4096/idle/w1", NsPerOp: 23.15, BytesPerOp: 0, AllocsPerOp: 0},
-		{Name: "fabric/torus4096/low/w1", NsPerOp: 529959.2, BytesPerOp: 0, AllocsPerOp: 0},
-		{Name: "fabric/torus4096/saturated/w1", NsPerOp: 7961472.6, BytesPerOp: 0, AllocsPerOp: 0},
-		{Name: "fabric/torus4096/idle/w8", NsPerOp: 14.07, BytesPerOp: 0, AllocsPerOp: 0},
-		{Name: "fabric/torus4096/low/w8", NsPerOp: 664650.1, BytesPerOp: 7, AllocsPerOp: 0},
-		{Name: "fabric/torus4096/saturated/w8", NsPerOp: 11164518.3, BytesPerOp: 0, AllocsPerOp: 0},
-		{Name: "engine/idle", NsPerOp: 3730.1, BytesPerOp: 3, AllocsPerOp: 0},
-		{Name: "engine/low", NsPerOp: 122964.6, BytesPerOp: 529, AllocsPerOp: 0},
-		{Name: "engine/saturated", NsPerOp: 154183.4, BytesPerOp: 1081, AllocsPerOp: 0},
+		{Name: "fabric/idle", NsPerOp: 20.86, BytesPerOp: 0, AllocsPerOp: 0},
+		{Name: "fabric/low", NsPerOp: 10755.4, BytesPerOp: 0, AllocsPerOp: 0},
+		{Name: "fabric/saturated", NsPerOp: 90829.4, BytesPerOp: 0, AllocsPerOp: 0},
+		{Name: "fabric/torus4096/idle/w1", NsPerOp: 20.72, BytesPerOp: 0, AllocsPerOp: 0},
+		{Name: "fabric/torus4096/low/w1", NsPerOp: 498375.2, BytesPerOp: 0, AllocsPerOp: 0},
+		{Name: "fabric/torus4096/saturated/w1", NsPerOp: 9388627.5, BytesPerOp: 0, AllocsPerOp: 0},
+		{Name: "fabric/torus4096/idle/w8", NsPerOp: 21.54, BytesPerOp: 0, AllocsPerOp: 0},
+		{Name: "fabric/torus4096/low/w8", NsPerOp: 428816.7, BytesPerOp: 0, AllocsPerOp: 0},
+		{Name: "fabric/torus4096/saturated/w8", NsPerOp: 8983814.7, BytesPerOp: 0, AllocsPerOp: 0},
+		{Name: "engine/idle", NsPerOp: 2872.8, BytesPerOp: 4, AllocsPerOp: 0},
+		{Name: "engine/low", NsPerOp: 113808.0, BytesPerOp: 558, AllocsPerOp: 0},
+		{Name: "engine/saturated", NsPerOp: 152732.9, BytesPerOp: 1239, AllocsPerOp: 0},
 	}
 }

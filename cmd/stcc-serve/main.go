@@ -10,6 +10,15 @@
 //	stcc emit-spec fig4 | curl -sd @- localhost:8080/v1/jobs
 //	curl -N localhost:8080/v1/jobs/job-000001/events
 //
+// A daemon started with -peers joins the distributed sweep fabric as a
+// coordinator: cache-missing grid points are farmed to the listed peer
+// daemons over the same /v1/jobs API, verified by fingerprint, and
+// merged in deterministic order; any peer failure falls back to local
+// execution. The /v1/cache endpoints expose the daemon's result store
+// to remote clients (see internal/resultcache/remotestore).
+//
+//	stcc-serve -addr :8080 -cache results/cache -peers node1:8080,node2:8080
+//
 // SIGINT/SIGTERM drains: the listener closes, running jobs get -drain
 // to finish, then the process exits.
 package main
@@ -26,7 +35,8 @@ import (
 	"syscall"
 	"time"
 
-	"repro/internal/resultcache"
+	"repro/internal/dispatch"
+	"repro/internal/resultcache/fsstore"
 	"repro/internal/server"
 	"repro/internal/version"
 )
@@ -42,6 +52,7 @@ func run(args []string) int {
 	queue := fs.Int("queue", 0, "job queue depth (0: default 16)")
 	jobs := fs.Int("jobs", 0, "concurrent jobs (0: default 2)")
 	workers := fs.Int("workers", 0, "concurrent simulations per job (0: all CPUs)")
+	peers := fs.String("peers", "", "comma-separated peer daemons (host:port,...) to farm grid points to")
 	drain := fs.Duration("drain", 30*time.Second, "shutdown grace period for running jobs")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -56,13 +67,22 @@ func run(args []string) int {
 		Logf:         logger.Printf,
 	}
 	if *cacheDir != "" {
-		cache, err := resultcache.New(*cacheDir)
+		cache, err := fsstore.New(*cacheDir)
 		if err != nil {
 			logger.Print(err)
 			return 1
 		}
 		cfg.Cache = cache
 		logger.Printf("result cache at %s", cache.Dir())
+	}
+	if list := dispatch.ParsePeers(*peers); len(list) > 0 {
+		co, err := dispatch.New(dispatch.Config{Peers: list})
+		if err != nil {
+			logger.Print(err)
+			return 1
+		}
+		cfg.Dispatch = co
+		logger.Printf("dispatching to peers %v", co.Peers())
 	}
 
 	srv := server.New(cfg)

@@ -1,0 +1,311 @@
+package dispatch_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/dispatch"
+	"repro/internal/experiments"
+	"repro/internal/resultcache/memstore"
+	"repro/internal/server"
+	"repro/internal/sim"
+)
+
+// tinyConfig is a sub-second serializable configuration.
+func tinyConfig(seed int64) sim.Config {
+	cfg := sim.NewConfig()
+	cfg.K = 4
+	cfg.WarmupCycles = 100
+	cfg.MeasureCycles = 400
+	cfg.Rate = 0.005
+	cfg.Seed = seed
+	return cfg
+}
+
+// newPeer starts a live in-process daemon and returns its base URL.
+func newPeer(t *testing.T, cfg server.Config) string {
+	t.Helper()
+	srv := server.New(cfg)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("peer shutdown: %v", err)
+		}
+	})
+	return ts.URL
+}
+
+// newCoordinator wraps dispatch.New with test-friendly timing.
+func newCoordinator(t *testing.T, cfg dispatch.Config) *dispatch.Coordinator {
+	t.Helper()
+	if cfg.Backoff == 0 {
+		cfg.Backoff = time.Millisecond
+	}
+	if cfg.Poll == 0 {
+		cfg.Poll = time.Millisecond
+	}
+	co, err := dispatch.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return co
+}
+
+func TestNewRejectsEmptyPeerSet(t *testing.T) {
+	if _, err := dispatch.New(dispatch.Config{}); !errors.Is(err, dispatch.ErrNoPeers) {
+		t.Fatalf("New with no peers = %v, want ErrNoPeers", err)
+	}
+}
+
+func TestParsePeers(t *testing.T) {
+	got := dispatch.ParsePeers(" node1:8080, ,node2:8080,")
+	want := []string{"node1:8080", "node2:8080"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("ParsePeers = %v, want %v", got, want)
+	}
+	if got := dispatch.ParsePeers(""); got != nil {
+		t.Errorf("ParsePeers(\"\") = %v, want nil", got)
+	}
+}
+
+// TestExecPointAgainstLivePeer is the happy path: the result a peer
+// returns is bit-identical to running the configuration locally.
+func TestExecPointAgainstLivePeer(t *testing.T) {
+	peer := newPeer(t, server.Config{})
+	co := newCoordinator(t, dispatch.Config{Peers: []string{peer}})
+
+	cfg := tinyConfig(1)
+	fp, err := cfg.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := co.ExecPoint(context.Background(), cfg, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotJSON, _ := json.Marshal(got)
+	wantJSON, _ := json.Marshal(want)
+	if string(gotJSON) != string(wantJSON) {
+		t.Errorf("remote result differs from local run")
+	}
+	st := co.Stats()
+	if st.Remote != 1 || st.Dispatched != 1 || st.Errors != 0 {
+		t.Errorf("stats = %+v, want one clean remote point", st)
+	}
+}
+
+// TestShedRetriesNextPeer pairs a peer that always sheds (429) with a
+// live one: the coordinator counts the shed and completes the point on
+// the healthy peer.
+func TestShedRetriesNextPeer(t *testing.T) {
+	var sheds atomic.Int64
+	shedding := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sheds.Add(1)
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusTooManyRequests)
+		fmt.Fprint(w, `{"error":"server: job queue full"}`)
+	}))
+	defer shedding.Close()
+	live := newPeer(t, server.Config{})
+
+	co := newCoordinator(t, dispatch.Config{
+		Peers:    []string{shedding.URL, live},
+		Attempts: 2,
+	})
+	cfg := tinyConfig(2)
+	fp, err := cfg.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := co.ExecPoint(context.Background(), cfg, fp); err != nil {
+		t.Fatalf("ExecPoint with one shedding peer failed: %v", err)
+	}
+	if sheds.Load() == 0 {
+		t.Error("shedding peer was never consulted")
+	}
+	st := co.Stats()
+	if st.Sheds != 1 || st.Remote != 1 {
+		t.Errorf("stats = %+v, want 1 shed + 1 remote", st)
+	}
+}
+
+// TestConnectionRefusedFallsBackLocally points the coordinator at a
+// dead address only: ExecPoint must error out (counting the fallback),
+// and a runner wired to it must still complete the grid locally with
+// results identical to a plain run.
+func TestConnectionRefusedFallsBackLocally(t *testing.T) {
+	ts := httptest.NewServer(nil)
+	dead := ts.URL
+	ts.Close()
+
+	co := newCoordinator(t, dispatch.Config{Peers: []string{dead}, Attempts: 2})
+	cfg := tinyConfig(3)
+	fp, err := cfg.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := co.ExecPoint(context.Background(), cfg, fp); err == nil {
+		t.Fatal("ExecPoint against a dead peer succeeded")
+	}
+	st := co.Stats()
+	if st.Errors != 2 || st.Fallbacks != 1 || st.Remote != 0 {
+		t.Errorf("stats = %+v, want 2 errors, 1 fallback, 0 remote", st)
+	}
+
+	spec := experiments.NewSpec("fallback", "")
+	spec.AddGroup("", experiments.Point{Label: "p", Config: cfg})
+	farmed, err := experiments.Runner{Remote: co}.RunSpec(spec)
+	if err != nil {
+		t.Fatalf("runner with dead fabric failed: %v", err)
+	}
+	local, err := experiments.Runner{}.RunSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(farmed, local) {
+		t.Error("fallback results differ from a plain local run")
+	}
+}
+
+// fakePeer speaks just enough of the jobs API to return an arbitrary
+// terminal status, letting tests forge byzantine responses a real
+// server never produces.
+func fakePeer(t *testing.T, status map[string]any) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(map[string]any{"id": "job-000001", "state": "queued"})
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(status)
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestFingerprintMismatchRejectedAndNeverCached forges a peer that
+// returns a well-formed result for the wrong work. The coordinator must
+// reject it without retrying, the runner must re-run the point locally,
+// and the attached cache must end up holding the local result — the
+// forged bytes never enter the store.
+func TestFingerprintMismatchRejectedAndNeverCached(t *testing.T) {
+	cfg := tinyConfig(4)
+	fp, err := cfg.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The forged payload is a real result of a different configuration,
+	// so only the fingerprint check can tell it apart from honest work.
+	wrong, err := sim.Run(tinyConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := fakePeer(t, map[string]any{
+		"id":          "job-000001",
+		"state":       "done",
+		"fingerprint": "ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff",
+		"result":      map[string]any{"report": "", "groups": [][]sim.Result{{wrong}}},
+	})
+
+	co := newCoordinator(t, dispatch.Config{Peers: []string{ts.URL}, Attempts: 3})
+	if _, err := co.ExecPoint(context.Background(), cfg, fp); !errors.Is(err, dispatch.ErrFingerprintMismatch) {
+		t.Fatalf("ExecPoint = %v, want ErrFingerprintMismatch", err)
+	}
+	st := co.Stats()
+	if st.Mismatches != 1 || st.Remote != 0 {
+		t.Errorf("stats = %+v, want 1 mismatch, 0 remote", st)
+	}
+	if st.Dispatched != 1 {
+		t.Errorf("mismatch consumed %d dispatches, want 1 (no retry of untrusted work)", st.Dispatched)
+	}
+
+	cache := memstore.New()
+	spec := experiments.NewSpec("mismatch", "")
+	spec.AddGroup("", experiments.Point{Label: "p", Config: cfg})
+	farmed, err := experiments.Runner{Remote: co, Cache: cache}.RunSpec(spec)
+	if err != nil {
+		t.Fatalf("runner with byzantine peer failed: %v", err)
+	}
+	want, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotJSON, _ := json.Marshal(farmed[0][0])
+	wantJSON, _ := json.Marshal(want)
+	if string(gotJSON) != string(wantJSON) {
+		t.Error("byzantine peer's result leaked into the sweep")
+	}
+	cached, ok, err := cache.Get(fp)
+	if err != nil || !ok {
+		t.Fatalf("cache Get = (ok=%v, err=%v), want the locally re-run result filed", ok, err)
+	}
+	cachedJSON, _ := json.Marshal(cached)
+	if string(cachedJSON) != string(wantJSON) {
+		t.Error("cache holds something other than the local result — forged bytes were cached")
+	}
+}
+
+// TestFailedJobIsAnError: a peer that executes the work but fails must
+// not satisfy the point.
+func TestFailedJobIsAnError(t *testing.T) {
+	ts := fakePeer(t, map[string]any{
+		"id":    "job-000001",
+		"state": "failed",
+		"error": "synthetic failure",
+	})
+	co := newCoordinator(t, dispatch.Config{Peers: []string{ts.URL}, Attempts: 1})
+	cfg := tinyConfig(6)
+	fp, err := cfg.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := co.ExecPoint(context.Background(), cfg, fp); err == nil {
+		t.Fatal("ExecPoint accepted a failed job")
+	}
+	if st := co.Stats(); st.Errors != 1 || st.Fallbacks != 1 {
+		t.Errorf("stats = %+v, want 1 error + 1 fallback", st)
+	}
+}
+
+// TestCanceledContextAbortsPolling pins that ExecPoint returns promptly
+// with the context's error when the sweep is canceled mid-poll.
+func TestCanceledContextAbortsPolling(t *testing.T) {
+	// A peer whose job never finishes.
+	ts := fakePeer(t, map[string]any{
+		"id":    "job-000001",
+		"state": "running",
+	})
+	co := newCoordinator(t, dispatch.Config{Peers: []string{ts.URL}, Attempts: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	cfg := tinyConfig(7)
+	fp, err := cfg.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err = co.ExecPoint(ctx, cfg, fp)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("ExecPoint = %v, want deadline exceeded", err)
+	}
+	if since := time.Since(start); since > 5*time.Second {
+		t.Errorf("ExecPoint took %v to notice cancellation", since)
+	}
+}

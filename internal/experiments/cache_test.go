@@ -5,13 +5,13 @@ import (
 	"reflect"
 	"testing"
 
-	"repro/internal/resultcache"
+	"repro/internal/resultcache/fsstore"
 	"repro/internal/sim"
 )
 
-func newCache(t *testing.T) *resultcache.Cache {
+func newCache(t *testing.T) *fsstore.Store {
 	t.Helper()
-	c, err := resultcache.New(t.TempDir())
+	c, err := fsstore.New(t.TempDir())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,50 @@
+package memstore_test
+
+import (
+	"testing"
+
+	"repro/internal/resultcache"
+	"repro/internal/resultcache/memstore"
+	"repro/internal/resultcache/storetest"
+)
+
+// TestConformance runs the shared Store suite against the in-process
+// backend.
+func TestConformance(t *testing.T) {
+	storetest.Run(t, storetest.Harness{
+		New: func(t *testing.T) (resultcache.Store, storetest.CorruptFunc) {
+			s := memstore.New()
+			corrupt := func(fp string) error {
+				return s.Inject(fp, []byte("{truncated"))
+			}
+			return s, corrupt
+		},
+	})
+}
+
+// The mem-specific quarantine shape: corrupt bytes are retained in the
+// quarantine map (the in-process analogue of .json.corrupt files).
+func TestQuarantineRetainsEntry(t *testing.T) {
+	s := memstore.New()
+	fp := "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"
+	if err := s.Inject(fp, []byte("not json")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := s.Get(fp); err != nil || ok {
+		t.Fatalf("corrupt Get = (ok=%v, err=%v), want miss", ok, err)
+	}
+	if q := s.Quarantined(); q != 1 {
+		t.Errorf("Quarantined = %d, want 1", q)
+	}
+	if n, _ := s.Len(); n != 0 {
+		t.Errorf("Len = %d, want 0 after quarantine", n)
+	}
+}
+
+// Inject validates fingerprints like every other entry point.
+func TestInjectRejectsMalformedFingerprint(t *testing.T) {
+	s := memstore.New()
+	if err := s.Inject("../escape", []byte("x")); err == nil {
+		t.Fatal("Inject accepted a malformed fingerprint")
+	}
+}

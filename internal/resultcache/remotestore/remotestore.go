@@ -1,0 +1,157 @@
+// Package remotestore is the peer backend of the result store: an HTTP
+// client that reads and writes fingerprint-addressed entries on another
+// stcc-serve daemon's /v1/cache endpoints. It is how a sweep worker
+// without local disk shares a cluster's cache, and how a coordinator
+// warms its own cache from a peer that already ran part of a grid.
+//
+// The wire protocol is deliberately tiny and content-addressed:
+//
+//	GET    /v1/cache/{fingerprint}  -> 200 + result JSON, or 404 (miss)
+//	PUT    /v1/cache/{fingerprint}  -> 204 (stored)
+//	GET    /v1/cache                -> 200 + {"entries": n}
+//
+// A 404 is a clean miss — including when the peer's own backend
+// quarantined a corrupt entry, so the quarantine contract holds
+// transitively: a corrupt entry anywhere in the chain reads as a miss,
+// never as a parse error. Transport failures (peer down, timeout, 5xx)
+// are errors, not misses, so a dead peer surfaces instead of silently
+// re-running a whole grid.
+package remotestore
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/resultcache"
+	"repro/internal/sim"
+)
+
+// maxEntryBytes bounds a fetched entry. Result JSON with full time
+// series runs tens of KB; anything past this is a protocol error, not a
+// result.
+const maxEntryBytes = 64 << 20
+
+// Store reads and writes result entries on one peer daemon. Construct
+// with New. Safe for concurrent use (http.Client is).
+type Store struct {
+	base   string
+	client *http.Client
+}
+
+// Compile-time check: *Store satisfies the pluggable contract.
+var _ resultcache.Store = (*Store)(nil)
+
+// New returns a store backed by the peer at addr ("host:port" or a full
+// http:// URL). A nil client selects a default with a 30-second
+// per-request timeout — entries are single small documents, so a slow
+// peer should fail fast rather than stall a sweep.
+func New(addr string, client *http.Client) (*Store, error) {
+	base, err := BaseURL(addr)
+	if err != nil {
+		return nil, err
+	}
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	return &Store{base: base, client: client}, nil
+}
+
+// BaseURL normalizes a peer address to a base URL: "host:port" gains
+// the http scheme, trailing slashes are dropped, and an empty address
+// is rejected.
+func BaseURL(addr string) (string, error) {
+	addr = strings.TrimRight(strings.TrimSpace(addr), "/")
+	if addr == "" {
+		return "", fmt.Errorf("remotestore: empty peer address")
+	}
+	if !strings.HasPrefix(addr, "http://") && !strings.HasPrefix(addr, "https://") {
+		addr = "http://" + addr
+	}
+	return addr, nil
+}
+
+// Peer returns the normalized base URL this store talks to.
+func (s *Store) Peer() string { return s.base }
+
+// Get fetches the entry from the peer. 404 is a clean miss; any other
+// non-200 status, and a body that does not parse, is an error (the
+// peer's own backend quarantines corrupt storage before it ever reaches
+// the wire, so a malformed body here means transport or peer bugs).
+func (s *Store) Get(fingerprint string) (sim.Result, bool, error) {
+	if err := resultcache.CheckFingerprint(fingerprint); err != nil {
+		return sim.Result{}, false, err
+	}
+	resp, err := s.client.Get(s.base + "/v1/cache/" + fingerprint)
+	if err != nil {
+		return sim.Result{}, false, fmt.Errorf("remotestore: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		io.Copy(io.Discard, resp.Body)
+		return sim.Result{}, false, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return sim.Result{}, false, fmt.Errorf("remotestore: GET %s/v1/cache/%s: %s",
+			s.base, fingerprint, resp.Status)
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxEntryBytes))
+	if err != nil {
+		return sim.Result{}, false, fmt.Errorf("remotestore: %w", err)
+	}
+	var r sim.Result
+	if err := json.Unmarshal(data, &r); err != nil {
+		return sim.Result{}, false, fmt.Errorf("remotestore: entry %s from %s does not parse: %w",
+			fingerprint, s.base, err)
+	}
+	return r, true, nil
+}
+
+// Put stores the result on the peer.
+func (s *Store) Put(fingerprint string, r sim.Result) error {
+	if err := resultcache.CheckFingerprint(fingerprint); err != nil {
+		return err
+	}
+	data, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("remotestore: %w", err)
+	}
+	req, err := http.NewRequest(http.MethodPut, s.base+"/v1/cache/"+fingerprint, bytes.NewReader(data))
+	if err != nil {
+		return fmt.Errorf("remotestore: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := s.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("remotestore: %w", err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("remotestore: PUT %s/v1/cache/%s: %s", s.base, fingerprint, resp.Status)
+	}
+	return nil
+}
+
+// Len asks the peer for its entry count.
+func (s *Store) Len() (int, error) {
+	resp, err := s.client.Get(s.base + "/v1/cache")
+	if err != nil {
+		return 0, fmt.Errorf("remotestore: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("remotestore: GET %s/v1/cache: %s", s.base, resp.Status)
+	}
+	var stats struct {
+		Entries int `json:"entries"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		return 0, fmt.Errorf("remotestore: %w", err)
+	}
+	return stats.Entries, nil
+}

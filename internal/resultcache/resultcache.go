@@ -1,155 +1,71 @@
-// Package resultcache is a content-addressed store for simulation
-// results: each sim.Result is filed under its configuration's
-// fingerprint (the hex SHA-256 of the config's canonical JSON, see
-// sim.Config.Fingerprint). Because a fingerprint covers every input of
-// a run — topology, scheme, workload, seed, durations — and the engine
-// is deterministic, a cached result is bit-identical to re-running the
-// configuration, so partially completed grids resume for free and
-// repeated experiments skip finished points.
+// Package resultcache defines the content-addressed result store of the
+// distributed sweep fabric: every sim.Result is filed under its
+// configuration's fingerprint (the hex SHA-256 of the config's canonical
+// JSON, see sim.Config.Fingerprint). Because a fingerprint covers every
+// input of a run — topology, scheme, workload, seed, durations — and the
+// engine is deterministic, a stored result is bit-identical to re-running
+// the configuration, so partially completed grids resume for free,
+// repeated experiments skip finished points, and peers can exchange
+// entries without trusting each other's clocks or schedulers.
 //
-// Results are stored one JSON file per fingerprint. Writes go through a
-// temp file and an atomic rename, so a crashed or concurrent run never
-// leaves a half-written entry; concurrent writers of the same
-// fingerprint write identical bytes (the engine is deterministic), so
-// last-rename-wins is harmless. The cache is therefore safe for any mix
-// of concurrent readers and writers — goroutines of one process or
-// separate processes sharing the directory — which is what the
-// stcc-serve job manager relies on when jobs race past its in-flight
-// dedup layer.
+// The Store interface is the pluggable contract; the backends live in
+// per-backend subpackages, mirrored so they can be conformance-tested
+// and benchmarked against each other (see storetest):
 //
-// An entry that fails to parse (a partial file from a kill -9 on a
-// filesystem without atomic rename, or external corruption) is
-// quarantined, not trusted and not fatal: Get renames it aside to
-// <fingerprint>.json.corrupt and reports a miss, so the point re-runs
-// and overwrites the entry while the corrupt bytes stay on disk for
-// inspection.
+//   - fsstore: one JSON file per fingerprint in a local directory, the
+//     original on-disk cache (atomic-rename writes, safe for concurrent
+//     processes sharing the directory);
+//   - memstore: an in-process map, for tests and ephemeral workers;
+//   - remotestore: an HTTP client that reads and writes entries on a
+//     peer stcc-serve daemon's /v1/cache/{fingerprint} endpoints.
+//
+// All backends share the quarantine contract: an entry that fails to
+// parse (a partial write from a kill -9, external corruption, bit rot)
+// is quarantined — set aside with its bytes preserved for inspection —
+// and reported as a clean miss, so one corrupt entry re-runs one point
+// instead of erroring a whole grid. Get never returns a result it could
+// not fully parse.
 package resultcache
 
 import (
-	"encoding/json"
-	"errors"
 	"fmt"
-	"io/fs"
-	"os"
-	"path/filepath"
 
 	"repro/internal/sim"
 )
 
-// Cache is a directory of fingerprint-addressed results. The zero value
-// is not usable; construct with New.
-type Cache struct {
-	dir string
+// Store is a content-addressed result store. Implementations must be
+// safe for concurrent use: grid points complete on runner worker
+// goroutines, and the stcc-serve job manager shares one store across
+// every job.
+type Store interface {
+	// Get loads the result stored under the fingerprint. The second
+	// return is false on a clean miss — including when the stored entry
+	// was corrupt and has been quarantined. An error means the store
+	// itself failed (I/O, transport), not that the entry is absent.
+	Get(fingerprint string) (sim.Result, bool, error)
+	// Put stores the result under the fingerprint, atomically with
+	// respect to concurrent Gets: a reader observes either the complete
+	// entry or a miss, never a torn write. Concurrent writers of the
+	// same fingerprint write identical bytes (the engine is
+	// deterministic), so last-write-wins is harmless.
+	Put(fingerprint string, r sim.Result) error
+	// Len counts stored (non-quarantined) entries, for tests and
+	// "stcc-paper -cache" status lines.
+	Len() (int, error)
 }
 
-// New opens (creating if needed) a cache rooted at dir.
-func New(dir string) (*Cache, error) {
-	if dir == "" {
-		return nil, errors.New("resultcache: empty directory")
-	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("resultcache: %w", err)
-	}
-	return &Cache{dir: dir}, nil
-}
-
-// Dir returns the cache's root directory.
-func (c *Cache) Dir() string { return c.dir }
-
-// path maps a fingerprint to its file, refusing anything that is not a
-// 64-character lowercase hex string (the SHA-256 fingerprint alphabet),
-// so a malformed key cannot escape the cache directory.
-func (c *Cache) path(fingerprint string) (string, error) {
+// CheckFingerprint rejects any key that is not a 64-character lowercase
+// hex string (the SHA-256 fingerprint alphabet). Every backend validates
+// through this one gate, so a malformed key can neither escape a cache
+// directory as a relative path nor travel to a peer as a bogus URL.
+func CheckFingerprint(fingerprint string) error {
 	if len(fingerprint) != 64 {
-		return "", fmt.Errorf("resultcache: fingerprint %q is not hex sha-256", fingerprint)
+		return fmt.Errorf("resultcache: fingerprint %q is not hex sha-256", fingerprint)
 	}
 	for _, ch := range fingerprint {
 		if (ch < '0' || ch > '9') && (ch < 'a' || ch > 'f') {
-			return "", fmt.Errorf("resultcache: fingerprint %q is not hex sha-256", fingerprint)
+			return fmt.Errorf("resultcache: fingerprint %q is not hex sha-256", fingerprint)
 		}
-	}
-	return filepath.Join(c.dir, fingerprint+".json"), nil
-}
-
-// Get loads the result stored under the fingerprint. The second return
-// is false on a clean miss. An entry that does not parse is quarantined
-// (renamed aside to <fingerprint>.json.corrupt, preserving the bytes)
-// and reported as a miss, so one corrupt file re-runs one point instead
-// of erroring the whole grid; an unreadable file (permissions, I/O) is
-// still an error.
-func (c *Cache) Get(fingerprint string) (sim.Result, bool, error) {
-	p, err := c.path(fingerprint)
-	if err != nil {
-		return sim.Result{}, false, err
-	}
-	data, err := os.ReadFile(p)
-	if errors.Is(err, fs.ErrNotExist) {
-		return sim.Result{}, false, nil
-	}
-	if err != nil {
-		return sim.Result{}, false, fmt.Errorf("resultcache: %w", err)
-	}
-	var r sim.Result
-	if err := json.Unmarshal(data, &r); err != nil {
-		if qerr := c.quarantine(p); qerr != nil {
-			return sim.Result{}, false, fmt.Errorf("resultcache: corrupt entry %s (quarantine failed: %v): %w",
-				fingerprint, qerr, err)
-		}
-		return sim.Result{}, false, nil
-	}
-	return r, true, nil
-}
-
-// quarantine moves a corrupt entry aside. A concurrent Get may have
-// already quarantined (or a concurrent Put replaced) the file; a
-// vanished source is success, not an error.
-func (c *Cache) quarantine(p string) error {
-	err := os.Rename(p, p+".corrupt")
-	if err == nil || errors.Is(err, fs.ErrNotExist) {
-		return nil
-	}
-	return err
-}
-
-// Put stores the result under the fingerprint, atomically.
-func (c *Cache) Put(fingerprint string, r sim.Result) error {
-	p, err := c.path(fingerprint)
-	if err != nil {
-		return err
-	}
-	data, err := json.Marshal(r)
-	if err != nil {
-		return fmt.Errorf("resultcache: %w", err)
-	}
-	tmp, err := os.CreateTemp(c.dir, "put-*.tmp")
-	if err != nil {
-		return fmt.Errorf("resultcache: %w", err)
-	}
-	defer os.Remove(tmp.Name())
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		return fmt.Errorf("resultcache: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("resultcache: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), p); err != nil {
-		return fmt.Errorf("resultcache: %w", err)
 	}
 	return nil
-}
-
-// Len counts stored entries (for tests and "stcc-paper -cache" status).
-func (c *Cache) Len() (int, error) {
-	entries, err := os.ReadDir(c.dir)
-	if err != nil {
-		return 0, fmt.Errorf("resultcache: %w", err)
-	}
-	n := 0
-	for _, e := range entries {
-		if !e.IsDir() && filepath.Ext(e.Name()) == ".json" {
-			n++
-		}
-	}
-	return n, nil
 }

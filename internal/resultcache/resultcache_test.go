@@ -1,237 +1,30 @@
 package resultcache
 
 import (
-	"bytes"
-	"encoding/json"
-	"fmt"
-	"os"
-	"path/filepath"
-	"sync"
+	"strings"
 	"testing"
-
-	"repro/internal/sim"
 )
 
-// tinyConfig is a fast-running serializable configuration.
-func tinyConfig() sim.Config {
-	cfg := sim.NewConfig()
-	cfg.K = 4
-	cfg.WarmupCycles = 100
-	cfg.MeasureCycles = 400
-	cfg.Rate = 0.005
-	return cfg
-}
-
-func TestPutGetRoundTrip(t *testing.T) {
-	c, err := New(t.TempDir())
-	if err != nil {
-		t.Fatal(err)
-	}
-	cfg := tinyConfig()
-	fp, err := cfg.Fingerprint()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, ok, err := c.Get(fp); err != nil || ok {
-		t.Fatalf("empty cache Get = (ok=%v, err=%v), want clean miss", ok, err)
-	}
-
-	fresh, err := sim.Run(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := c.Put(fp, fresh); err != nil {
-		t.Fatal(err)
-	}
-	cached, ok, err := c.Get(fp)
-	if err != nil || !ok {
-		t.Fatalf("Get after Put = (ok=%v, err=%v)", ok, err)
-	}
-
-	// The cached result must be bit-identical to the fresh run: same
-	// JSON encoding, hence the same determinism-golden fingerprint.
-	wantJSON, err := json.Marshal(fresh)
-	if err != nil {
-		t.Fatal(err)
-	}
-	gotJSON, err := json.Marshal(cached)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !bytes.Equal(gotJSON, wantJSON) {
-		t.Errorf("cached result JSON differs from fresh run:\n got %s\nwant %s", gotJSON, wantJSON)
-	}
-
-	if n, err := c.Len(); err != nil || n != 1 {
-		t.Errorf("Len = (%d, %v), want 1", n, err)
-	}
-}
-
-func TestRejectsMalformedFingerprints(t *testing.T) {
-	c, err := New(t.TempDir())
-	if err != nil {
-		t.Fatal(err)
+// CheckFingerprint is the one gate every backend routes keys through;
+// the backends' own conformance runs (storetest) prove they call it,
+// this table pins what it accepts.
+func TestCheckFingerprint(t *testing.T) {
+	good := strings.Repeat("0123456789abcdef", 4)
+	if err := CheckFingerprint(good); err != nil {
+		t.Errorf("CheckFingerprint(%q) = %v, want nil", good, err)
 	}
 	bad := []string{
 		"",
 		"short",
+		good + "0", // too long
 		"../../../../etc/passwd0000000000000000000000000000000000000000000000",
 		"ABCDEF0123456789ABCDEF0123456789ABCDEF0123456789ABCDEF0123456789", // uppercase
 		"zzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzz",
+		strings.Repeat("0123456789abcde/", 4), // path separator
 	}
 	for _, fp := range bad {
-		if _, _, err := c.Get(fp); err == nil {
-			t.Errorf("Get(%q) accepted malformed fingerprint", fp)
+		if err := CheckFingerprint(fp); err == nil {
+			t.Errorf("CheckFingerprint(%q) accepted a malformed fingerprint", fp)
 		}
-		if err := c.Put(fp, sim.Result{}); err == nil {
-			t.Errorf("Put(%q) accepted malformed fingerprint", fp)
-		}
-	}
-}
-
-// A corrupt entry must be quarantined — renamed aside, bytes preserved
-// — and served as a miss, so the point re-runs instead of erroring the
-// whole grid.
-func TestCorruptEntryQuarantinedAsMiss(t *testing.T) {
-	dir := t.TempDir()
-	c, err := New(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
-	cfg := tinyConfig()
-	fp, err := cfg.Fingerprint()
-	if err != nil {
-		t.Fatal(err)
-	}
-	corrupt := []byte("{truncated")
-	if err := os.WriteFile(filepath.Join(dir, fp+".json"), corrupt, 0o644); err != nil {
-		t.Fatal(err)
-	}
-	if _, ok, err := c.Get(fp); err != nil || ok {
-		t.Fatalf("corrupt entry Get = (ok=%v, err=%v), want quarantined miss", ok, err)
-	}
-	moved, err := os.ReadFile(filepath.Join(dir, fp+".json.corrupt"))
-	if err != nil {
-		t.Fatalf("quarantined bytes not preserved: %v", err)
-	}
-	if !bytes.Equal(moved, corrupt) {
-		t.Errorf("quarantine altered the corrupt bytes: %q", moved)
-	}
-	if n, err := c.Len(); err != nil || n != 0 {
-		t.Errorf("Len counts quarantined entry: (%d, %v), want 0", n, err)
-	}
-
-	// The slot is reusable: a fresh Put/Get round trip heals the entry.
-	fresh, err := sim.Run(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := c.Put(fp, fresh); err != nil {
-		t.Fatal(err)
-	}
-	if _, ok, err := c.Get(fp); err != nil || !ok {
-		t.Fatalf("Get after healing Put = (ok=%v, err=%v)", ok, err)
-	}
-}
-
-// Concurrent writers and readers of the same and different fingerprints
-// must never observe a torn entry: every Get either misses cleanly or
-// parses a complete result, and no quarantine files appear. Run with
-// -race, this also pins the Cache's "safe for concurrent use" claim.
-func TestConcurrentPutGetStress(t *testing.T) {
-	dir := t.TempDir()
-	c, err := New(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
-
-	// A handful of distinct entries, each hammered by several writers
-	// writing identical bytes (the deterministic-engine contract) and
-	// several readers polling mid-write.
-	const entries, writers, readers, rounds = 4, 3, 3, 20
-	results := make([]sim.Result, entries)
-	fps := make([]string, entries)
-	for i := range results {
-		cfg := tinyConfig()
-		cfg.Seed = int64(i + 1)
-		fp, err := cfg.Fingerprint()
-		if err != nil {
-			t.Fatal(err)
-		}
-		r, err := sim.Run(cfg)
-		if err != nil {
-			t.Fatal(err)
-		}
-		fps[i], results[i] = fp, r
-	}
-
-	var wg sync.WaitGroup
-	errc := make(chan error, entries*(writers+readers))
-	for i := 0; i < entries; i++ {
-		i := i
-		for w := 0; w < writers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for r := 0; r < rounds; r++ {
-					if err := c.Put(fps[i], results[i]); err != nil {
-						errc <- err
-						return
-					}
-				}
-			}()
-		}
-		for rd := 0; rd < readers; rd++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				want, err := json.Marshal(results[i])
-				if err != nil {
-					errc <- err
-					return
-				}
-				for r := 0; r < rounds; r++ {
-					got, ok, err := c.Get(fps[i])
-					if err != nil {
-						errc <- err
-						return
-					}
-					if !ok {
-						continue // clean miss before the first rename lands
-					}
-					gotJSON, err := json.Marshal(got)
-					if err != nil {
-						errc <- err
-						return
-					}
-					if !bytes.Equal(gotJSON, want) {
-						errc <- fmt.Errorf("entry %d: torn read: %s", i, gotJSON)
-						return
-					}
-				}
-			}()
-		}
-	}
-	wg.Wait()
-	close(errc)
-	for err := range errc {
-		t.Error(err)
-	}
-
-	matches, err := filepath.Glob(filepath.Join(dir, "*.corrupt"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(matches) != 0 {
-		t.Errorf("stress run quarantined entries: %v", matches)
-	}
-	if n, err := c.Len(); err != nil || n != entries {
-		t.Errorf("Len = (%d, %v), want %d", n, err, entries)
-	}
-}
-
-func TestNewRejectsEmptyDir(t *testing.T) {
-	if _, err := New(""); err == nil {
-		t.Fatal("New(\"\") succeeded")
 	}
 }

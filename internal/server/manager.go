@@ -91,6 +91,8 @@ type JobStatus struct {
 	PointsDone   int    `json:"points_done"`
 	CacheHits    int    `json:"cache_hits"`
 	SharedPoints int    `json:"shared_points"`
+	// RemotePoints counts points executed by peer daemons (dispatch).
+	RemotePoints int `json:"remote_points,omitempty"`
 	// CacheHit reports that the finished job ran zero fresh
 	// simulations: every point was served by the result cache or
 	// adopted from a concurrent in-flight run.
@@ -115,6 +117,7 @@ type Job struct {
 	done      int
 	cacheHits int
 	shared    int
+	remote    int
 	err       error
 	result    json.RawMessage
 	events    []Event
@@ -153,6 +156,9 @@ func (j *Job) recordPoint(ev experiments.PointEvent) {
 	if ev.Shared {
 		j.shared++
 	}
+	if ev.Remote {
+		j.remote++
+	}
 	j.appendEventLocked(Event{Type: "point", Point: &ev, PointsDone: j.done})
 }
 
@@ -170,6 +176,7 @@ func (j *Job) Status() JobStatus {
 		PointsDone:   j.done,
 		CacheHits:    j.cacheHits,
 		SharedPoints: j.shared,
+		RemotePoints: j.remote,
 		CacheHit:     j.state == StateDone && j.done == j.cacheHits+j.shared,
 		Result:       j.result,
 	}
@@ -359,6 +366,12 @@ func (m *Manager) runJob(j *Job) {
 			j.recordPoint(ev)
 			m.met.pointDone(ev)
 		},
+	}
+	// Guarded assignment: a nil *dispatch.Coordinator stuffed into the
+	// interface field would be a non-nil RemoteExecutor that panics on
+	// first use.
+	if m.cfg.Dispatch != nil {
+		runner.Remote = m.cfg.Dispatch
 	}
 
 	var payload JobResult

@@ -13,7 +13,8 @@ import (
 	"time"
 
 	"repro/internal/experiments"
-	"repro/internal/resultcache"
+	"repro/internal/resultcache/fsstore"
+	"repro/internal/resultcache/memstore"
 	"repro/internal/server"
 	"repro/internal/sim"
 )
@@ -136,7 +137,12 @@ func TestEndpointsTable(t *testing.T) {
 	}{
 		{"healthz", "GET", "/healthz", "", http.StatusOK, `"status": "ok"`},
 		{"version", "GET", "/v1/version", "", http.StatusOK, `"go_version"`},
-		{"metrics", "GET", "/metrics", "", http.StatusOK, `"queue_depth"`},
+		{"metrics prom", "GET", "/metrics", "", http.StatusOK, "stcc_queue_depth"},
+		{"metrics prom help", "GET", "/metrics", "", http.StatusOK, "# TYPE stcc_jobs_submitted_total counter"},
+		{"metrics json", "GET", "/metrics.json", "", http.StatusOK, `"queue_depth"`},
+		{"cache stats without store", "GET", "/v1/cache", "", http.StatusNotFound, "no result store"},
+		{"cache get bad fingerprint", "GET", "/v1/cache/nothex", "", http.StatusBadRequest, "fingerprint"},
+		{"cache put without store", "PUT", "/v1/cache/" + strings.Repeat("ab", 32), "{}", http.StatusServiceUnavailable, "no result store"},
 		{"registry", "GET", "/v1/registry", "", http.StatusOK, `"fig4"`},
 		{"registry has analytic entries", "GET", "/v1/registry", "", http.StatusOK, `"tab1"`},
 		{"jobs list empty", "GET", "/v1/jobs", "", http.StatusOK, `"jobs": []`},
@@ -317,7 +323,7 @@ func TestSubmitTab1AndStreamEvents(t *testing.T) {
 // the same spec submitted twice yields bit-identical result JSON, with
 // every point of the second job served from the result cache.
 func TestSpecResubmissionServedFromCache(t *testing.T) {
-	cache, err := resultcache.New(t.TempDir())
+	cache, err := fsstore.New(t.TempDir())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -464,7 +470,7 @@ func TestJobsListOrdered(t *testing.T) {
 
 // TestMetricsCounters checks the counter roll-up after a mixed workload.
 func TestMetricsCounters(t *testing.T) {
-	cache, err := resultcache.New(t.TempDir())
+	cache, err := fsstore.New(t.TempDir())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -473,7 +479,7 @@ func TestMetricsCounters(t *testing.T) {
 	waitTerminal(t, ts, submit(t, ts, body))
 	waitTerminal(t, ts, submit(t, ts, body))
 
-	resp, err := http.Get(ts.URL + "/metrics")
+	resp, err := http.Get(ts.URL + "/metrics.json")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -490,5 +496,132 @@ func TestMetricsCounters(t *testing.T) {
 	}
 	if m.UptimeSeconds <= 0 || m.PointsPerSec <= 0 {
 		t.Errorf("rates = %+v, want positive uptime and points/sec", m)
+	}
+	if m.Dispatch != nil {
+		t.Errorf("standalone daemon exports dispatch stats: %+v", m.Dispatch)
+	}
+
+	// The Prometheus page carries the same numbers under stcc_ names.
+	presp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer presp.Body.Close()
+	if ct := presp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics Content-Type = %q, want text exposition", ct)
+	}
+	page, _ := io.ReadAll(presp.Body)
+	for _, want := range []string{
+		"# HELP stcc_points_total",
+		"# TYPE stcc_points_total counter",
+		"stcc_points_total 4",
+		"stcc_points_cache_hits_total 2",
+		"stcc_points_simulated_total 2",
+		"stcc_jobs_done_total 2",
+	} {
+		if !strings.Contains(string(page), want) {
+			t.Errorf("/metrics page missing %q:\n%s", want, page)
+		}
+	}
+}
+
+// TestCacheEndpoints exercises the /v1/cache surface directly: a miss,
+// a PUT, the bit-identical GET, the stats roll-up, and rejection of
+// bodies that are not results.
+func TestCacheEndpoints(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{Cache: memstore.New()})
+
+	cfg := tinyConfig(5)
+	fp, err := cfg.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	get := func() (int, []byte) {
+		resp, err := http.Get(ts.URL + "/v1/cache/" + fp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, raw
+	}
+
+	if code, _ := get(); code != http.StatusNotFound {
+		t.Fatalf("GET before PUT = %d, want 404", code)
+	}
+
+	put := func(body []byte) int {
+		req, err := http.NewRequest(http.MethodPut, ts.URL+"/v1/cache/"+fp, bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	if code := put([]byte("not a result")); code != http.StatusBadRequest {
+		t.Errorf("PUT of garbage = %d, want 400", code)
+	}
+	if code := put(entry); code != http.StatusNoContent {
+		t.Fatalf("PUT = %d, want 204", code)
+	}
+
+	code, raw := get()
+	if code != http.StatusOK {
+		t.Fatalf("GET after PUT = %d", code)
+	}
+	var got sim.Result
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	gotJSON, err := json.Marshal(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotJSON, entry) {
+		t.Errorf("served entry differs from stored result")
+	}
+
+	sresp, err := http.Get(ts.URL + "/v1/cache")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var stats struct {
+		Entries int `json:"entries"`
+	}
+	if err := json.NewDecoder(sresp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Entries != 1 {
+		t.Errorf("cache stats entries = %d, want 1", stats.Entries)
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var m server.Metrics
+	if err := json.NewDecoder(mresp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if m.CacheGetHits != 1 || m.CacheGetMisses != 1 || m.CachePuts != 1 {
+		t.Errorf("cache endpoint counters = hits %d misses %d puts %d, want 1/1/1",
+			m.CacheGetHits, m.CacheGetMisses, m.CachePuts)
 	}
 }

@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# Smoke test for the distributed sweep fabric: boot two peer stcc-serve
+# daemons on loopback, farm a sweep across them from a coordinating
+# stcc run, and require the merged output to be byte-identical to a
+# purely local run — first with both peers healthy, then with one peer
+# dead (local fallback). CI runs this after the unit tests;
+# `make cluster-smoke` runs it locally.
+set -euo pipefail
+
+ADDR1="${STCC_PEER1_ADDR:-127.0.0.1:18651}"
+ADDR2="${STCC_PEER2_ADDR:-127.0.0.1:18652}"
+DEAD="127.0.0.1:18699" # never bound: connection refused
+WORKDIR="$(mktemp -d)"
+PIDS=()
+trap 'for p in "${PIDS[@]}"; do kill "$p" 2>/dev/null || true; done; rm -rf "$WORKDIR"' EXIT
+
+go build -o "$WORKDIR/stcc-serve" ./cmd/stcc-serve
+go build -o "$WORKDIR/stcc" ./cmd/stcc
+
+boot_peer() { # addr cache-dir log-name
+    "$WORKDIR/stcc-serve" -addr "$1" -cache "$2" -drain 30s \
+        >"$WORKDIR/$3.log" 2>&1 &
+    PIDS+=($!)
+    local pid=$!
+    for i in $(seq 1 50); do
+        if curl -fsS "http://$1/healthz" >/dev/null 2>&1; then return 0; fi
+        if ! kill -0 "$pid" 2>/dev/null; then
+            echo "peer on $1 died during startup:"; cat "$WORKDIR/$3.log"; exit 1
+        fi
+        sleep 0.2
+    done
+    echo "peer on $1 never became healthy"; cat "$WORKDIR/$3.log"; exit 1
+}
+
+boot_peer "$ADDR1" "$WORKDIR/cache1" peer1
+boot_peer "$ADDR2" "$WORKDIR/cache2" peer2
+echo "peers: up"
+
+# A four-point sweep spec (two seeds x two rates on a 4-ary 2-cube,
+# sub-second points), in the same wire form "stcc emit-spec" writes.
+cat >"$WORKDIR/spec.json" <<'EOF'
+{
+  "version": 1,
+  "name": "cluster-smoke",
+  "groups": [
+    {
+      "name": "g",
+      "points": [
+        {"label": "s1 r0.005", "config": {"version":1,"k":4,"n":2,"vcs":3,"buf_depth":8,"packet_length":16,"mode":"recovery","deadlock_timeout":160,"sideband_hop_delay":2,"sideband_mechanism":"sideband","selection":"rotate","switching":"wormhole","pattern":"random","rate":0.005,"scheme":{"kind":"base"},"warmup_cycles":100,"measure_cycles":400,"seed":1}},
+        {"label": "s2 r0.005", "config": {"version":1,"k":4,"n":2,"vcs":3,"buf_depth":8,"packet_length":16,"mode":"recovery","deadlock_timeout":160,"sideband_hop_delay":2,"sideband_mechanism":"sideband","selection":"rotate","switching":"wormhole","pattern":"random","rate":0.005,"scheme":{"kind":"base"},"warmup_cycles":100,"measure_cycles":400,"seed":2}},
+        {"label": "s1 r0.01",  "config": {"version":1,"k":4,"n":2,"vcs":3,"buf_depth":8,"packet_length":16,"mode":"recovery","deadlock_timeout":160,"sideband_hop_delay":2,"sideband_mechanism":"sideband","selection":"rotate","switching":"wormhole","pattern":"random","rate":0.01,"scheme":{"kind":"tune"},"warmup_cycles":100,"measure_cycles":400,"seed":1}},
+        {"label": "s2 r0.01",  "config": {"version":1,"k":4,"n":2,"vcs":3,"buf_depth":8,"packet_length":16,"mode":"recovery","deadlock_timeout":160,"sideband_hop_delay":2,"sideband_mechanism":"sideband","selection":"rotate","switching":"wormhole","pattern":"random","rate":0.01,"scheme":{"kind":"tune"},"warmup_cycles":100,"measure_cycles":400,"seed":2}}
+      ]
+    }
+  ]
+}
+EOF
+
+# The reference: a purely local run.
+"$WORKDIR/stcc" run -spec "$WORKDIR/spec.json" -json >"$WORKDIR/local.json"
+
+# The same sweep farmed across both peers must merge byte-identically.
+"$WORKDIR/stcc" run -spec "$WORKDIR/spec.json" -json \
+    -peers "$ADDR1,$ADDR2" >"$WORKDIR/farmed.json"
+cmp "$WORKDIR/local.json" "$WORKDIR/farmed.json"
+echo "2-peer sweep: byte-identical to local"
+
+# Both peers actually executed work (their caches filed entries).
+for addr in "$ADDR1" "$ADDR2"; do
+    curl -fsS "http://$addr/v1/cache" >"$WORKDIR/body"
+    if grep -q '"entries": 0' "$WORKDIR/body"; then
+        echo "peer $addr executed no points"; exit 1
+    fi
+done
+echo "peers: both executed points"
+
+# With a dead peer in the list, points that land on it fall back to
+# local execution — the output must still be byte-identical.
+"$WORKDIR/stcc" run -spec "$WORKDIR/spec.json" -json \
+    -peers "$ADDR1,$DEAD,$ADDR2" >"$WORKDIR/degraded.json"
+cmp "$WORKDIR/local.json" "$WORKDIR/degraded.json"
+echo "degraded sweep (1 dead peer): byte-identical to local"
+
+# A peer's cache is readable as a remote result store: pointing -cache
+# at peer 1 serves the whole sweep from its entries.
+"$WORKDIR/stcc" run -spec "$WORKDIR/spec.json" -json \
+    -cache "http://$ADDR1" >"$WORKDIR/remote-cache.json"
+cmp "$WORKDIR/local.json" "$WORKDIR/remote-cache.json"
+echo "remote result store: byte-identical to local"
+
+echo "cluster smoke test passed"

@@ -55,9 +55,21 @@ if [ "$STATE" != "done" ]; then
 fi
 echo "job: done"
 
-curl -fsS "$BASE/metrics" >"$WORKDIR/body"
+curl -fsS "$BASE/metrics.json" >"$WORKDIR/body"
 grep -q '"jobs_done": 1' "$WORKDIR/body"
-echo "metrics: ok"
+echo "metrics.json: ok"
+
+# The Prometheus text page must carry the same counter.
+curl -fsS "$BASE/metrics" >"$WORKDIR/body"
+grep -q '^stcc_jobs_done_total 1$' "$WORKDIR/body"
+grep -q '^# TYPE stcc_jobs_done_total counter$' "$WORKDIR/body"
+echo "metrics (prometheus): ok"
+
+# The daemon's result store is reachable over /v1/cache (one entry: the
+# job's single point).
+curl -fsS "$BASE/v1/cache" >"$WORKDIR/body"
+grep -q '"entries": 1' "$WORKDIR/body"
+echo "cache endpoint: ok"
 
 kill -TERM "$SERVE_PID"
 wait "$SERVE_PID"
